@@ -1,0 +1,160 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (deliverable d). Each BenchmarkTable*/BenchmarkFigure*/
+// Benchmark<Theorem> target runs the corresponding experiment driver
+// end to end on a reduced (Quick) parameter sweep so that one bench
+// iteration is a full, self-contained reproduction pass; cmd/lbbench
+// runs the full-scale versions and prints the tables.
+//
+// The trailing micro-benchmarks measure protocol-round throughput,
+// which is the quantity that decides how large a full reproduction can
+// be on a given machine.
+package thresholdlb
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/task"
+	"repro/internal/walk"
+)
+
+// benchCfg keeps one bench iteration small but real.
+func benchCfg() experiments.Config {
+	return experiments.Config{Trials: 2, Workers: 2, Seed: 0xbe7c4, Quick: true}
+}
+
+func runDriver(b *testing.B, id string) {
+	b.Helper()
+	d := experiments.Lookup(id)
+	if d == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tbl := d(benchCfg())
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1/2 (mixing and hitting times of
+// the five graph families).
+func BenchmarkTable1(b *testing.B) { runDriver(b, "table1") }
+
+// BenchmarkFigure1 regenerates Figure 1 (user-controlled balancing
+// time vs total weight W for k heavy tasks).
+func BenchmarkFigure1(b *testing.B) { runDriver(b, "figure1") }
+
+// BenchmarkFigure2 regenerates Figure 2 (normalised balancing time vs
+// m for growing wmax).
+func BenchmarkFigure2(b *testing.B) { runDriver(b, "figure2") }
+
+// BenchmarkTheorem3 regenerates the Theorem 3 shape check
+// (resource-controlled, above-average thresholds, rounds vs τ·ln m).
+func BenchmarkTheorem3(b *testing.B) { runDriver(b, "theorem3") }
+
+// BenchmarkTheorem7 regenerates the Theorem 7 shape check
+// (resource-controlled, tight thresholds, rounds vs H·ln W).
+func BenchmarkTheorem7(b *testing.B) { runDriver(b, "theorem7") }
+
+// BenchmarkObservation8 regenerates the Observation 8 lower-bound
+// experiment on the clique+pendant family.
+func BenchmarkObservation8(b *testing.B) { runDriver(b, "obs8") }
+
+// BenchmarkAlphaSweep regenerates the Theorem 11/12 α sweep.
+func BenchmarkAlphaSweep(b *testing.B) { runDriver(b, "alpha") }
+
+// BenchmarkPotentialDrop regenerates the Lemma 1 / Observation 4 /
+// Lemma 5 / Lemma 10 validation.
+func BenchmarkPotentialDrop(b *testing.B) { runDriver(b, "potential") }
+
+// BenchmarkDiffusion regenerates the footnote-1 diffusion-threshold
+// end-to-end experiment.
+func BenchmarkDiffusion(b *testing.B) { runDriver(b, "diffusion") }
+
+// BenchmarkAblation regenerates the design-choice ablations.
+func BenchmarkAblation(b *testing.B) { runDriver(b, "ablation") }
+
+// BenchmarkBaselines regenerates the related-work baseline comparison
+// (diffusion, Greedy[2], (1+β), least-loaded oracle).
+func BenchmarkBaselines(b *testing.B) { runDriver(b, "baselines") }
+
+// BenchmarkResourceControlledRound measures single-round cost of
+// Algorithm 5.1 on a 32×32 torus with 4096 weighted tasks.
+func BenchmarkResourceControlledRound(b *testing.B) {
+	g := graph.Grid2D(32, 32, true)
+	ts := task.NewSet(task.UniformRange{Lo: 1, Hi: 4}.Weights(4*g.N(), newBenchRand()))
+	placement := make([]int, ts.M())
+	kernel := walk.NewLazy(walk.NewMaxDegree(g))
+	p := core.ResourceControlled{Kernel: kernel}
+	s := core.NewState(g, ts, placement, core.AboveAverage{Eps: 0.5}, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Balanced() {
+			// Re-arm with a fresh state so rounds keep doing work.
+			b.StopTimer()
+			s = core.NewState(g, ts, placement, core.AboveAverage{Eps: 0.5}, uint64(i))
+			b.StartTimer()
+		}
+		p.Step(s)
+	}
+}
+
+// BenchmarkUserControlledRound measures single-round cost of
+// Algorithm 6.1 on the complete graph with n=1000, m=10000.
+func BenchmarkUserControlledRound(b *testing.B) {
+	g := graph.Complete(1000)
+	ts := task.NewSet(task.TwoPoint{Heavy: 50, K: 20}.Weights(10000, newBenchRand()))
+	placement := make([]int, ts.M())
+	p := core.UserControlled{Alpha: 1}
+	s := core.NewState(g, ts, placement, core.AboveAverage{Eps: 0.2}, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Balanced() {
+			b.StopTimer()
+			s = core.NewState(g, ts, placement, core.AboveAverage{Eps: 0.2}, uint64(i))
+			b.StartTimer()
+		}
+		p.Step(s)
+	}
+}
+
+// BenchmarkFullUserRun measures a complete Figure-1-style run
+// (n=1000, W=10000, k=1) from single-source placement to balance.
+func BenchmarkFullUserRun(b *testing.B) {
+	g := graph.Complete(1000)
+	for i := 0; i < b.N; i++ {
+		ts := task.NewSet(task.TwoPoint{Heavy: 50, K: 1}.Weights(9951, newBenchRand()))
+		s := core.NewState(g, ts, make([]int, ts.M()), core.AboveAverage{Eps: 0.2}, uint64(i))
+		res := core.Run(s, core.UserControlled{Alpha: 1}, core.RunOptions{MaxRounds: 1_000_000})
+		if !res.Balanced {
+			b.Fatal("run did not balance")
+		}
+	}
+}
+
+// BenchmarkHittingTime measures H(G) computation on a 16×16 torus.
+func BenchmarkHittingTime(b *testing.B) {
+	g := graph.Grid2D(16, 16, true)
+	k := walk.NewMaxDegree(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		walk.HittingTimesTo(k, 0, 1e-8, 2_000_000)
+	}
+}
+
+// BenchmarkMixingTime measures the exact TV mixing-time computation on
+// a 16×16 torus.
+func BenchmarkMixingTime(b *testing.B) {
+	g := graph.Grid2D(16, 16, true)
+	k := walk.NewLazy(walk.NewMaxDegree(g))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		walk.MixingTimeTV(k, []int{0}, walk.DefaultMixingEps, 10_000_000)
+	}
+}
+
+func newBenchRand() *rng.Rand { return rng.NewSeeded(0x9e3779b97f4a7c15) }

@@ -1,0 +1,74 @@
+// Command lbbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	lbbench -exp figure1 -trials 1000          # full Figure 1
+//	lbbench -exp table1                        # Table 1/2 reproduction
+//	lbbench -exp all -quick -trials 10         # smoke pass over everything
+//	lbbench -list                              # show available experiments
+//	lbbench -exp figure2 -csv > figure2.csv    # machine-readable output
+//
+// Experiment IDs match DESIGN.md's per-experiment index (E1–E10).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		trials  = flag.Int("trials", 50, "trials per data point (paper: 1000)")
+		workers = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		seed    = flag.Uint64("seed", 0x5eed, "base RNG seed")
+		quick   = flag.Bool("quick", false, "shrink parameter sweeps for a fast pass")
+		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.Registry {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Desc)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Trials:  *trials,
+		Workers: *workers,
+		Seed:    *seed,
+		Quick:   *quick,
+	}
+	run := func(id string, d experiments.Driver) {
+		start := time.Now()
+		tbl := d(cfg)
+		if *csv {
+			tbl.CSV(os.Stdout)
+		} else {
+			tbl.Render(os.Stdout)
+			fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if *exp == "all" {
+		for _, e := range experiments.Registry {
+			run(e.ID, e.Driver)
+		}
+		return
+	}
+	d := experiments.Lookup(*exp)
+	if d == nil {
+		fmt.Fprintf(os.Stderr, "lbbench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	run(*exp, d)
+}

@@ -1,0 +1,61 @@
+package thresholdlb_test
+
+import (
+	"fmt"
+
+	lb "repro"
+)
+
+// The smallest complete use of the library: balance unit tasks on a
+// complete graph with the paper's Section 7 parameters.
+func ExampleScenario_Run() {
+	sc := lb.Scenario{
+		Graph:    lb.CompleteGraph(50),
+		Weights:  lb.UnitWeights(500),
+		Epsilon:  0.2,
+		Protocol: lb.UserBased,
+		Alpha:    1,
+		Seed:     7,
+	}
+	res, err := sc.Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("balanced:", res.Balanced)
+	fmt.Println("rounds under 50:", res.Rounds < 50)
+	// Output:
+	// balanced: true
+	// rounds under 50: true
+}
+
+// Resource-controlled balancing on a sparse topology, with the walk
+// quantities Theorem 3 and 7 are stated in.
+func ExampleScenario_Run_resourceBased() {
+	g := lb.TorusGraph(6, 6)
+	sc := lb.Scenario{
+		Graph:    g,
+		Weights:  lb.TwoPointWeights(144, 4, 10),
+		Epsilon:  0.5,
+		Protocol: lb.ResourceBased,
+		LazyWalk: true,
+		Seed:     3,
+	}
+	res, err := sc.Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("balanced:", res.Balanced)
+	fmt.Println("hitting time is finite:", lb.MaxHittingTime(g) > 0)
+	// Output:
+	// balanced: true
+	// hitting time is finite: true
+}
+
+// Imbalance metrics summarise a load vector against a threshold.
+func ExampleMeasureImbalance() {
+	loads := []float64{9, 3, 3, 1}
+	im := lb.MeasureImbalance(loads, 5)
+	fmt.Printf("gap=%.0f overloaded=%d gini=%.2f\n", im.Gap, im.Overloaded, im.Gini)
+	// Output:
+	// gap=5 overloaded=1 gini=0.38
+}

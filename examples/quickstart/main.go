@@ -1,0 +1,41 @@
+// Quickstart: the smallest useful run of the library.
+//
+// 1000 unit-weight tasks start on one resource of a 100-node complete
+// graph. The user-controlled protocol (Algorithm 6.1) with the paper's
+// simulation parameters (ε = 0.2, α = 1) balances the system; we print
+// how many rounds it took and compare with the Theorem 11 shape
+// O(wmax/wmin · log m).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	lb "repro"
+)
+
+func main() {
+	const (
+		n = 100  // resources
+		m = 1000 // tasks
+	)
+	sc := lb.Scenario{
+		Graph:    lb.CompleteGraph(n),
+		Weights:  lb.UnitWeights(m),
+		Epsilon:  0.2,
+		Protocol: lb.UserBased,
+		Alpha:    1,
+		Seed:     2025,
+	}
+	res, err := sc.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("balanced %d tasks over %d resources in %d rounds (%d migrations)\n",
+		m, n, res.Rounds, res.Migrations)
+	fmt.Printf("rounds / ln(m) = %.2f   (Theorem 11: O(wmax/wmin · log m) with wmax=wmin=1)\n",
+		float64(res.Rounds)/math.Log(m))
+}

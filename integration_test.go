@@ -1,0 +1,196 @@
+package thresholdlb
+
+// Integration tests: cross-module checks that the measured balancing
+// behaviour obeys the paper's theorems at small scale. These complement
+// the full-scale experiment harness (cmd/lbbench) with fast assertions
+// that run in `go test`.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/drift"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/walk"
+)
+
+// meanRounds runs `trials` deterministic trials of a scenario builder
+// and returns the mean balancing time.
+func meanRounds(t *testing.T, trials int, build func(seed uint64) (*core.State, core.Protocol)) float64 {
+	t.Helper()
+	o := sim.Mean(trials, 2, func(trial int, seed uint64) float64 {
+		s, p := build(seed)
+		res := core.Run(s, p, core.RunOptions{MaxRounds: 5_000_000})
+		if !res.Balanced {
+			t.Errorf("trial %d did not balance", trial)
+		}
+		return float64(res.Rounds)
+	}, 0xabc)
+	return o.Mean()
+}
+
+func unitSet(m int) *task.Set {
+	w := make([]float64, m)
+	for i := range w {
+		w[i] = 1
+	}
+	return task.NewSet(w)
+}
+
+// Theorem 11 compliance: measured expected balancing time must sit
+// below the analytic bound 2(1+ε)/(αε)·(wmax/wmin)·ln m for a range of
+// weight ratios.
+func TestIntegrationTheorem11Bound(t *testing.T) {
+	const (
+		n     = 100
+		m     = 800
+		eps   = 0.2
+		alpha = 1.0
+	)
+	g := graph.Complete(n)
+	for _, wmax := range []float64{1, 8, 64} {
+		k := 1
+		if wmax == 1 {
+			k = 0
+		}
+		mean := meanRounds(t, 10, func(seed uint64) (*core.State, core.Protocol) {
+			r := task.TwoPoint{Heavy: math.Max(wmax, 1), K: k}
+			ts := task.NewSet(r.Weights(m, seedRand(seed)))
+			s := core.NewState(g, ts, make([]int, m), core.AboveAverage{Eps: eps}, seed)
+			return s, core.UserControlled{Alpha: alpha}
+		})
+		bound := drift.Theorem11Bound(eps, alpha, wmax, 1, m)
+		if mean > bound {
+			t.Fatalf("wmax=%v: measured %v exceeds Theorem 11 bound %v", wmax, mean, bound)
+		}
+	}
+}
+
+// Theorem 3 shape: balancing time normalised by τ(G)·ln m must be of
+// the same order across topologies with very different mixing times.
+func TestIntegrationTheorem3ShapeAcrossGraphs(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Complete(64),
+		graph.Hypercube(6),
+		graph.Grid2D(8, 8, true),
+	}
+	m := 256
+	var ratios []float64
+	for _, g := range graphs {
+		kernel := walk.NewLazy(walk.NewMaxDegree(g))
+		tau := walk.MixingTimeTV(kernel, walk.DefaultStarts(kernel), walk.DefaultMixingEps, 1_000_000)
+		mean := meanRounds(t, 8, func(seed uint64) (*core.State, core.Protocol) {
+			ts := unitSet(m)
+			s := core.NewState(g, ts, make([]int, m), core.AboveAverage{Eps: 0.5}, seed)
+			return s, core.ResourceControlled{Kernel: kernel}
+		})
+		ratios = append(ratios, mean/(math.Max(float64(tau), 1)*math.Log(float64(m))))
+	}
+	lo, hi := ratios[0], ratios[0]
+	for _, r := range ratios {
+		lo = math.Min(lo, r)
+		hi = math.Max(hi, r)
+	}
+	// Same order of magnitude: within a factor 12 across a complete
+	// graph, a hypercube and a torus whose mixing times span ~20x.
+	if hi > 12*lo {
+		t.Fatalf("Theorem 3 ratios too spread: %v", ratios)
+	}
+}
+
+// Theorem 3's weight-independence: unit vs heavy-tailed weights on the
+// same graph must balance in comparable time (the bound has no weight
+// term).
+func TestIntegrationWeightIndependence(t *testing.T) {
+	g := graph.Hypercube(6)
+	kernel := walk.NewLazy(walk.NewMaxDegree(g))
+	m := 256
+	unit := meanRounds(t, 10, func(seed uint64) (*core.State, core.Protocol) {
+		ts := unitSet(m)
+		s := core.NewState(g, ts, make([]int, m), core.AboveAverage{Eps: 0.5}, seed)
+		return s, core.ResourceControlled{Kernel: kernel}
+	})
+	weighted := meanRounds(t, 10, func(seed uint64) (*core.State, core.Protocol) {
+		ts := task.NewSet(task.Pareto{Alpha: 1.5, Cap: 30}.Weights(m, seedRand(seed)))
+		s := core.NewState(g, ts, make([]int, m), core.AboveAverage{Eps: 0.5}, seed)
+		return s, core.ResourceControlled{Kernel: kernel}
+	})
+	if weighted > 4*unit+10 || unit > 4*weighted+10 {
+		t.Fatalf("weight dependence detected: unit %v vs weighted %v rounds", unit, weighted)
+	}
+}
+
+// Observation 8 scaling: halving the pendant links roughly doubles the
+// balancing time at fixed n (rounds ∝ H(G) = Θ(n²/k)).
+func TestIntegrationObservation8Scaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: clique+pendant sweeps")
+	}
+	n := 24
+	perNode := 3 * n
+	m := perNode * n
+	rounds := map[int]float64{}
+	for _, k := range []int{2, 8} {
+		g := graph.CliquePendant(n, k)
+		kernel := walk.NewLazy(walk.NewMaxDegree(g))
+		rounds[k] = meanRounds(t, 6, func(seed uint64) (*core.State, core.Protocol) {
+			ts := unitSet(m)
+			placement := make([]int, m)
+			id := 0
+			for node := 0; node < n-1; node++ {
+				for j := 0; j < perNode; j++ {
+					placement[id] = node
+					id++
+				}
+			}
+			for ; id < m; id++ {
+				placement[id] = 0
+			}
+			s := core.NewState(g, ts, placement, core.TightResource{}, seed)
+			return s, core.ResourceControlled{Kernel: kernel}
+		})
+	}
+	ratio := rounds[2] / rounds[8]
+	// H ratio is 4; allow generous noise at this tiny scale.
+	if ratio < 1.6 || ratio > 10 {
+		t.Fatalf("Observation 8 scaling off: rounds(k=2)/rounds(k=8) = %v (want ≈4)", ratio)
+	}
+}
+
+// The drift estimate from real user-controlled traces must be positive
+// and the implied Theorem 6 bound must dominate the measured time.
+func TestIntegrationDriftConsistency(t *testing.T) {
+	g := graph.Complete(50)
+	m := 400
+	var traces [][]float64
+	var measured []float64
+	for trial := 0; trial < 10; trial++ {
+		ts := unitSet(m)
+		s := core.NewState(g, ts, make([]int, m), core.AboveAverage{Eps: 0.2}, uint64(100+trial))
+		res := core.Run(s, core.UserControlled{Alpha: 1},
+			core.RunOptions{MaxRounds: 100000, RecordPotential: true})
+		if !res.Balanced {
+			t.Fatal("did not balance")
+		}
+		traces = append(traces, res.PotentialTrace)
+		measured = append(measured, float64(res.Rounds))
+	}
+	est := drift.EstimateDelta(traces, 5)
+	if est.Delta <= 0 {
+		t.Fatalf("non-positive empirical drift: %+v", est)
+	}
+	s0 := traces[0][0]
+	bound := drift.Bound(s0, 1, est.Delta)
+	if mean := stats.Mean(measured); mean > 3*bound {
+		t.Fatalf("measured %v wildly exceeds drift bound %v (delta=%v)", mean, bound, est.Delta)
+	}
+}
+
+// seedRand builds the deterministic generator used by workload builders
+// in integration tests.
+func seedRand(seed uint64) *rng.Rand { return rng.NewSeeded(seed) }

@@ -1,0 +1,306 @@
+// Package baseline implements the comparison algorithms from the
+// paper's related-work section, so the experiments can position the
+// threshold protocols against established alternatives:
+//
+//   - Continuous diffusion load balancing (first-order scheme): the
+//     classical neighbourhood-averaging protocol the paper's footnote 1
+//     borrows for average estimation, here used as an actual balancer.
+//     Loads converge to the average but tasks are splittable only in
+//     the idealised variant; the integral variant moves whole tasks and
+//     stalls at a discretisation floor — exactly why threshold
+//     protocols are interesting for indivisible weighted tasks.
+//   - Greedy[2] / (1+β)-choice sequential allocation (Talwar–Wieder,
+//     Peres et al.): the throw-balls-one-by-one baseline; measures the
+//     final max load rather than a balancing time.
+//   - Least-loaded oracle assignment: the centralised lower-bound
+//     reference (first-fit proper assignment quality).
+package baseline
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+// DiffusionBalancer runs first-order continuous diffusion on task
+// loads over a graph: in each round every resource r sends
+// γ·(x_r − x_w)·P(r,w) of load towards each lighter neighbour w. The
+// Ideal variant treats load as infinitely divisible fluid (lower
+// bound for any local protocol); the integral variant moves whole
+// tasks greedily up to the fluid quota and therefore leaves a
+// discretisation gap of up to wmax per edge.
+type DiffusionBalancer struct {
+	// Gamma scales the flow (stability requires Gamma ≤ 1; the
+	// canonical first-order scheme uses 1).
+	Gamma float64
+}
+
+// IdealRound advances fluid loads one diffusion round on g using the
+// classical convergent first-order weights 1/(d+1) (weights of 1/d
+// oscillate forever on bipartite graphs, where the iteration matrix
+// has eigenvalue −1). It writes into next and returns the maximum
+// absolute change.
+func (b DiffusionBalancer) IdealRound(g *graph.Graph, loads, next []float64) float64 {
+	d := float64(g.MaxDegree() + 1)
+	gamma := b.Gamma
+	if gamma == 0 {
+		gamma = 1
+	}
+	copy(next, loads)
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if int(w) > v {
+				continue // handle each edge once
+			}
+			flow := gamma * (loads[v] - loads[int(w)]) / d
+			next[v] -= flow
+			next[int(w)] += flow
+		}
+	}
+	maxDelta := 0.0
+	for i := range loads {
+		if d := abs(next[i] - loads[i]); d > maxDelta {
+			maxDelta = d
+		}
+	}
+	return maxDelta
+}
+
+// IdealBalance runs ideal diffusion until the maximum load is within
+// tol of the average or maxRounds is hit, returning final loads and
+// rounds used.
+func (b DiffusionBalancer) IdealBalance(g *graph.Graph, initial []float64, tol float64, maxRounds int) ([]float64, int) {
+	loads := append([]float64(nil), initial...)
+	next := make([]float64, len(loads))
+	avg := mean(loads)
+	r := 0
+	for ; r < maxRounds; r++ {
+		if maxAbsDev(loads, avg) <= tol {
+			break
+		}
+		b.IdealRound(g, loads, next)
+		loads, next = next, loads
+	}
+	return loads, r
+}
+
+// IntegralState carries whole tasks per resource for the integral
+// diffusion baseline.
+type IntegralState struct {
+	g     *graph.Graph
+	tasks [][]task.Task
+	loads []float64
+}
+
+// NewIntegralState places tasks on g according to placement.
+func NewIntegralState(g *graph.Graph, ts *task.Set, placement []int) *IntegralState {
+	s := &IntegralState{
+		g:     g,
+		tasks: make([][]task.Task, g.N()),
+		loads: make([]float64, g.N()),
+	}
+	for id, r := range placement {
+		tk := ts.Task(id)
+		s.tasks[r] = append(s.tasks[r], tk)
+		s.loads[r] += tk.Weight
+	}
+	return s
+}
+
+// Loads returns the current load vector (live; do not modify).
+func (s *IntegralState) Loads() []float64 { return s.loads }
+
+// MaxLoad returns the maximum resource load.
+func (s *IntegralState) MaxLoad() float64 {
+	m := 0.0
+	for _, l := range s.loads {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// Round performs one integral diffusion round: each edge's fluid quota
+// γ·(x_v − x_w)/(d+1) is filled greedily with whole tasks from the
+// heavier endpoint (largest-first, never overshooting the quota).
+// Returns the number of tasks moved.
+func (s *IntegralState) Round(b DiffusionBalancer) int {
+	d := float64(s.g.MaxDegree() + 1)
+	gamma := b.Gamma
+	if gamma == 0 {
+		gamma = 1
+	}
+	moved := 0
+	// Quotas are computed against the round-start loads so the scheme
+	// stays synchronous like the first-order fluid iteration.
+	start := append([]float64(nil), s.loads...)
+	for v := 0; v < s.g.N(); v++ {
+		for _, w32 := range s.g.Neighbors(v) {
+			w := int(w32)
+			if w > v {
+				continue
+			}
+			hi, lo := v, w
+			if start[lo] > start[hi] {
+				hi, lo = lo, hi
+			}
+			quota := gamma * (start[hi] - start[lo]) / d
+			if quota <= 0 {
+				continue
+			}
+			moved += s.pour(hi, lo, quota)
+		}
+	}
+	return moved
+}
+
+// pour moves whole tasks from hi to lo, never exceeding quota, taking
+// the largest fitting task each time (greedy).
+func (s *IntegralState) pour(hi, lo int, quota float64) int {
+	moved := 0
+	for quota > 0 {
+		best := -1
+		for i, tk := range s.tasks[hi] {
+			if tk.Weight <= quota && (best < 0 || tk.Weight > s.tasks[hi][best].Weight) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return moved
+		}
+		tk := s.tasks[hi][best]
+		last := len(s.tasks[hi]) - 1
+		s.tasks[hi][best] = s.tasks[hi][last]
+		s.tasks[hi] = s.tasks[hi][:last]
+		s.tasks[lo] = append(s.tasks[lo], tk)
+		s.loads[hi] -= tk.Weight
+		s.loads[lo] += tk.Weight
+		quota -= tk.Weight
+		moved++
+	}
+	return moved
+}
+
+// BalanceToThreshold runs integral diffusion rounds until all loads are
+// at or below thr, or until maxRounds or until a round moves nothing
+// (stall). It returns (rounds, balanced, stalled).
+func (s *IntegralState) BalanceToThreshold(b DiffusionBalancer, thr float64, maxRounds int) (int, bool, bool) {
+	for r := 0; r < maxRounds; r++ {
+		if s.MaxLoad() <= thr {
+			return r, true, false
+		}
+		if s.Round(b) == 0 {
+			return r, s.MaxLoad() <= thr, true
+		}
+	}
+	return maxRounds, s.MaxLoad() <= thr, false
+}
+
+// TwoChoice sequentially allocates weighted tasks to n bins with the
+// (1+β)-choice rule (Peres–Talwar–Wieder): with probability β the task
+// goes to one uniformly random bin, otherwise to the lighter of two
+// uniform picks. β = 0 recovers Greedy[2]; β = 1 is purely random.
+type TwoChoice struct {
+	Beta float64
+}
+
+// Allocate throws the task set into n bins and returns the final load
+// vector.
+func (c TwoChoice) Allocate(ts *task.Set, n int, r *rng.Rand) []float64 {
+	if c.Beta < 0 || c.Beta > 1 {
+		panic("baseline: TwoChoice Beta must be in [0,1]")
+	}
+	loads := make([]float64, n)
+	for _, tk := range ts.Tasks() {
+		var dest int
+		if c.Beta > 0 && r.Bool(c.Beta) {
+			dest = r.Intn(n)
+		} else {
+			a, b := r.Intn(n), r.Intn(n)
+			if loads[a] <= loads[b] {
+				dest = a
+			} else {
+				dest = b
+			}
+		}
+		loads[dest] += tk.Weight
+	}
+	return loads
+}
+
+// Gap returns max load − average load: the quantity Talwar–Wieder and
+// Peres et al. bound for the sequential processes.
+func Gap(loads []float64) float64 {
+	avg := mean(loads)
+	m := 0.0
+	for _, l := range loads {
+		if l-avg > m {
+			m = l - avg
+		}
+	}
+	return m
+}
+
+// LeastLoaded is the centralised oracle: every task (largest first)
+// goes to the currently least-loaded bin. Its max load is within wmax
+// of the optimum (LPT rule) and serves as the quality reference.
+func LeastLoaded(ts *task.Set, n int) []float64 {
+	loads := make([]float64, n)
+	order := make([]int, ts.M())
+	for i := range order {
+		order[i] = i
+	}
+	// Largest-first for the classical LPT guarantee.
+	sortDesc(order, ts)
+	for _, id := range order {
+		best := 0
+		for i := 1; i < n; i++ {
+			if loads[i] < loads[best] {
+				best = i
+			}
+		}
+		loads[best] += ts.Weight(id)
+	}
+	return loads
+}
+
+func sortDesc(order []int, ts *task.Set) {
+	// Insertion sort is fine for the experiment sizes; avoid pulling in
+	// sort.Slice allocations in hot loops elsewhere.
+	for i := 1; i < len(order); i++ {
+		v := order[i]
+		w := ts.Weight(v)
+		j := i - 1
+		for j >= 0 && ts.Weight(order[j]) < w {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = v
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func maxAbsDev(xs []float64, c float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if d := abs(x - c); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,182 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+func unitSet(m int) *task.Set {
+	w := make([]float64, m)
+	for i := range w {
+		w[i] = 1
+	}
+	return task.NewSet(w)
+}
+
+func TestIdealDiffusionConservesAndConverges(t *testing.T) {
+	g := graph.Grid2D(6, 6, true)
+	initial := make([]float64, g.N())
+	initial[0] = 360
+	b := DiffusionBalancer{}
+	loads, rounds := b.IdealBalance(g, initial, 0.01, 100000)
+	if rounds == 100000 {
+		t.Fatal("ideal diffusion did not converge")
+	}
+	sum := 0.0
+	for _, l := range loads {
+		sum += l
+	}
+	if math.Abs(sum-360) > 1e-6 {
+		t.Fatalf("mass not conserved: %v", sum)
+	}
+	avg := 360.0 / float64(g.N())
+	for i, l := range loads {
+		if math.Abs(l-avg) > 0.02 {
+			t.Fatalf("load[%d]=%v far from %v", i, l, avg)
+		}
+	}
+}
+
+func TestIdealRoundMaxDelta(t *testing.T) {
+	g := graph.Path(3)
+	// loads [4,0,0], maxdeg d=2, gamma=1: edge(0,1) flow = 4/(d+1) = 4/3.
+	b := DiffusionBalancer{}
+	next := make([]float64, 3)
+	delta := b.IdealRound(g, []float64{4, 0, 0}, next)
+	want := 4.0 / 3.0
+	if math.Abs(delta-want) > 1e-12 {
+		t.Fatalf("delta=%v want %v", delta, want)
+	}
+	if math.Abs(next[0]-(4-want)) > 1e-12 || math.Abs(next[1]-want) > 1e-12 || next[2] != 0 {
+		t.Fatalf("next=%v", next)
+	}
+}
+
+func TestIntegralDiffusionBalancesUnitTasks(t *testing.T) {
+	g := graph.Grid2D(5, 5, true)
+	m := 100
+	ts := unitSet(m)
+	placement := make([]int, m) // all on node 0
+	s := NewIntegralState(g, ts, placement)
+	// Integral diffusion stalls once edge quotas Δ/(d+1) drop below one
+	// unit, so its reachable threshold is avg + (d+1) — strictly worse
+	// than the paper's tight threshold avg + 2·wmax. That gap is the
+	// point of the comparison.
+	thr := float64(m)/float64(g.N()) + float64(g.MaxDegree()+1)
+	rounds, balanced, stalled := s.BalanceToThreshold(DiffusionBalancer{}, thr, 100000)
+	if !balanced {
+		t.Fatalf("integral diffusion failed: rounds=%d stalled=%v maxload=%v", rounds, stalled, s.MaxLoad())
+	}
+	// Conservation.
+	sum := 0.0
+	for _, l := range s.Loads() {
+		sum += l
+	}
+	if math.Abs(sum-float64(m)) > 1e-9 {
+		t.Fatalf("mass %v", sum)
+	}
+}
+
+func TestIntegralDiffusionStallsOnIndivisibleWeights(t *testing.T) {
+	// Two nodes, one giant task plus crumbs: the fluid quota per round
+	// is (x_hi - x_lo)/d and can never fit the giant task once the
+	// crumbs are level, so the integral scheme stalls above the fluid
+	// average — the discretisation weakness threshold protocols avoid.
+	g := graph.Path(2)
+	ts := task.NewSet([]float64{10, 1, 1})
+	s := NewIntegralState(g, ts, []int{0, 0, 0})
+	_, balanced, stalled := s.BalanceToThreshold(DiffusionBalancer{}, 7, 10000)
+	if balanced {
+		t.Fatalf("expected stall, got balanced with maxload %v", s.MaxLoad())
+	}
+	if !stalled {
+		t.Fatal("expected explicit stall signal")
+	}
+}
+
+func TestIntegralRoundMovesTowardLighter(t *testing.T) {
+	g := graph.Path(2)
+	ts := unitSet(10)
+	s := NewIntegralState(g, ts, make([]int, 10))
+	moved := s.Round(DiffusionBalancer{})
+	// Quota = (10-0)/1 = 10 but moving all 10 only happens if the
+	// greedy fill reaches the quota; unit tasks fill exactly 10.
+	if moved == 0 {
+		t.Fatal("no tasks moved")
+	}
+	if s.Loads()[0] < s.Loads()[1]-1 {
+		t.Fatalf("overshoot: loads=%v", s.Loads())
+	}
+}
+
+func TestTwoChoiceBetaZeroBeatsRandom(t *testing.T) {
+	r := rng.NewSeeded(1)
+	ts := unitSet(20000)
+	n := 100
+	greedy := Gap(TwoChoice{Beta: 0}.Allocate(ts, n, r))
+	random := Gap(TwoChoice{Beta: 1}.Allocate(ts, n, r))
+	if greedy >= random {
+		t.Fatalf("greedy gap %v should beat random gap %v", greedy, random)
+	}
+	// Two-choice keeps the gap tiny even with m ≫ n (Berenbrink et al.).
+	if greedy > 5 {
+		t.Fatalf("greedy[2] gap %v suspiciously large", greedy)
+	}
+}
+
+func TestTwoChoiceConservesWeight(t *testing.T) {
+	r := rng.NewSeeded(2)
+	ts := task.NewSet(task.Pareto{Alpha: 1.5, Cap: 50}.Weights(5000, r))
+	loads := TwoChoice{Beta: 0.3}.Allocate(ts, 64, r)
+	sum := 0.0
+	for _, l := range loads {
+		sum += l
+	}
+	if math.Abs(sum-ts.W()) > 1e-6 {
+		t.Fatalf("weight %v != %v", sum, ts.W())
+	}
+}
+
+func TestTwoChoicePanicsOnBadBeta(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TwoChoice{Beta: 2}.Allocate(unitSet(10), 4, rng.NewSeeded(3))
+}
+
+func TestLeastLoadedLPTQuality(t *testing.T) {
+	r := rng.NewSeeded(4)
+	ts := task.NewSet(task.UniformRange{Lo: 1, Hi: 10}.Weights(500, r))
+	loads := LeastLoaded(ts, 16)
+	avg := ts.W() / 16
+	for _, l := range loads {
+		// LPT: max load ≤ avg + wmax.
+		if l > avg+ts.WMax()+1e-9 {
+			t.Fatalf("load %v exceeds avg+wmax=%v", l, avg+ts.WMax())
+		}
+	}
+}
+
+func TestLeastLoadedExact(t *testing.T) {
+	ts := task.NewSet([]float64{4, 3, 3, 2})
+	loads := LeastLoaded(ts, 2)
+	// LPT: 4 | 3 → [4,3]; 3 → [4,6]; 2 → [6,6].
+	if loads[0] != 6 || loads[1] != 6 {
+		t.Fatalf("loads=%v want [6 6]", loads)
+	}
+}
+
+func TestGap(t *testing.T) {
+	if g := Gap([]float64{4, 2, 0}); g != 2 {
+		t.Fatalf("gap=%v want 2", g)
+	}
+	if g := Gap([]float64{3, 3, 3}); g != 0 {
+		t.Fatalf("gap=%v want 0", g)
+	}
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/stack"
+	"repro/internal/task"
+)
+
+// State is the full simulation state: one stack per resource, the
+// threshold vector, the task→resource map, and one RNG stream per
+// resource. Per-resource streams make every protocol step a
+// deterministic function of (seed, initial placement) regardless of
+// execution order, which is what allows the parallel step executor to
+// reproduce the sequential one bit-for-bit.
+type State struct {
+	g      *graph.Graph
+	ts     *task.Set
+	stacks []stack.Stack
+	thr    []float64
+	loc    []int32 // task ID -> resource
+	rands  []*rng.Rand
+	round  int
+}
+
+// NewState places the task set on g's resources according to placement
+// (task ID → resource) and computes thresholds with policy. seed
+// determines all randomness of the subsequent run.
+func NewState(g *graph.Graph, ts *task.Set, placement []int, policy Thresholds, seed uint64) *State {
+	n := g.N()
+	if n == 0 {
+		panic("core: graph has no resources")
+	}
+	if len(placement) != ts.M() {
+		panic(fmt.Sprintf("core: placement has %d entries for %d tasks", len(placement), ts.M()))
+	}
+	s := &State{
+		g:      g,
+		ts:     ts,
+		stacks: make([]stack.Stack, n),
+		thr:    policy.Values(ts, n),
+		loc:    make([]int32, ts.M()),
+		rands:  make([]*rng.Rand, n),
+	}
+	if len(s.thr) != n {
+		panic("core: threshold policy returned wrong length")
+	}
+	for id, res := range placement {
+		if res < 0 || res >= n {
+			panic(fmt.Sprintf("core: task %d placed on invalid resource %d", id, res))
+		}
+		s.stacks[res].Push(ts.Task(id))
+		s.loc[id] = int32(res)
+	}
+	for r := 0; r < n; r++ {
+		s.rands[r] = rng.Stream(seed, uint64(r))
+	}
+	return s
+}
+
+// Graph returns the resource graph.
+func (s *State) Graph() *graph.Graph { return s.g }
+
+// Tasks returns the task set.
+func (s *State) Tasks() *task.Set { return s.ts }
+
+// N returns the number of resources.
+func (s *State) N() int { return len(s.stacks) }
+
+// Round returns the number of completed protocol rounds.
+func (s *State) Round() int { return s.round }
+
+// Load returns x_r, the total weight on resource r.
+func (s *State) Load(r int) float64 { return s.stacks[r].Load() }
+
+// Count returns b_r, the number of tasks on resource r.
+func (s *State) Count(r int) int { return s.stacks[r].Len() }
+
+// Threshold returns T_r.
+func (s *State) Threshold(r int) float64 { return s.thr[r] }
+
+// Stack exposes resource r's stack (read-only use expected).
+func (s *State) Stack(r int) *stack.Stack { return &s.stacks[r] }
+
+// Location returns the resource currently holding task id.
+func (s *State) Location(id int) int { return int(s.loc[id]) }
+
+// Overloaded reports whether resource r exceeds its threshold.
+func (s *State) Overloaded(r int) bool { return s.stacks[r].Load() > s.thr[r] }
+
+// OverloadedCount returns the number of overloaded resources.
+func (s *State) OverloadedCount() int {
+	c := 0
+	for r := range s.stacks {
+		if s.Overloaded(r) {
+			c++
+		}
+	}
+	return c
+}
+
+// Balanced reports whether every load is at or below its threshold —
+// the paper's termination condition.
+func (s *State) Balanced() bool { return s.OverloadedCount() == 0 }
+
+// Loads returns a fresh copy of the load vector — the input for the
+// metrics package's imbalance measures.
+func (s *State) Loads() []float64 {
+	out := make([]float64, len(s.stacks))
+	for r := range s.stacks {
+		out[r] = s.stacks[r].Load()
+	}
+	return out
+}
+
+// MaxLoad returns the maximum resource load.
+func (s *State) MaxLoad() float64 {
+	m := 0.0
+	for r := range s.stacks {
+		if l := s.stacks[r].Load(); l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// Potential returns Φ(t) = Σ_r φ_r(t): the total weight of tasks that
+// are cutting or above their resource's threshold (Eq. (1) for the
+// tight analysis; Section 6's Φ for the user-controlled one).
+func (s *State) Potential() float64 {
+	p := 0.0
+	for r := range s.stacks {
+		p += s.stacks[r].OverflowWeight(s.thr[r])
+	}
+	return p
+}
+
+// ResourcePotential returns φ_r(t).
+func (s *State) ResourcePotential(r int) float64 {
+	return s.stacks[r].OverflowWeight(s.thr[r])
+}
+
+// ActiveTasks returns the number of tasks not yet accepted (cutting or
+// above on their current resource).
+func (s *State) ActiveTasks() int {
+	c := 0
+	for r := range s.stacks {
+		c += s.stacks[r].OverflowCount(s.thr[r])
+	}
+	return c
+}
+
+// AcceptFraction returns the fraction of resources that could accept an
+// extra task of weight wmax — the quantity Lemma 1 lower-bounds by
+// ε/(1+ε) for above-average thresholds.
+func (s *State) AcceptFraction() float64 {
+	wmax := s.ts.WMax()
+	c := 0
+	for r := range s.stacks {
+		if s.stacks[r].Load() <= s.thr[r]-wmax {
+			c++
+		}
+	}
+	return float64(c) / float64(len(s.stacks))
+}
+
+// CheckInvariants validates global conservation: every task is on
+// exactly one resource, the location map agrees with the stacks, loads
+// equal summed weights, and total weight equals W.
+func (s *State) CheckInvariants() error {
+	seen := make([]bool, s.ts.M())
+	total := 0.0
+	for r := range s.stacks {
+		if err := s.stacks[r].CheckInvariants(); err != nil {
+			return fmt.Errorf("resource %d: %w", r, err)
+		}
+		for _, tk := range s.stacks[r].Tasks() {
+			if tk.ID < 0 || tk.ID >= s.ts.M() {
+				return fmt.Errorf("resource %d holds unknown task %d", r, tk.ID)
+			}
+			if seen[tk.ID] {
+				return fmt.Errorf("task %d appears twice", tk.ID)
+			}
+			seen[tk.ID] = true
+			if int(s.loc[tk.ID]) != r {
+				return fmt.Errorf("task %d: location map says %d, stack says %d", tk.ID, s.loc[tk.ID], r)
+			}
+		}
+		total += s.stacks[r].Load()
+	}
+	for id, ok := range seen {
+		if !ok {
+			return fmt.Errorf("task %d lost", id)
+		}
+	}
+	if math.Abs(total-s.ts.W()) > 1e-6*(1+s.ts.W()) {
+		return fmt.Errorf("total weight %v != W %v", total, s.ts.W())
+	}
+	return nil
+}
+
+// migration is one task move decided in the propose phase of a round.
+type migration struct {
+	t    task.Task
+	dest int32
+}
+
+// deliver pushes migrations onto their destination stacks ordered by
+// (destination, task ID): "if several balls arrive at the same
+// resource in one time step the new balls are added in an arbitrary
+// order" — task-ID order is our fixed arbitrary choice, making rounds
+// deterministic.
+func (s *State) deliver(moves []migration) {
+	sortMigrations(moves)
+	for _, mv := range moves {
+		s.stacks[mv.dest].Push(mv.t)
+		s.loc[mv.t.ID] = mv.dest
+	}
+}
+
+// sortMigrations orders by (dest, task ID) — insertion sort for the
+// typically short per-round move lists, falling back to heap-style
+// sorting cost O(k²) only on adversarial sizes is avoided via a simple
+// bottom-up merge for large k.
+func sortMigrations(moves []migration) {
+	if len(moves) < 32 {
+		for i := 1; i < len(moves); i++ {
+			mv := moves[i]
+			j := i - 1
+			for j >= 0 && migrationLess(mv, moves[j]) {
+				moves[j+1] = moves[j]
+				j--
+			}
+			moves[j+1] = mv
+		}
+		return
+	}
+	buf := make([]migration, len(moves))
+	for width := 1; width < len(moves); width *= 2 {
+		for lo := 0; lo < len(moves); lo += 2 * width {
+			mid := min(lo+width, len(moves))
+			hi := min(lo+2*width, len(moves))
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				if migrationLess(moves[j], moves[i]) {
+					buf[k] = moves[j]
+					j++
+				} else {
+					buf[k] = moves[i]
+					i++
+				}
+				k++
+			}
+			copy(buf[k:hi], moves[i:mid])
+			copy(buf[k+mid-i:hi], moves[j:hi])
+		}
+		copy(moves, buf)
+	}
+}
+
+func migrationLess(a, b migration) bool {
+	if a.dest != b.dest {
+		return a.dest < b.dest
+	}
+	return a.t.ID < b.t.ID
+}

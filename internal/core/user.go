@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// UserControlled is Algorithm 6.1 on the complete graph: in parallel,
+// every task on an overloaded resource r migrates with probability
+//
+//	min(1, Alpha · ⌈φ_r/wmax⌉ · 1/b_r)
+//
+// to a resource chosen uniformly at random among the other n−1
+// resources. Tasks know α, φ_r, wmax and b_r, as the paper assumes.
+//
+// Alpha = ε/(120(1+ε)) matches the Theorem 11 analysis;
+// Alpha ≤ 1/(120n) matches Theorem 12. The Section 7 simulations use
+// Alpha = 1 ("the factor we require in the analysis is quite
+// conservative"), which is also our experiments' default.
+type UserControlled struct {
+	Alpha   float64
+	Workers int // 0 or 1 = sequential
+}
+
+// TheoryAlphaAboveAverage returns the Theorem 11 analysis constant
+// α = ε/(120(1+ε)).
+func TheoryAlphaAboveAverage(eps float64) float64 { return eps / (120 * (1 + eps)) }
+
+// TheoryAlphaTight returns the Theorem 12 analysis constant 1/(120n).
+func TheoryAlphaTight(n int) float64 { return 1 / (120 * float64(n)) }
+
+// Name identifies the protocol.
+func (p UserControlled) Name() string {
+	return fmt.Sprintf("user-controlled(alpha=%g)", p.Alpha)
+}
+
+// leaveProbability returns the per-task migration probability for
+// resource r, capped at 1.
+func (p UserControlled) leaveProbability(s *State, r int) float64 {
+	br := s.Count(r)
+	if br == 0 {
+		return 0
+	}
+	phi := s.ResourcePotential(r)
+	prob := p.Alpha * math.Ceil(phi/s.ts.WMax()) / float64(br)
+	if prob > 1 {
+		prob = 1
+	}
+	return prob
+}
+
+// Step executes one synchronous round.
+func (p UserControlled) Step(s *State) StepStats {
+	if p.Alpha <= 0 {
+		panic("core: UserControlled requires Alpha > 0")
+	}
+	var moves []migration
+	if p.Workers > 1 {
+		moves = p.proposeParallel(s)
+	} else {
+		moves = p.propose(s, 0, s.N(), nil)
+	}
+	stats := StepStats{Migrations: len(moves)}
+	for _, mv := range moves {
+		stats.MovedWeight += mv.t.Weight
+	}
+	s.deliver(moves)
+	s.round++
+	return stats
+}
+
+// propose flips the leave coin for every task on each overloaded
+// resource in [lo,hi) (bottom-to-top order) and samples destinations
+// uniformly over the other resources. All randomness for resource r
+// comes from r's own stream, keeping parallel execution deterministic.
+func (p UserControlled) propose(s *State, lo, hi int, buf []migration) []migration {
+	n := s.N()
+	if n < 2 {
+		return buf // nowhere to migrate on a single resource
+	}
+	for r := lo; r < hi; r++ {
+		if !s.Overloaded(r) {
+			continue
+		}
+		prob := p.leaveProbability(s, r)
+		if prob == 0 {
+			continue
+		}
+		rr := s.rands[r]
+		var leaving []int
+		for i := 0; i < s.stacks[r].Len(); i++ {
+			if rr.Bool(prob) {
+				leaving = append(leaving, i)
+			}
+		}
+		if len(leaving) == 0 {
+			continue
+		}
+		for _, tk := range s.stacks[r].RemoveIndices(leaving) {
+			dest := rr.Intn(n - 1)
+			if dest >= r {
+				dest++ // uniform over the n−1 other resources
+			}
+			buf = append(buf, migration{t: tk, dest: int32(dest)})
+		}
+	}
+	return buf
+}
+
+func (p UserControlled) proposeParallel(s *State) []migration {
+	workers := p.Workers
+	n := s.N()
+	if workers > n {
+		workers = n
+	}
+	bufs := make([][]migration, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			bufs[w] = p.propose(s, lo, hi, nil)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var moves []migration
+	for _, b := range bufs {
+		moves = append(moves, b...)
+	}
+	return moves
+}
+
+// UserControlledGraph generalises Algorithm 6.1 to arbitrary graphs:
+// identical coin, but the destination is a uniformly random neighbour
+// of the current resource. The paper restricts its user-controlled
+// analysis to complete graphs (where neighbour = any other resource);
+// this variant supports the exploratory ablation E10.
+type UserControlledGraph struct {
+	Alpha float64
+}
+
+// Name identifies the protocol.
+func (p UserControlledGraph) Name() string {
+	return fmt.Sprintf("user-controlled-graph(alpha=%g)", p.Alpha)
+}
+
+// Step executes one synchronous round.
+func (p UserControlledGraph) Step(s *State) StepStats {
+	if p.Alpha <= 0 {
+		panic("core: UserControlledGraph requires Alpha > 0")
+	}
+	inner := UserControlled{Alpha: p.Alpha}
+	var moves []migration
+	g := s.Graph()
+	for r := 0; r < s.N(); r++ {
+		if !s.Overloaded(r) {
+			continue
+		}
+		prob := inner.leaveProbability(s, r)
+		if prob == 0 || g.Degree(r) == 0 {
+			continue
+		}
+		rr := s.rands[r]
+		var leaving []int
+		for i := 0; i < s.stacks[r].Len(); i++ {
+			if rr.Bool(prob) {
+				leaving = append(leaving, i)
+			}
+		}
+		if len(leaving) == 0 {
+			continue
+		}
+		for _, tk := range s.stacks[r].RemoveIndices(leaving) {
+			dest := g.Neighbor(r, rr.Intn(g.Degree(r)))
+			moves = append(moves, migration{t: tk, dest: int32(dest)})
+		}
+	}
+	stats := StepStats{Migrations: len(moves)}
+	for _, mv := range moves {
+		stats.MovedWeight += mv.t.Weight
+	}
+	s.deliver(moves)
+	s.round++
+	return stats
+}
+
+// Mixed alternates two protocols — the "mixed protocols, which are both
+// resource-based and user-based" direction from the paper's
+// conclusion. Rounds 0, Period, 2·Period, … run A; all others run B.
+type Mixed struct {
+	A, B   Protocol
+	Period int // every Period-th round runs A; must be ≥ 1
+}
+
+// Name identifies the protocol.
+func (p Mixed) Name() string {
+	return fmt.Sprintf("mixed(%s|%s,period=%d)", p.A.Name(), p.B.Name(), p.Period)
+}
+
+// Step executes one synchronous round of whichever sub-protocol is due.
+func (p Mixed) Step(s *State) StepStats {
+	if p.Period < 1 {
+		panic("core: Mixed requires Period >= 1")
+	}
+	if s.round%p.Period == 0 {
+		return p.A.Step(s)
+	}
+	return p.B.Step(s)
+}

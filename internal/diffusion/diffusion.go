@@ -1,0 +1,89 @@
+// Package diffusion implements the paper's footnote-1 mechanism for
+// obtaining the average load in a decentralised way: "Each resource
+// keeps a value representing the current estimated average load and
+// this value is initialized with the initial load of the resource. The
+// resources then simulate continuous diffusion load balancing (always
+// using their current estimate) for mixing time number of steps, at
+// which point their estimates will be concentrated around the average
+// load."
+//
+// One diffusion step replaces every estimate z_r with Σ_w P(r,w)·z_w,
+// i.e. z ← P·z for the (symmetric, doubly stochastic) random-walk
+// kernel. The vector average is invariant under P, and the deviation
+// from it contracts by the kernel's second eigenvalue each step, so
+// after O(τ(G)) steps every estimate is close to W/n. The estimates
+// feed core.FromEstimates to build thresholds without global knowledge
+// (experiment E9).
+package diffusion
+
+import (
+	"math"
+
+	"repro/internal/walk"
+)
+
+// Step performs one diffusion round: next[r] = Σ_w P(r,w)·z[w].
+// next must have the same length as z; it is overwritten.
+func Step(k walk.Kernel, z, next []float64) {
+	// P is symmetric for every kernel in the walk package, so the
+	// distribution evolution z·P equals the value diffusion P·z.
+	walk.EvolveDist(k, z, next)
+}
+
+// Run performs steps diffusion rounds starting from initial and returns
+// the final estimate vector (a fresh slice).
+func Run(k walk.Kernel, initial []float64, steps int) []float64 {
+	n := k.Graph().N()
+	if len(initial) != n {
+		panic("diffusion: initial vector has wrong length")
+	}
+	z := append([]float64(nil), initial...)
+	next := make([]float64, n)
+	for i := 0; i < steps; i++ {
+		Step(k, z, next)
+		z, next = next, z
+	}
+	return z
+}
+
+// RunUntil diffuses until every estimate is within tol of the true
+// average (relative to 1+|avg|), returning the estimates and the number
+// of steps taken. Stops at maxSteps regardless.
+func RunUntil(k walk.Kernel, initial []float64, tol float64, maxSteps int) ([]float64, int) {
+	n := k.Graph().N()
+	if len(initial) != n {
+		panic("diffusion: initial vector has wrong length")
+	}
+	avg := Average(initial)
+	z := append([]float64(nil), initial...)
+	next := make([]float64, n)
+	steps := 0
+	for ; steps < maxSteps; steps++ {
+		if MaxDeviation(z, avg) <= tol*(1+math.Abs(avg)) {
+			break
+		}
+		Step(k, z, next)
+		z, next = next, z
+	}
+	return z, steps
+}
+
+// Average returns the mean of z.
+func Average(z []float64) float64 {
+	s := 0.0
+	for _, v := range z {
+		s += v
+	}
+	return s / float64(len(z))
+}
+
+// MaxDeviation returns max_r |z[r] − avg|.
+func MaxDeviation(z []float64, avg float64) float64 {
+	d := 0.0
+	for _, v := range z {
+		if dv := math.Abs(v - avg); dv > d {
+			d = dv
+		}
+	}
+	return d
+}

@@ -1,0 +1,108 @@
+package diffusion
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/walk"
+)
+
+func TestAverageInvariant(t *testing.T) {
+	g := graph.Grid2D(4, 4, true)
+	k := walk.NewMaxDegree(g)
+	initial := make([]float64, g.N())
+	initial[0] = 160 // all load on one resource
+	z := Run(k, initial, 25)
+	if math.Abs(Average(z)-10) > 1e-9 {
+		t.Fatalf("diffusion changed the average: %v", Average(z))
+	}
+}
+
+func TestConvergesToAverage(t *testing.T) {
+	g := graph.Complete(20)
+	k := walk.NewMaxDegree(g)
+	initial := make([]float64, g.N())
+	initial[3] = 100
+	z, steps := RunUntil(k, initial, 0.01, 10000)
+	if steps == 10000 {
+		t.Fatal("did not converge")
+	}
+	avg := 100.0 / 20
+	for r, v := range z {
+		if math.Abs(v-avg) > 0.01*(1+avg) {
+			t.Fatalf("estimate[%d]=%v far from %v after %d steps", r, v, avg, steps)
+		}
+	}
+}
+
+func TestConvergenceSpeedTracksMixing(t *testing.T) {
+	// Complete graph (τ = O(1)) must converge far faster than a cycle
+	// (τ = Θ(n²)).
+	mk := func(g *graph.Graph) int {
+		k := walk.NewLazy(walk.NewMaxDegree(g))
+		initial := make([]float64, g.N())
+		initial[0] = float64(10 * g.N())
+		_, steps := RunUntil(k, initial, 0.05, 1000000)
+		return steps
+	}
+	fast := mk(graph.Complete(32))
+	slow := mk(graph.Cycle(32))
+	if fast >= slow {
+		t.Fatalf("complete=%d cycle=%d: expected complete << cycle", fast, slow)
+	}
+	if slow < 10*fast {
+		t.Fatalf("cycle (%d) should be at least 10x slower than complete (%d)", slow, fast)
+	}
+}
+
+func TestRunZeroSteps(t *testing.T) {
+	g := graph.Complete(4)
+	k := walk.NewMaxDegree(g)
+	initial := []float64{1, 2, 3, 4}
+	z := Run(k, initial, 0)
+	for i := range initial {
+		if z[i] != initial[i] {
+			t.Fatal("zero steps must be identity")
+		}
+	}
+	// And must be a copy, not an alias.
+	z[0] = 99
+	if initial[0] == 99 {
+		t.Fatal("Run aliased its input")
+	}
+}
+
+func TestRunPanicsOnBadLength(t *testing.T) {
+	g := graph.Complete(4)
+	k := walk.NewMaxDegree(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(k, []float64{1, 2}, 3)
+}
+
+func TestMaxDeviation(t *testing.T) {
+	if got := MaxDeviation([]float64{1, 5, 3}, 3); got != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if got := MaxDeviation([]float64{3, 3}, 3); got != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAlreadyConverged(t *testing.T) {
+	g := graph.Complete(5)
+	k := walk.NewMaxDegree(g)
+	z, steps := RunUntil(k, []float64{2, 2, 2, 2, 2}, 0.001, 100)
+	if steps != 0 {
+		t.Fatalf("flat vector took %d steps", steps)
+	}
+	for _, v := range z {
+		if v != 2 {
+			t.Fatal("flat vector changed")
+		}
+	}
+}

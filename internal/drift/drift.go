@@ -1,0 +1,104 @@
+// Package drift implements the multiplicative drift theorem the paper
+// uses to convert potential drops into balancing-time bounds
+// (Theorem 6, from Doerr & Pohl, GECCO 2012):
+//
+//	If E[V(t) − V(t+1) | V(t) = s] ≥ δ·s for all reachable s > 0,
+//	then E[T | V(0) = s0] ≤ (1 + ln(s0/smin)) / δ.
+//
+// The paper instantiates it with δ = 1/4 over phases of length 2·H(G)
+// (Theorem 7), with δ = α·ε/(2(1+ε))·wmin/wmax per round (Theorem 11),
+// and with the ε/(1+ε) → 1/n substitution (Theorem 12). This package
+// computes those bounds and estimates δ empirically from simulated
+// potential traces (experiments E7/E8).
+package drift
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Bound returns the Theorem 6 upper bound (1 + ln(s0/smin))/δ on the
+// expected hitting time of 0. Panics unless s0 ≥ smin > 0 and δ > 0.
+func Bound(s0, smin, delta float64) float64 {
+	if smin <= 0 || s0 < smin || delta <= 0 {
+		panic("drift: Bound requires s0 >= smin > 0 and delta > 0")
+	}
+	return (1 + math.Log(s0/smin)) / delta
+}
+
+// Theorem7Bound returns the paper's resource-controlled tight-threshold
+// bound: phases of length 2·H(G) with δ = 1/4 and s0 ≤ W, smin = wmin,
+// giving E[T] ≤ 2·H(G)·4·(1 + ln(W/wmin)) rounds.
+func Theorem7Bound(hitting, w, wmin float64) float64 {
+	return 2 * hitting * Bound(w, wmin, 0.25)
+}
+
+// Theorem11Bound returns the user-controlled above-average bound
+// E[T] ≤ 2·(1+ε)/(α·ε)·(wmax/wmin)·ln m rounds.
+func Theorem11Bound(eps, alpha, wmax, wmin float64, m int) float64 {
+	if eps <= 0 || alpha <= 0 {
+		panic("drift: Theorem11Bound requires positive eps and alpha")
+	}
+	return 2 * (1 + eps) / (alpha * eps) * (wmax / wmin) * math.Log(float64(m))
+}
+
+// Theorem12Bound returns the user-controlled tight-threshold bound
+// E[T] ≤ 2·n/α·(wmax/wmin)·ln m rounds.
+func Theorem12Bound(n int, alpha, wmax, wmin float64, m int) float64 {
+	if alpha <= 0 {
+		panic("drift: Theorem12Bound requires positive alpha")
+	}
+	return 2 * float64(n) / alpha * (wmax / wmin) * math.Log(float64(m))
+}
+
+// Estimate is an empirical drift estimate from potential traces.
+type Estimate struct {
+	// Delta is the pooled mean relative one-step drop
+	// E[(V(t)−V(t+1))/V(t)].
+	Delta float64
+	// MinBinDelta is the smallest mean relative drop over value bins —
+	// the empirical analogue of "for all s" in the drift condition.
+	MinBinDelta float64
+	// Transitions counts the (V(t) > 0) transitions pooled.
+	Transitions int
+}
+
+// EstimateDelta pools all transitions of the traces, bins them by
+// log₂ V(t) (so each magnitude decade is tested separately), and
+// returns the pooled and worst-bin mean relative drops. Bins with
+// fewer than minBin transitions are ignored for the minimum (too noisy
+// to witness a violation).
+func EstimateDelta(traces [][]float64, minBin int) Estimate {
+	var all stats.Online
+	bins := map[int]*stats.Online{}
+	for _, tr := range traces {
+		for i := 1; i < len(tr); i++ {
+			v := tr[i-1]
+			if v <= 0 {
+				continue
+			}
+			drop := (v - tr[i]) / v
+			all.Add(drop)
+			b := int(math.Floor(math.Log2(v)))
+			o := bins[b]
+			if o == nil {
+				o = &stats.Online{}
+				bins[b] = o
+			}
+			o.Add(drop)
+		}
+	}
+	est := Estimate{Delta: all.Mean(), Transitions: all.N()}
+	minDelta := math.Inf(1)
+	for _, o := range bins {
+		if o.N() >= minBin && o.Mean() < minDelta {
+			minDelta = o.Mean()
+		}
+	}
+	if math.IsInf(minDelta, 1) {
+		minDelta = est.Delta
+	}
+	est.MinBinDelta = minDelta
+	return est
+}

@@ -1,0 +1,128 @@
+package drift
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestBound(t *testing.T) {
+	// s0 = smin: bound is 1/δ.
+	if got := Bound(5, 5, 0.5); got != 2 {
+		t.Fatalf("got %v", got)
+	}
+	want := (1 + math.Log(100)) / 0.25
+	if got := Bound(100, 1, 0.25); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestBoundPanics(t *testing.T) {
+	for _, c := range [][3]float64{{1, 0, 0.5}, {1, 2, 0.5}, {2, 1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Bound%v should panic", c)
+				}
+			}()
+			Bound(c[0], c[1], c[2])
+		}()
+	}
+}
+
+func TestTheoremBounds(t *testing.T) {
+	// Theorem 7: 2·H·4·(1+ln W).
+	want7 := 2 * 10.0 * 4 * (1 + math.Log(1000))
+	if got := Theorem7Bound(10, 1000, 1); math.Abs(got-want7) > 1e-9 {
+		t.Fatalf("Theorem7Bound=%v want %v", got, want7)
+	}
+	// Theorem 11: 2(1+ε)/(αε)·(wmax/wmin)·ln m.
+	want11 := 2 * 1.2 / (1 * 0.2) * 50 * math.Log(5000)
+	if got := Theorem11Bound(0.2, 1, 50, 1, 5000); math.Abs(got-want11) > 1e-9 {
+		t.Fatalf("Theorem11Bound=%v want %v", got, want11)
+	}
+	// Theorem 12: 2n/α·(wmax/wmin)·ln m.
+	want12 := 2 * 100 / 0.5 * 4 * math.Log(1000)
+	if got := Theorem12Bound(100, 0.5, 4, 1, 1000); math.Abs(got-want12) > 1e-9 {
+		t.Fatalf("Theorem12Bound=%v want %v", got, want12)
+	}
+}
+
+func TestTheoremBoundPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"t11 eps":   func() { Theorem11Bound(0, 1, 1, 1, 10) },
+		"t11 alpha": func() { Theorem11Bound(0.1, 0, 1, 1, 10) },
+		"t12 alpha": func() { Theorem12Bound(5, 0, 1, 1, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEstimateDeltaExactGeometric(t *testing.T) {
+	// Deterministic 20% drop per step: δ should be exactly 0.2 pooled
+	// and in every bin.
+	trace := make([]float64, 50)
+	trace[0] = 1 << 20
+	for i := 1; i < len(trace); i++ {
+		trace[i] = trace[i-1] * 0.8
+	}
+	est := EstimateDelta([][]float64{trace}, 1)
+	if math.Abs(est.Delta-0.2) > 1e-12 || math.Abs(est.MinBinDelta-0.2) > 1e-12 {
+		t.Fatalf("est=%+v", est)
+	}
+	if est.Transitions != 49 {
+		t.Fatalf("transitions=%d", est.Transitions)
+	}
+}
+
+func TestEstimateDeltaNoisy(t *testing.T) {
+	// Random drops uniform on [0.1, 0.3]: pooled δ ≈ 0.2.
+	r := rng.NewSeeded(5)
+	var traces [][]float64
+	for tr := 0; tr < 50; tr++ {
+		v := 1e6
+		trace := []float64{v}
+		for v > 1 {
+			v *= 1 - (0.1 + 0.2*r.Float64())
+			trace = append(trace, v)
+		}
+		traces = append(traces, trace)
+	}
+	est := EstimateDelta(traces, 10)
+	if math.Abs(est.Delta-0.2) > 0.01 {
+		t.Fatalf("pooled delta=%v want ≈0.2", est.Delta)
+	}
+	if est.MinBinDelta < 0.1 || est.MinBinDelta > 0.3 {
+		t.Fatalf("min-bin delta=%v out of the drop support", est.MinBinDelta)
+	}
+}
+
+func TestEstimateDeltaEmpty(t *testing.T) {
+	est := EstimateDelta(nil, 5)
+	if est.Transitions != 0 || est.Delta != 0 {
+		t.Fatalf("empty estimate=%+v", est)
+	}
+}
+
+func TestDriftBoundConsistentWithSimulatedProcess(t *testing.T) {
+	// Simulate V(t+1) = V(t)·(1−δ) exactly; hitting time of smin from
+	// s0 is ln(s0/smin)/−ln(1−δ) ≤ Bound(s0,smin,δ) by the theorem.
+	s0, smin, delta := 4096.0, 1.0, 0.3
+	v := s0
+	steps := 0
+	for v > smin {
+		v *= 1 - delta
+		steps++
+	}
+	if b := Bound(s0, smin, delta); float64(steps) > b {
+		t.Fatalf("deterministic process took %d > bound %v", steps, b)
+	}
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps test runtime manageable while still executing every
+// driver end to end.
+func quickCfg() Config {
+	return Config{Trials: 3, Workers: 2, Seed: 0xfeed, Quick: true}
+}
+
+func TestEveryDriverRuns(t *testing.T) {
+	for _, e := range Registry {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl := e.Driver(quickCfg())
+			if tbl == nil || tbl.ID != e.ID {
+				t.Fatalf("driver %s returned %+v", e.ID, tbl)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("driver %s produced no rows", e.ID)
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Fatalf("driver %s: row %v does not match header %v", e.ID, row, tbl.Header)
+				}
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if Lookup("figure1") == nil {
+		t.Fatal("figure1 missing")
+	}
+	if Lookup("nonsense") != nil {
+		t.Fatal("unknown id should return nil")
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tbl := &Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	tbl.AddNote("n=%d", 7)
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: demo ==", "a    bb", "333", "note: n=7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	tbl.CSV(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || lines[0] != "a,bb" || lines[1] != "1,2" {
+		t.Fatalf("csv output %q", buf.String())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.Defaults()
+	if c.Trials != 50 || c.Seed == 0 {
+		t.Fatalf("defaults %+v", c)
+	}
+	c2 := Config{Trials: 7, Seed: 9}.Defaults()
+	if c2.Trials != 7 || c2.Seed != 9 {
+		t.Fatalf("defaults overwrote explicit values: %+v", c2)
+	}
+}
+
+func TestFigure1Deterministic(t *testing.T) {
+	a := FigureOne(quickCfg())
+	b := FigureOne(quickCfg())
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatal("row counts differ")
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatalf("row %d col %d: %q vs %q", i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestFigure1RoundsGrowWithW(t *testing.T) {
+	tbl := FigureOne(quickCfg())
+	// For fixed k (first Quick k-block), rounds should increase with W.
+	var prev float64 = -1
+	count := 0
+	for _, row := range tbl.Rows {
+		if row[1] != "1" { // k column
+			continue
+		}
+		mean := parseMean(t, row[3])
+		if prev >= 0 && mean < prev*0.5 {
+			t.Fatalf("rounds dropped sharply with W: %v -> %v", prev, mean)
+		}
+		prev = mean
+		count++
+	}
+	if count < 2 {
+		t.Fatalf("expected multiple k=1 rows, got %d", count)
+	}
+}
+
+func TestFigure2NormalisedGrowsWithWmax(t *testing.T) {
+	tbl := FigureTwo(quickCfg())
+	// Average normalised time per wmax must increase from wmax=1 to
+	// wmax=256 (Theorem 11 has the wmax/wmin factor).
+	norm := map[string][]float64{}
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", row[3])
+		}
+		norm[row[0]] = append(norm[row[0]], v)
+	}
+	avg := func(vs []float64) float64 {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		return s / float64(len(vs))
+	}
+	small, large := avg(norm["1"]), avg(norm["256"])
+	if large < 4*small {
+		t.Fatalf("normalised time should grow strongly with wmax: wmax=1→%.2f wmax=256→%.2f", small, large)
+	}
+}
+
+func parseMean(t *testing.T, cell string) float64 {
+	t.Helper()
+	i := strings.IndexRune(cell, '±')
+	if i < 0 {
+		t.Fatalf("cell %q has no ± part", cell)
+	}
+	v, err := strconv.ParseFloat(cell[:i], 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestTableCellsAreNumericWhereExpected(t *testing.T) {
+	// The CSV output feeds plotting scripts; numeric columns must parse.
+	tbl := FigureTwo(quickCfg())
+	for _, row := range tbl.Rows {
+		if _, err := strconv.ParseFloat(row[0], 64); err != nil {
+			t.Fatalf("wmax cell %q not numeric", row[0])
+		}
+		if _, err := strconv.Atoi(row[1]); err != nil {
+			t.Fatalf("m cell %q not an int", row[1])
+		}
+		if _, err := strconv.ParseFloat(row[3], 64); err != nil {
+			t.Fatalf("normalised cell %q not numeric", row[3])
+		}
+	}
+}
+
+func TestDriversHonourTrialCount(t *testing.T) {
+	// The trials knob must reach the notes so reports are self-describing.
+	cfg := quickCfg()
+	cfg.Trials = 4
+	tbl := FigureOne(cfg)
+	found := false
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "trials per point: 4") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("notes missing trial count: %v", tbl.Notes)
+	}
+}
+
+func TestAblationMetropolisEqualsMaxdegOnTorus(t *testing.T) {
+	// On a regular graph Metropolis degenerates to the max-degree
+	// kernel; the ablation rows must agree exactly (same seeds).
+	tbl := Ablation(quickCfg())
+	byName := map[string]string{}
+	for _, row := range tbl.Rows {
+		byName[row[0]] = row[1]
+	}
+	if byName["resource(maxdeg)"] == "" || byName["resource(maxdeg)"] != byName["resource(metropolis)"] {
+		t.Fatalf("kernel-equivalence violated: %q vs %q",
+			byName["resource(maxdeg)"], byName["resource(metropolis)"])
+	}
+}

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/drift"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/walk"
+)
+
+// TheoremThree validates the resource-controlled above-average bound
+// O(τ(G)·log m) (E4): across graph families and two weight
+// distributions, the measured balancing time divided by τ(G)·ln m
+// should be a constant of moderate size, and the weighted and unit
+// rows for the same graph should be close (the bound is
+// weight-independent).
+func TheoremThree(cfg Config) *Table {
+	cfg = cfg.Defaults()
+	n := 128
+	if cfg.Quick {
+		n = 64
+	}
+	r := rng.NewSeeded(cfg.Seed + 1)
+	side := int(math.Round(math.Sqrt(float64(n))))
+	graphs := []*graph.Graph{
+		graph.Complete(n),
+		graph.RandomRegular(n, 4, r),
+		graph.Hypercube(bitsFor(n)),
+		graph.Grid2D(side, side, true),
+	}
+	dists := []task.Distribution{
+		task.Uniform{W: 1},
+		task.Pareto{Alpha: 1.5, Cap: 30},
+	}
+	t := &Table{
+		ID:    "theorem3",
+		Title: "resource-controlled, T=(1+eps)W/n+wmax: rounds vs tau(G)·ln m",
+		Header: []string{"graph", "weights", "m", "tmix", "rounds",
+			"tau·ln(m)", "rounds/(tau·ln m)"},
+	}
+	const eps = 0.5
+	for _, g := range graphs {
+		kernel := walk.NewLazy(walk.NewMaxDegree(g))
+		tmix := walk.MixingTimeTV(kernel, []int{0}, walk.DefaultMixingEps, 10_000_000)
+		m := 4 * g.N()
+		for _, dist := range dists {
+			o := trialRounds(cfg, 1_000_000, func(seed uint64) (*core.State, core.Protocol) {
+				ts := buildWeighted(m, dist, seed)
+				placement := singleSourcePlacement(ts, g.N(), seed)
+				s := core.NewState(g, ts, placement, core.AboveAverage{Eps: eps}, seed)
+				return s, core.ResourceControlled{Kernel: kernel}
+			})
+			bound := math.Max(float64(tmix), 1) * math.Log(float64(m))
+			t.AddRow(g.Name(), dist.Name(), f("%d", m), f("%d", tmix),
+				meanCell(o), f("%.0f", bound), f("%.3f", o.Mean()/bound))
+		}
+	}
+	t.AddNote("kernel: lazy max-degree walk (constant-factor laziness keeps bipartite families aperiodic)")
+	t.AddNote("expect the last column to be O(1) across rows, and unit vs pareto rows to agree (weight-independence)")
+	return t
+}
+
+// TheoremSeven validates the resource-controlled tight-threshold bound
+// O(H(G)·ln W) (E5): measured rounds divided by H(G)·ln W should be
+// bounded across graph families.
+func TheoremSeven(cfg Config) *Table {
+	cfg = cfg.Defaults()
+	n := 64
+	if cfg.Quick {
+		n = 36
+	}
+	r := rng.NewSeeded(cfg.Seed + 2)
+	side := int(math.Round(math.Sqrt(float64(n))))
+	graphs := []*graph.Graph{
+		graph.Complete(n),
+		graph.RandomRegular(n, 4, r),
+		graph.Grid2D(side, side, true),
+		graph.CliquePendant(n, 2),
+	}
+	t := &Table{
+		ID:    "theorem7",
+		Title: "resource-controlled, T=W/n+2wmax: rounds vs H(G)·ln W",
+		Header: []string{"graph", "m", "H(G)", "rounds", "H·ln(W)",
+			"rounds/(H·ln W)", "thm7 bound"},
+	}
+	for _, g := range graphs {
+		kernel := walk.NewLazy(walk.NewMaxDegree(g))
+		h := walk.MaxHittingTime(kernel, 1e-8, 2_000_000)
+		m := 8 * g.N()
+		o := trialRounds(cfg, 5_000_000, func(seed uint64) (*core.State, core.Protocol) {
+			ts := buildWeighted(m, task.Uniform{W: 1}, seed)
+			placement := singleSourcePlacement(ts, g.N(), seed)
+			s := core.NewState(g, ts, placement, core.TightResource{}, seed)
+			return s, core.ResourceControlled{Kernel: kernel}
+		})
+		w := float64(m)
+		denom := h * math.Log(w)
+		t.AddRow(g.Name(), f("%d", m), f("%.0f", h), meanCell(o),
+			f("%.0f", denom), f("%.4f", o.Mean()/denom),
+			f("%.0f", drift.Theorem7Bound(h, w, 1)))
+	}
+	t.AddNote("thm7 bound = 2H·4·(1+ln(W/wmin)); measurements should sit well below it with constant ratio")
+	return t
+}
+
+// ObservationEight validates the lower-bound family (E6): on the
+// clique+pendant graph the maximum hitting time is Θ(n²/k), and the
+// tight-threshold resource-controlled protocol needs Θ(H(G)·log m)
+// rounds. We sweep k and fit rounds against H(G).
+func ObservationEight(cfg Config) *Table {
+	cfg = cfg.Defaults()
+	n := 48
+	ks := []int{1, 2, 4, 8, 16}
+	if cfg.Quick {
+		n = 24
+		ks = []int{1, 4, 16}
+	}
+	t := &Table{
+		ID:     "obs8",
+		Title:  "Observation 8: clique(n-1)+pendant with k links, tight threshold",
+		Header: []string{"k", "H(G)", "n^2/k", "rounds", "rounds/(H·ln m)"},
+	}
+	// Adversarial initial distribution per the Observation 8 proof:
+	// every clique node starts at W/n, and the excess W/n sits on
+	// clique node 0; the pendant node starts empty, so the excess can
+	// only drain through the k bridge edges.
+	perNode := 3 * n // W/n = 3n ⇒ clique slack 2(n−2) < excess 3n−2 ⇒ pendant must be used
+	m := perNode * n
+	var hs, rounds []float64
+	for _, k := range ks {
+		g := graph.CliquePendant(n, k)
+		kernel := walk.NewLazy(walk.NewMaxDegree(g))
+		h := walk.MaxHittingTime(kernel, 1e-8, 2_000_000)
+		o := trialRounds(cfg, 20_000_000, func(seed uint64) (*core.State, core.Protocol) {
+			ts := buildWeighted(m, task.Uniform{W: 1}, seed)
+			placement := make([]int, m)
+			id := 0
+			for node := 0; node < n-1; node++ { // clique nodes get W/n each
+				for j := 0; j < perNode; j++ {
+					placement[id] = node
+					id++
+				}
+			}
+			for ; id < m; id++ { // the excess W/n lands on clique node 0
+				placement[id] = 0
+			}
+			s := core.NewState(g, ts, placement, core.TightResource{}, seed)
+			return s, core.ResourceControlled{Kernel: kernel}
+		})
+		t.AddRow(f("%d", k), f("%.0f", h), f("%.0f", float64(n*n)/float64(k)),
+			meanCell(o), f("%.4f", o.Mean()/(h*math.Log(float64(m)))))
+		hs = append(hs, h)
+		rounds = append(rounds, o.Mean())
+	}
+	if len(hs) >= 2 {
+		fit := stats.FitPower(hs, rounds)
+		t.AddNote("fit rounds ~ H(G)^%.2f (R²=%.3f) — Observation 8 predicts exponent ≈ 1", fit.Exponent, fit.R2)
+		fk := stats.FitPower(invert(ks), rounds)
+		t.AddNote("fit rounds ~ (1/k)^%.2f — H(G)=Θ(n²/k) predicts exponent ≈ 1", fk.Exponent)
+	}
+	return t
+}
+
+func invert(ks []int) []float64 {
+	out := make([]float64, len(ks))
+	for i, k := range ks {
+		out[i] = 1 / float64(k)
+	}
+	return out
+}
+
+func bitsFor(n int) int {
+	d := 0
+	for 1<<uint(d) < n {
+		d++
+	}
+	return d
+}
+
+// AlphaSweep (E7) examines the user-controlled analysis constants:
+// Theorem 11's α = ε/(120(1+ε)) is very conservative — the paper's
+// simulations use α = 1 and §7 leaves closing the gap as an open
+// question. We sweep α for both threshold regimes and report measured
+// rounds against the theorem bounds.
+func AlphaSweep(cfg Config) *Table {
+	cfg = cfg.Defaults()
+	n, m := 200, 2000
+	if cfg.Quick {
+		n, m = 100, 600
+	}
+	const eps = 0.2
+	g := graph.Complete(n)
+	t := &Table{
+		ID:     "alpha",
+		Title:  "user-controlled alpha sweep (complete graph)",
+		Header: []string{"threshold", "alpha", "rounds", "theorem bound", "measured/bound"},
+	}
+	alphaTheory := core.TheoryAlphaAboveAverage(eps)
+	above := []float64{alphaTheory, 0.01, 0.05, 0.2, 1}
+	for _, alpha := range above {
+		c := cfg
+		if alpha < 0.01 {
+			c.Trials = minInt(cfg.Trials, 5) // theory α runs are long; keep them affordable
+		}
+		o := trialRounds(c, 10_000_000, func(seed uint64) (*core.State, core.Protocol) {
+			ts := buildWeighted(m, task.Uniform{W: 1}, seed)
+			s := core.NewState(g, ts, singleSourcePlacement(ts, n, seed), core.AboveAverage{Eps: eps}, seed)
+			return s, core.UserControlled{Alpha: alpha}
+		})
+		bound := drift.Theorem11Bound(eps, alpha, 1, 1, m)
+		t.AddRow("above-average", f("%.4g", alpha), meanCell(o), f("%.0f", bound), f("%.4f", o.Mean()/bound))
+	}
+	for _, alpha := range []float64{1 / float64(n), 0.1, 1} {
+		o := trialRounds(cfg, 10_000_000, func(seed uint64) (*core.State, core.Protocol) {
+			ts := buildWeighted(m, task.Uniform{W: 1}, seed)
+			s := core.NewState(g, ts, singleSourcePlacement(ts, n, seed), core.TightUser{}, seed)
+			return s, core.UserControlled{Alpha: alpha}
+		})
+		bound := drift.Theorem12Bound(n, alpha, 1, 1, m)
+		t.AddRow("tight", f("%.4g", alpha), meanCell(o), f("%.0f", bound), f("%.4f", o.Mean()/bound))
+	}
+	t.AddNote("theorem-11 analysis alpha = eps/(120(1+eps)) = %.4g; simulations confirm alpha=1 works (paper §7)", alphaTheory)
+	return t
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,351 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestBuildDedupAndLoops(t *testing.T) {
+	g := Build("t", 4, [][2]int{{0, 1}, {1, 0}, {2, 2}, {1, 2}, {1, 2}})
+	if g.M() != 2 {
+		t.Fatalf("M=%d want 2 (dedup + drop loop)", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || g.HasEdge(2, 2) || g.HasEdge(0, 3) {
+		t.Fatal("edge set wrong")
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Fatal("degrees wrong")
+	}
+}
+
+func TestBuildPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build("t", 2, [][2]int{{0, 2}})
+}
+
+func TestNeighborsSortedAndSymmetric(t *testing.T) {
+	r := rng.NewSeeded(1)
+	g := ErdosRenyi(40, 0.2, r)
+	for v := 0; v < g.N(); v++ {
+		nb := g.Neighbors(v)
+		for i := 1; i < len(nb); i++ {
+			if nb[i-1] >= nb[i] {
+				t.Fatalf("neighbours of %d not strictly sorted: %v", v, nb)
+			}
+		}
+		for _, w := range nb {
+			if !g.HasEdge(int(w), v) {
+				t.Fatalf("edge (%d,%d) not symmetric", v, w)
+			}
+		}
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(6)
+	if g.N() != 6 || g.M() != 15 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if g.MaxDegree() != 5 || g.MinDegree() != 5 {
+		t.Fatal("K6 should be 5-regular")
+	}
+	if g.Diameter() != 1 {
+		t.Fatalf("diameter=%d", g.Diameter())
+	}
+	if g.IsBipartite() {
+		t.Fatal("K6 is not bipartite")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := Cycle(8)
+	if g.M() != 8 || g.MaxDegree() != 2 || g.MinDegree() != 2 {
+		t.Fatal("C8 structure wrong")
+	}
+	if g.Diameter() != 4 {
+		t.Fatalf("C8 diameter=%d want 4", g.Diameter())
+	}
+	if !g.IsBipartite() {
+		t.Fatal("even cycle is bipartite")
+	}
+	if Cycle(5).IsBipartite() {
+		t.Fatal("odd cycle is not bipartite")
+	}
+}
+
+func TestPathAndStar(t *testing.T) {
+	p := Path(5)
+	if p.M() != 4 || p.Diameter() != 4 {
+		t.Fatal("P5 wrong")
+	}
+	s := Star(10)
+	if s.M() != 9 || s.Degree(0) != 9 || s.Degree(3) != 1 || s.Diameter() != 2 {
+		t.Fatal("star wrong")
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g := Grid2D(3, 4, false)
+	if g.N() != 12 {
+		t.Fatalf("N=%d", g.N())
+	}
+	// 3 rows × 3 horizontal edges + 2×4 vertical = 9+8 = 17.
+	if g.M() != 17 {
+		t.Fatalf("M=%d want 17", g.M())
+	}
+	if g.Degree(0) != 2 { // corner
+		t.Fatalf("corner degree=%d", g.Degree(0))
+	}
+	if g.Degree(5) != 4 { // interior (1,1)
+		t.Fatalf("interior degree=%d", g.Degree(5))
+	}
+	if !g.Connected() {
+		t.Fatal("grid disconnected")
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g := Grid2D(4, 5, true)
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("torus vertex %d degree=%d want 4", v, g.Degree(v))
+		}
+	}
+	if g.M() != 40 {
+		t.Fatalf("M=%d want 40", g.M())
+	}
+}
+
+func TestTorusSmallDimensionNoDoubleEdge(t *testing.T) {
+	// With 2 columns wraparound would duplicate edges; generator must
+	// skip the wrap instead of creating parallel edges.
+	g := Grid2D(2, 2, true)
+	if g.M() != 4 {
+		t.Fatalf("2x2 torus M=%d want 4", g.M())
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4)
+	if g.N() != 16 || g.M() != 32 {
+		t.Fatalf("Q4: N=%d M=%d", g.N(), g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatal("Q4 must be 4-regular")
+		}
+	}
+	if g.Diameter() != 4 {
+		t.Fatalf("Q4 diameter=%d", g.Diameter())
+	}
+	if !g.IsBipartite() {
+		t.Fatal("hypercube is bipartite")
+	}
+}
+
+func TestErdosRenyiDensity(t *testing.T) {
+	r := rng.NewSeeded(7)
+	const n, p = 200, 0.1
+	g := ErdosRenyi(n, p, r)
+	want := p * float64(n*(n-1)/2)
+	got := float64(g.M())
+	if got < want*0.85 || got > want*1.15 {
+		t.Fatalf("G(n,p) edges=%v want ≈%v", got, want)
+	}
+}
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	r := rng.NewSeeded(8)
+	if g := ErdosRenyi(10, 0, r); g.M() != 0 {
+		t.Fatal("p=0 should give empty graph")
+	}
+	if g := ErdosRenyi(10, 1, r); g.M() != 45 {
+		t.Fatal("p=1 should give complete graph")
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	r := rng.NewSeeded(9)
+	for _, tc := range []struct{ n, d int }{{10, 3}, {50, 4}, {64, 3}, {100, 6}} {
+		g := RandomRegular(tc.n, tc.d, r)
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) != tc.d {
+				t.Fatalf("regular(%d,%d): vertex %d has degree %d", tc.n, tc.d, v, g.Degree(v))
+			}
+		}
+		if !g.Connected() {
+			// d>=3 random regular graphs are connected whp; a failure
+			// here is overwhelmingly a generator bug.
+			t.Fatalf("regular(%d,%d) disconnected", tc.n, tc.d)
+		}
+	}
+}
+
+func TestRandomRegularPanics(t *testing.T) {
+	r := rng.NewSeeded(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd n*d should panic")
+		}
+	}()
+	RandomRegular(5, 3, r)
+}
+
+func TestCliquePendant(t *testing.T) {
+	g := CliquePendant(10, 3)
+	if g.N() != 10 {
+		t.Fatalf("N=%d", g.N())
+	}
+	// Clique on 9 vertices = 36 edges, plus 3 pendant links.
+	if g.M() != 39 {
+		t.Fatalf("M=%d want 39", g.M())
+	}
+	if g.Degree(9) != 3 {
+		t.Fatalf("pendant degree=%d want 3", g.Degree(9))
+	}
+	if g.Degree(0) != 9 { // clique vertex 0 also touches the pendant
+		t.Fatalf("degree(0)=%d want 9", g.Degree(0))
+	}
+	if g.Degree(5) != 8 {
+		t.Fatalf("degree(5)=%d want 8", g.Degree(5))
+	}
+	if !g.Connected() {
+		t.Fatal("disconnected")
+	}
+}
+
+func TestGluedCliques(t *testing.T) {
+	g := GluedCliques(12, 2)
+	// Two K6 = 2·15 edges + 2 bridges.
+	if g.M() != 32 {
+		t.Fatalf("M=%d want 32", g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("disconnected")
+	}
+	if !g.HasEdge(0, 6) || !g.HasEdge(1, 7) || g.HasEdge(2, 8) {
+		t.Fatal("bridge edges wrong")
+	}
+}
+
+func TestLollipop(t *testing.T) {
+	g := Lollipop(5, 4)
+	if g.N() != 9 {
+		t.Fatalf("N=%d", g.N())
+	}
+	if g.M() != 10+4 {
+		t.Fatalf("M=%d", g.M())
+	}
+	if g.Degree(8) != 1 {
+		t.Fatal("path end should have degree 1")
+	}
+	if !g.Connected() {
+		t.Fatal("disconnected")
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := Path(5)
+	d := g.BFS(0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Fatalf("BFS dist[%d]=%d want %d", i, d[i], want)
+		}
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := Build("two-islands", 4, [][2]int{{0, 1}, {2, 3}})
+	if g.Connected() {
+		t.Fatal("should be disconnected")
+	}
+	if g.Diameter() != -1 {
+		t.Fatalf("diameter of disconnected graph = %d want -1", g.Diameter())
+	}
+	if d := g.BFS(0); d[2] != -1 {
+		t.Fatal("unreachable vertex must have distance -1")
+	}
+}
+
+func TestGenerateConnected(t *testing.T) {
+	r := rng.NewSeeded(11)
+	g := GenerateConnected(100, func() *Graph { return ErdosRenyi(50, 0.15, r) })
+	if !g.Connected() {
+		t.Fatal("GenerateConnected returned disconnected graph")
+	}
+}
+
+func TestGenerateConnectedExhausts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GenerateConnected(3, func() *Graph { return Build("x", 4, [][2]int{{0, 1}}) })
+}
+
+// Property: for arbitrary random graphs, handshake lemma and symmetry.
+func TestPropertyHandshake(t *testing.T) {
+	r := rng.NewSeeded(12)
+	f := func(seed uint16) bool {
+		n := 5 + int(seed%60)
+		g := ErdosRenyi(n, 0.3, r)
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.M() && sum == g.DegreeSum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: diameters of known families.
+func TestKnownDiameters(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{Complete(10), 1},
+		{Star(10), 2},
+		{Cycle(10), 5},
+		{Hypercube(5), 5},
+		{Grid2D(4, 4, false), 6},
+	}
+	for _, c := range cases {
+		if got := c.g.Diameter(); got != c.want {
+			t.Fatalf("%s diameter=%d want %d", c.g.Name(), got, c.want)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := Build("empty", 0, nil)
+	if g.N() != 0 || g.M() != 0 || g.MaxDegree() != 0 || g.MinDegree() != 0 {
+		t.Fatal("empty graph stats wrong")
+	}
+	if !g.Connected() {
+		t.Fatal("empty graph is vacuously connected")
+	}
+}
+
+func BenchmarkBuildComplete512(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Complete(512)
+	}
+}
+
+func BenchmarkBFSTorus(b *testing.B) {
+	g := Grid2D(64, 64, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFS(i % g.N())
+	}
+}

@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for visual
+// inspection of small instances (lbgraph -dot).
+func (g *Graph) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %q {\n", g.name)
+	for v := 0; v < g.N(); v++ {
+		fmt.Fprintf(bw, "  %d;\n", v)
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if int(u) > v {
+				fmt.Fprintf(bw, "  %d -- %d;\n", v, u)
+			}
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// WriteEdgeList writes the graph as a plain text header line
+// "n <vertices>" followed by one "u v" pair per undirected edge —
+// the interchange format ReadEdgeList parses.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "n %d\n", g.N())
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if int(u) > v {
+				fmt.Fprintf(bw, "%d %d\n", v, u)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the WriteEdgeList format. Blank lines and lines
+// starting with '#' are ignored.
+func ReadEdgeList(name string, r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	n := -1
+	var edges [][2]int
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if n < 0 {
+			var parsed int
+			if _, err := fmt.Sscanf(line, "n %d", &parsed); err != nil {
+				return nil, fmt.Errorf("graph: line %d: expected header \"n <count>\", got %q", lineNo, line)
+			}
+			if parsed < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative vertex count", lineNo)
+			}
+			n = parsed
+			continue
+		}
+		var u, v int
+		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: line %d: expected \"u v\", got %q", lineNo, line)
+		}
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("graph: line %d: edge (%d,%d) out of range [0,%d)", lineNo, u, v, n)
+		}
+		edges = append(edges, [2]int{u, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graph: missing \"n <count>\" header")
+	}
+	return Build(name, n, edges), nil
+}

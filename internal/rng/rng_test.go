@@ -1,0 +1,411 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference outputs for seed 0 from the public-domain splitmix64.c.
+	want := []uint64{
+		0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4,
+		0x06c45d188009454f, 0xf88bb8a8724c81ec,
+	}
+	s := NewSplitMix64(0)
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("output %d: got %#x want %#x", i, got, w)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	mk := map[string]func(uint64) Source{
+		"splitmix": func(s uint64) Source { return NewSplitMix64(s) },
+		"xoshiro":  func(s uint64) Source { return NewXoshiro256(s) },
+		"pcg":      func(s uint64) Source { return NewPCG32(s) },
+	}
+	for name, f := range mk {
+		a, b := f(42), f(42)
+		for i := 0; i < 100; i++ {
+			if x, y := a.Uint64(), b.Uint64(); x != y {
+				t.Fatalf("%s: same seed diverged at step %d: %#x vs %#x", name, i, x, y)
+			}
+		}
+		c := f(43)
+		same := true
+		a2 := f(42)
+		for i := 0; i < 10; i++ {
+			if a2.Uint64() != c.Uint64() {
+				same = false
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced identical prefix", name)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	// A child stream must not replay the parent stream.
+	parent := NewXoshiro256(7)
+	child := parent.Split()
+	collide := 0
+	for i := 0; i < 1000; i++ {
+		if parent.Uint64() == child.Uint64() {
+			collide++
+		}
+	}
+	if collide > 0 {
+		t.Fatalf("parent/child collided %d times in 1000 draws", collide)
+	}
+}
+
+func TestStreamPureFunction(t *testing.T) {
+	a := Stream(99, 5)
+	b := Stream(99, 5)
+	for i := 0; i < 50; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Stream is not a pure function of (seed, id)")
+		}
+	}
+	c := Stream(99, 6)
+	d := Stream(100, 5)
+	if a.Uint64() == c.Uint64() && a.Uint64() == d.Uint64() {
+		t.Fatal("distinct stream ids / seeds look identical")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewSeeded(1)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewSeeded(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	// Chi-squared goodness of fit over 10 buckets.
+	r := NewSeeded(2024)
+	const buckets, draws = 10, 100000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	expected := float64(draws) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 9 degrees of freedom; critical value at p=0.001 is 27.88.
+	if chi2 > 27.88 {
+		t.Fatalf("Intn not uniform: chi2=%.2f counts=%v", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewSeeded(3)
+	sum := 0.0
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+		sum += v
+	}
+	mean := sum / 100000
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %.4f far from 0.5", mean)
+	}
+}
+
+func TestBoolEdgeCases(t *testing.T) {
+	r := NewSeeded(4)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+		if r.Bool(-0.5) {
+			t.Fatal("Bool(-0.5) returned true")
+		}
+		if !r.Bool(1.5) {
+			t.Fatal("Bool(1.5) returned false")
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewSeeded(5)
+	const draws = 200000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / draws
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit rate %.4f", p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewSeeded(6)
+	check := func(n uint8) bool {
+		m := int(n%50) + 1
+		p := r.Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := NewSeeded(7)
+	xs := []int{1, 2, 2, 3, 5, 8, 13}
+	orig := map[int]int{}
+	for _, x := range xs {
+		orig[x]++
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := map[int]int{}
+	for _, x := range xs {
+		got[x]++
+	}
+	for k, v := range orig {
+		if got[k] != v {
+			t.Fatalf("multiset changed: key %d had %d now %d", k, v, got[k])
+		}
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewSeeded(8)
+	sum := 0.0
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential variate %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / draws; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exp mean %.4f far from 1", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewSeeded(9)
+	const draws = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < draws; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / draws
+	variance := sumsq/draws - mean*mean
+	if math.Abs(mean) > 0.02 || math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal moments off: mean=%.4f var=%.4f", mean, variance)
+	}
+}
+
+func TestParetoSupportAndTail(t *testing.T) {
+	r := NewSeeded(10)
+	const xm, alpha = 2.0, 3.0
+	over4 := 0
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		v := r.Pareto(xm, alpha)
+		if v < xm {
+			t.Fatalf("Pareto below xm: %v", v)
+		}
+		if v > 4 {
+			over4++
+		}
+	}
+	// P(X > 4) = (2/4)^3 = 0.125.
+	p := float64(over4) / draws
+	if math.Abs(p-0.125) > 0.01 {
+		t.Fatalf("Pareto tail P(X>4)=%.4f want 0.125", p)
+	}
+}
+
+func TestParetoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pareto(0,1) did not panic")
+		}
+	}()
+	NewSeeded(1).Pareto(0, 1)
+}
+
+func TestZipfDistribution(t *testing.T) {
+	r := NewSeeded(11)
+	z := NewZipf(4, 1) // P(k) ∝ 1/k over {1,2,3,4}; H4 = 25/12
+	counts := make([]int, 5)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		k := z.Sample(r)
+		if k < 1 || k > 4 {
+			t.Fatalf("Zipf out of range: %d", k)
+		}
+		counts[k]++
+	}
+	h4 := 1.0 + 0.5 + 1.0/3 + 0.25
+	for k := 1; k <= 4; k++ {
+		want := (1 / float64(k)) / h4
+		got := float64(counts[k]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("Zipf P(%d)=%.4f want %.4f", k, got, want)
+		}
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := NewSeeded(12)
+	z := NewZipf(10, 0)
+	counts := make([]int, 11)
+	for i := 0; i < 100000; i++ {
+		counts[z.Sample(r)]++
+	}
+	for k := 1; k <= 10; k++ {
+		p := float64(counts[k]) / 100000
+		if math.Abs(p-0.1) > 0.01 {
+			t.Fatalf("Zipf(s=0) P(%d)=%.4f want 0.1", k, p)
+		}
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := NewSeeded(13)
+	cases := []struct {
+		n int
+		p float64
+	}{{10, 0.5}, {64, 0.1}, {1000, 0.3}, {5000, 0.7}}
+	for _, c := range cases {
+		const draws = 20000
+		sum := 0.0
+		for i := 0; i < draws; i++ {
+			k := r.Binomial(c.n, c.p)
+			if k < 0 || k > c.n {
+				t.Fatalf("Binomial(%d,%v) out of range: %d", c.n, c.p, k)
+			}
+			sum += float64(k)
+		}
+		mean := sum / draws
+		want := float64(c.n) * c.p
+		sd := math.Sqrt(float64(c.n) * c.p * (1 - c.p))
+		if math.Abs(mean-want) > 5*sd/math.Sqrt(draws)+0.5 {
+			t.Fatalf("Binomial(%d,%v) mean %.2f want %.2f", c.n, c.p, mean, want)
+		}
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	r := NewSeeded(14)
+	if got := r.Binomial(100, 0); got != 0 {
+		t.Fatalf("Binomial(100,0)=%d", got)
+	}
+	if got := r.Binomial(100, 1); got != 100 {
+		t.Fatalf("Binomial(100,1)=%d", got)
+	}
+	if got := r.Binomial(0, 0.5); got != 0 {
+		t.Fatalf("Binomial(0,.5)=%d", got)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := NewSeeded(15)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		v := r.Uint64n(n)
+		return v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXoshiroJumpChangesState(t *testing.T) {
+	a := NewXoshiro256(123)
+	b := NewXoshiro256(123)
+	b.Jump()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("jumped stream overlaps original: %d/100 equal", same)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Fatalf("mul64(%#x,%#x) = (%#x,%#x) want (%#x,%#x)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func BenchmarkXoshiroUint64(b *testing.B) {
+	r := NewXoshiro256(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkRandIntn(b *testing.B) {
+	r := NewSeeded(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(1000)
+	}
+	_ = sink
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	f := func(trial int, seed uint64) uint64 { return seed ^ uint64(trial) }
+	a := Run(100, 1, f, 42)
+	b := Run(100, 8, f, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunOrderPreserved(t *testing.T) {
+	out := Run(50, 4, func(trial int, seed uint64) int { return trial * trial }, 1)
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestRunExecutesEveryTrialOnce(t *testing.T) {
+	var count int64
+	Run(1000, 7, func(trial int, seed uint64) struct{} {
+		atomic.AddInt64(&count, 1)
+		return struct{}{}
+	}, 2)
+	if count != 1000 {
+		t.Fatalf("ran %d trials", count)
+	}
+}
+
+func TestTrialSeedsDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		s := TrialSeed(9, i)
+		if seen[s] {
+			t.Fatalf("duplicate seed for trial %d", i)
+		}
+		seen[s] = true
+	}
+	if TrialSeed(1, 0) == TrialSeed(2, 0) {
+		t.Fatal("base seed ignored")
+	}
+}
+
+func TestRunZeroTrials(t *testing.T) {
+	out := Run(0, 4, func(trial int, seed uint64) int { return 1 }, 3)
+	if len(out) != 0 {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestRunNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(-1, 1, func(trial int, seed uint64) int { return 0 }, 0)
+}
+
+func TestMeanAggregation(t *testing.T) {
+	o := Mean(200, 4, func(trial int, seed uint64) float64 { return float64(trial) }, 5)
+	if o.N() != 200 {
+		t.Fatalf("N=%d", o.N())
+	}
+	if o.Mean() != 99.5 {
+		t.Fatalf("mean=%v", o.Mean())
+	}
+	if o.Min() != 0 || o.Max() != 199 {
+		t.Fatalf("min/max=%v/%v", o.Min(), o.Max())
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	// workers ≤ 0 must still run everything.
+	out := Run(10, 0, func(trial int, seed uint64) int { return trial }, 6)
+	if len(out) != 10 || out[9] != 9 {
+		t.Fatalf("out=%v", out)
+	}
+}

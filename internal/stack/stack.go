@@ -1,0 +1,216 @@
+// Package stack implements the per-resource task stack of Sections 4–6.
+//
+// Every resource stores its tasks in a stack; the height h of a task is
+// the sum of the weights of the tasks below it. Relative to a threshold
+// T, a task with height h and weight w is
+//
+//	completely below  if h + w ≤ T,
+//	cutting           if h < T < h + w,
+//	completely above  if h ≥ T.
+//
+// Because heights increase monotonically up the stack, the partition is
+// always: a prefix of below tasks, at most one cutting task, then a
+// suffix of above tasks. The resource-controlled protocol removes the
+// cutting and above tasks (the sets Ic ∪ Ia); the potential functions
+// of Section 5.2 and 6 count exactly the weight of those tasks.
+package stack
+
+import (
+	"fmt"
+
+	"repro/internal/task"
+)
+
+// Stack is one resource's task pile. The zero value is an empty stack
+// ready for use. Index 0 is the bottom.
+type Stack struct {
+	tasks []task.Task
+	load  float64
+}
+
+// Push adds t on top of the stack.
+func (s *Stack) Push(t task.Task) {
+	s.tasks = append(s.tasks, t)
+	s.load += t.Weight
+}
+
+// Len returns the number of tasks b_r.
+func (s *Stack) Len() int { return len(s.tasks) }
+
+// Load returns the total weight x_r.
+func (s *Stack) Load() float64 { return s.load }
+
+// Task returns the i-th task from the bottom.
+func (s *Stack) Task(i int) task.Task { return s.tasks[i] }
+
+// Tasks returns the internal slice, bottom to top. Callers must not
+// modify it.
+func (s *Stack) Tasks() []task.Task { return s.tasks }
+
+// HeightOf returns the height of the i-th task: the total weight
+// strictly below it. O(i).
+func (s *Stack) HeightOf(i int) float64 {
+	h := 0.0
+	for j := 0; j < i; j++ {
+		h += s.tasks[j].Weight
+	}
+	return h
+}
+
+// Classification of one task relative to a threshold.
+type Classification int
+
+// The three Section 4 classes.
+const (
+	Below Classification = iota
+	Cutting
+	Above
+)
+
+// String renders the class name.
+func (c Classification) String() string {
+	switch c {
+	case Below:
+		return "below"
+	case Cutting:
+		return "cutting"
+	case Above:
+		return "above"
+	default:
+		return fmt.Sprintf("Classification(%d)", int(c))
+	}
+}
+
+// Classify returns the class of the i-th task w.r.t. threshold t.
+func (s *Stack) Classify(i int, t float64) Classification {
+	h := s.HeightOf(i)
+	w := s.tasks[i].Weight
+	switch {
+	case h+w <= t:
+		return Below
+	case h >= t:
+		return Above
+	default:
+		return Cutting
+	}
+}
+
+// Partition returns (belowCount, hasCutting): the first belowCount
+// tasks are completely below t; if hasCutting, task belowCount is the
+// cutting task and everything after it is above; otherwise every task
+// from belowCount on is above. O(len).
+func (s *Stack) Partition(t float64) (belowCount int, hasCutting bool) {
+	h := 0.0
+	for i, tk := range s.tasks {
+		if h+tk.Weight <= t {
+			h += tk.Weight
+			continue
+		}
+		// First task not completely below. Heights only grow, so the
+		// partition is decided here.
+		return i, h < t
+	}
+	return len(s.tasks), false
+}
+
+// OverflowWeight returns φ_r(t): the weight of the cutting task (if
+// any) plus the weights of all tasks above threshold t. Zero when the
+// load is ≤ t.
+func (s *Stack) OverflowWeight(t float64) float64 {
+	below, _ := s.Partition(t)
+	w := 0.0
+	for i := below; i < len(s.tasks); i++ {
+		w += s.tasks[i].Weight
+	}
+	return w
+}
+
+// OverflowCount returns |Ic ∪ Ia| w.r.t. threshold t.
+func (s *Stack) OverflowCount(t float64) int {
+	below, _ := s.Partition(t)
+	return len(s.tasks) - below
+}
+
+// PopOverflow removes and returns (in bottom-to-top order) every task
+// that is cutting or above threshold t — one step of the
+// resource-controlled protocol from this resource's perspective. The
+// remaining prefix is untouched, so previously accepted tasks keep
+// their heights ("once a task is accepted by a resource, it will never
+// leave that resource again").
+func (s *Stack) PopOverflow(t float64) []task.Task {
+	below, _ := s.Partition(t)
+	if below == len(s.tasks) {
+		return nil
+	}
+	removed := append([]task.Task(nil), s.tasks[below:]...)
+	for _, tk := range removed {
+		s.load -= tk.Weight
+	}
+	s.tasks = s.tasks[:below]
+	return removed
+}
+
+// Accepts reports whether a new task of weight w would be accepted: its
+// height would be the current load, so acceptance means load + w ≤ t.
+func (s *Stack) Accepts(w, t float64) bool { return s.load+w <= t }
+
+// RemoveIndices removes the tasks at the given (strictly increasing)
+// positions and returns them in stack order. Remaining tasks slide
+// down, preserving relative order — this models user-controlled
+// departures, where any task on an overloaded resource may leave
+// regardless of position. Panics on out-of-range or non-increasing
+// indices.
+func (s *Stack) RemoveIndices(indices []int) []task.Task {
+	if len(indices) == 0 {
+		return nil
+	}
+	removed := make([]task.Task, 0, len(indices))
+	prev := -1
+	for _, i := range indices {
+		if i <= prev || i >= len(s.tasks) {
+			panic(fmt.Sprintf("stack: RemoveIndices bad index %d (prev %d, len %d)", i, prev, len(s.tasks)))
+		}
+		prev = i
+		removed = append(removed, s.tasks[i])
+		s.load -= s.tasks[i].Weight
+	}
+	// Compact in one pass.
+	out := s.tasks[:0]
+	k := 0
+	for i, tk := range s.tasks {
+		if k < len(indices) && i == indices[k] {
+			k++
+			continue
+		}
+		out = append(out, tk)
+	}
+	s.tasks = out
+	return removed
+}
+
+// Clone returns a deep copy.
+func (s *Stack) Clone() *Stack {
+	return &Stack{tasks: append([]task.Task(nil), s.tasks...), load: s.load}
+}
+
+// Reset empties the stack, retaining capacity.
+func (s *Stack) Reset() {
+	s.tasks = s.tasks[:0]
+	s.load = 0
+}
+
+// CheckInvariants verifies internal consistency (load equals the sum of
+// weights, all weights ≥ 1). Used by tests and debug assertions.
+func (s *Stack) CheckInvariants() error {
+	sum := 0.0
+	for i, tk := range s.tasks {
+		if tk.Weight < 1 {
+			return fmt.Errorf("stack: task %d at position %d has weight %v < 1", tk.ID, i, tk.Weight)
+		}
+		sum += tk.Weight
+	}
+	if diff := sum - s.load; diff > 1e-6 || diff < -1e-6 {
+		return fmt.Errorf("stack: cached load %v != recomputed %v", s.load, sum)
+	}
+	return nil
+}

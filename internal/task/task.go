@@ -1,0 +1,375 @@
+// Package task models the weighted tasks (balls) of the paper and the
+// workload generators the experiments need: weight distributions
+// (constant, the two-point mixture of Figure 1, uniform ranges,
+// exponential, Pareto, discretised Zipf) and initial placements
+// (everything on one resource as in Section 7, uniform random,
+// adversarial spreads).
+//
+// Weights are float64 with the paper's normalisation wmin ≥ 1 ("if this
+// is not the case, then one can easily scale all parameters, such that
+// wmin = 1"). Generators in this package enforce w ≥ 1.
+package task
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Task is a weighted ball. ID is stable across migrations so traces can
+// follow individual tasks.
+type Task struct {
+	ID     int
+	Weight float64
+}
+
+// Set is an immutable collection of tasks plus its cached aggregate
+// statistics (W, wmax, wmin) that the threshold formulas need.
+type Set struct {
+	tasks []Task
+	total float64
+	wmax  float64
+	wmin  float64
+}
+
+// NewSet builds a Set from weights, assigning IDs 0..len-1.
+// It panics if weights is empty or any weight is below 1 or non-finite.
+func NewSet(weights []float64) *Set {
+	if len(weights) == 0 {
+		panic("task: empty task set")
+	}
+	s := &Set{
+		tasks: make([]Task, len(weights)),
+		wmax:  weights[0],
+		wmin:  weights[0],
+	}
+	for i, w := range weights {
+		if w < 1 || math.IsInf(w, 0) || math.IsNaN(w) {
+			panic(fmt.Sprintf("task: weight %v at index %d violates wmin >= 1", w, i))
+		}
+		s.tasks[i] = Task{ID: i, Weight: w}
+		s.total += w
+		if w > s.wmax {
+			s.wmax = w
+		}
+		if w < s.wmin {
+			s.wmin = w
+		}
+	}
+	return s
+}
+
+// M returns the number of tasks.
+func (s *Set) M() int { return len(s.tasks) }
+
+// W returns the total weight Σ w_i.
+func (s *Set) W() float64 { return s.total }
+
+// WMax returns the maximum task weight.
+func (s *Set) WMax() float64 { return s.wmax }
+
+// WMin returns the minimum task weight.
+func (s *Set) WMin() float64 { return s.wmin }
+
+// WAvg returns the average task weight W/m.
+func (s *Set) WAvg() float64 { return s.total / float64(len(s.tasks)) }
+
+// Task returns the i-th task.
+func (s *Set) Task(i int) Task { return s.tasks[i] }
+
+// Tasks returns the underlying slice; callers must not modify it.
+func (s *Set) Tasks() []Task { return s.tasks }
+
+// Weight returns the weight of task id.
+func (s *Set) Weight(id int) float64 { return s.tasks[id].Weight }
+
+// Distribution generates task weights.
+type Distribution interface {
+	// Weights returns m weights, each ≥ 1.
+	Weights(m int, r *rng.Rand) []float64
+	// Name identifies the distribution in reports.
+	Name() string
+}
+
+// Uniform gives every task the same weight w ≥ 1 (the classical
+// unit-ball setting when w = 1, i.e. the Ackermann et al. baseline).
+type Uniform struct{ W float64 }
+
+// Weights implements Distribution.
+func (u Uniform) Weights(m int, r *rng.Rand) []float64 {
+	if u.W < 1 {
+		panic("task: Uniform weight must be >= 1")
+	}
+	ws := make([]float64, m)
+	for i := range ws {
+		ws[i] = u.W
+	}
+	return ws
+}
+
+// Name identifies the distribution.
+func (u Uniform) Name() string { return fmt.Sprintf("uniform(w=%g)", u.W) }
+
+// TwoPoint is the Figure 1 workload: K tasks of weight Heavy, the rest
+// weight 1. If K exceeds m, all tasks are heavy.
+type TwoPoint struct {
+	Heavy float64 // weight of the heavy tasks (wmax), ≥ 1
+	K     int     // number of heavy tasks
+}
+
+// Weights implements Distribution. The heavy tasks take the lowest IDs,
+// matching the paper's "k tasks with weight wmax" description; placement
+// strategies randomise positions independently of IDs.
+func (t TwoPoint) Weights(m int, r *rng.Rand) []float64 {
+	if t.Heavy < 1 {
+		panic("task: TwoPoint heavy weight must be >= 1")
+	}
+	if t.K < 0 {
+		panic("task: TwoPoint K must be >= 0")
+	}
+	ws := make([]float64, m)
+	for i := range ws {
+		if i < t.K {
+			ws[i] = t.Heavy
+		} else {
+			ws[i] = 1
+		}
+	}
+	return ws
+}
+
+// Name identifies the distribution.
+func (t TwoPoint) Name() string { return fmt.Sprintf("twopoint(heavy=%g,k=%d)", t.Heavy, t.K) }
+
+// UniformRange draws weights uniformly from [Lo, Hi], Lo ≥ 1.
+type UniformRange struct{ Lo, Hi float64 }
+
+// Weights implements Distribution.
+func (u UniformRange) Weights(m int, r *rng.Rand) []float64 {
+	if u.Lo < 1 || u.Hi < u.Lo {
+		panic("task: UniformRange requires 1 <= Lo <= Hi")
+	}
+	ws := make([]float64, m)
+	for i := range ws {
+		ws[i] = u.Lo + (u.Hi-u.Lo)*r.Float64()
+	}
+	return ws
+}
+
+// Name identifies the distribution.
+func (u UniformRange) Name() string { return fmt.Sprintf("range[%g,%g]", u.Lo, u.Hi) }
+
+// Exponential draws 1 + Exp(mean = Mean−1), so the support starts at 1
+// and the mean is Mean. Models service times with light tails.
+type Exponential struct{ Mean float64 }
+
+// Weights implements Distribution.
+func (e Exponential) Weights(m int, r *rng.Rand) []float64 {
+	if e.Mean < 1 {
+		panic("task: Exponential mean must be >= 1")
+	}
+	ws := make([]float64, m)
+	for i := range ws {
+		ws[i] = 1 + (e.Mean-1)*r.ExpFloat64()
+	}
+	return ws
+}
+
+// Name identifies the distribution.
+func (e Exponential) Name() string { return fmt.Sprintf("exp(mean=%g)", e.Mean) }
+
+// Pareto draws Pareto(1, Alpha) weights capped at Cap (0 = no cap).
+// Heavy-tailed workloads; Talwar–Wieder study this regime for
+// two-choice processes. Alpha > 1 gives a finite mean.
+type Pareto struct {
+	Alpha float64
+	Cap   float64
+}
+
+// Weights implements Distribution.
+func (p Pareto) Weights(m int, r *rng.Rand) []float64 {
+	if p.Alpha <= 0 {
+		panic("task: Pareto alpha must be positive")
+	}
+	ws := make([]float64, m)
+	for i := range ws {
+		w := r.Pareto(1, p.Alpha)
+		if p.Cap > 0 && w > p.Cap {
+			w = p.Cap
+		}
+		ws[i] = w
+	}
+	return ws
+}
+
+// Name identifies the distribution.
+func (p Pareto) Name() string { return fmt.Sprintf("pareto(a=%g,cap=%g)", p.Alpha, p.Cap) }
+
+// ZipfWeights draws integer weights in {1..MaxW} with P(w) ∝ w^(-S).
+type ZipfWeights struct {
+	MaxW int
+	S    float64
+}
+
+// Weights implements Distribution.
+func (z ZipfWeights) Weights(m int, r *rng.Rand) []float64 {
+	zipf := rng.NewZipf(z.MaxW, z.S)
+	ws := make([]float64, m)
+	for i := range ws {
+		ws[i] = float64(zipf.Sample(r))
+	}
+	return ws
+}
+
+// Name identifies the distribution.
+func (z ZipfWeights) Name() string { return fmt.Sprintf("zipf(maxw=%d,s=%g)", z.MaxW, z.S) }
+
+// Placement assigns each task an initial resource.
+type Placement interface {
+	// Assign returns a slice of resource indices, one per task in s.
+	Assign(s *Set, n int, r *rng.Rand) []int
+	// Name identifies the placement in reports.
+	Name() string
+}
+
+// SingleSource puts every task on one resource — the paper's Section 7
+// setup ("all tasks are initially held by the same resource") and the
+// worst case for user-controlled balancing.
+type SingleSource struct{ Resource int }
+
+// Assign implements Placement.
+func (p SingleSource) Assign(s *Set, n int, r *rng.Rand) []int {
+	if p.Resource < 0 || p.Resource >= n {
+		panic("task: SingleSource resource out of range")
+	}
+	out := make([]int, s.M())
+	for i := range out {
+		out[i] = p.Resource
+	}
+	return out
+}
+
+// Name identifies the placement.
+func (p SingleSource) Name() string { return fmt.Sprintf("single(r=%d)", p.Resource) }
+
+// RandomPlacement scatters tasks independently and uniformly.
+type RandomPlacement struct{}
+
+// Assign implements Placement.
+func (RandomPlacement) Assign(s *Set, n int, r *rng.Rand) []int {
+	out := make([]int, s.M())
+	for i := range out {
+		out[i] = r.Intn(n)
+	}
+	return out
+}
+
+// Name identifies the placement.
+func (RandomPlacement) Name() string { return "random" }
+
+// BlockPlacement piles all tasks onto the first K resources
+// round-robin — the Observation 8 adversarial setup generalised
+// (tasks concentrated on a small part of the graph).
+type BlockPlacement struct{ K int }
+
+// Assign implements Placement.
+func (p BlockPlacement) Assign(s *Set, n int, r *rng.Rand) []int {
+	k := p.K
+	if k <= 0 || k > n {
+		panic("task: BlockPlacement K out of range")
+	}
+	out := make([]int, s.M())
+	for i := range out {
+		out[i] = i % k
+	}
+	return out
+}
+
+// Name identifies the placement.
+func (p BlockPlacement) Name() string { return fmt.Sprintf("block(k=%d)", p.K) }
+
+// ProperPlacement computes a first-fit proper assignment: no resource
+// receives more than W/n + wmax total weight (the paper notes "it is
+// trivial to calculate a proper assignment in a centralized manner.
+// The simple first fit rule will work"). Used as the balanced reference
+// state and as the target assignment in the Lemma 5 analysis harness.
+type ProperPlacement struct{}
+
+// Assign implements Placement. Tasks are placed largest-first to make
+// first fit robust; the bound W/n + wmax holds regardless.
+func (ProperPlacement) Assign(s *Set, n int, r *rng.Rand) []int {
+	cap := s.W()/float64(n) + s.WMax()
+	load := make([]float64, n)
+	// Sort task indices by descending weight without mutating s.
+	order := make([]int, s.M())
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion-free counting sort is overkill; simple sort suffices.
+	sortByWeightDesc(order, s)
+	out := make([]int, s.M())
+	next := 0
+	for _, id := range order {
+		w := s.Weight(id)
+		placed := false
+		for tries := 0; tries < n; tries++ {
+			res := (next + tries) % n
+			if load[res]+w <= cap {
+				out[id] = res
+				load[res] += w
+				next = res
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// Cannot happen: first-fit with cap W/n + wmax always
+			// succeeds (pigeonhole), but fail loudly if it ever does.
+			panic("task: ProperPlacement failed; first-fit invariant broken")
+		}
+	}
+	return out
+}
+
+// Name identifies the placement.
+func (ProperPlacement) Name() string { return "proper(first-fit)" }
+
+func sortByWeightDesc(order []int, s *Set) {
+	// Simple in-place heapsort to avoid importing sort with closures in
+	// a hot path; m is at most a few hundred thousand.
+	n := len(order)
+	less := func(a, b int) bool { // max-heap on ascending => pop biggest last
+		return s.Weight(order[a]) < s.Weight(order[b])
+	}
+	swap := func(a, b int) { order[a], order[b] = order[b], order[a] }
+	var down func(i, n int)
+	down = func(i, n int) {
+		for {
+			l := 2*i + 1
+			if l >= n {
+				return
+			}
+			big := l
+			if r := l + 1; r < n && less(l, r) {
+				big = r
+			}
+			if !less(i, big) {
+				return
+			}
+			swap(i, big)
+			i = big
+		}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		down(i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		swap(0, end)
+		down(0, end)
+	}
+	// Heapsort leaves ascending order; reverse for descending.
+	for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+		swap(i, j)
+	}
+}

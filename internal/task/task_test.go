@@ -1,0 +1,280 @@
+package task
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNewSetAggregates(t *testing.T) {
+	s := NewSet([]float64{1, 50, 2, 1})
+	if s.M() != 4 || s.W() != 54 || s.WMax() != 50 || s.WMin() != 1 {
+		t.Fatalf("aggregates wrong: m=%d W=%v max=%v min=%v", s.M(), s.W(), s.WMax(), s.WMin())
+	}
+	if s.WAvg() != 13.5 {
+		t.Fatalf("avg=%v", s.WAvg())
+	}
+	if s.Task(1).ID != 1 || s.Task(1).Weight != 50 {
+		t.Fatalf("task(1)=%+v", s.Task(1))
+	}
+	if s.Weight(2) != 2 {
+		t.Fatalf("Weight(2)=%v", s.Weight(2))
+	}
+}
+
+func TestNewSetRejectsBadWeights(t *testing.T) {
+	for _, ws := range [][]float64{
+		nil,
+		{},
+		{0.5},
+		{1, math.NaN()},
+		{1, math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("weights %v should panic", ws)
+				}
+			}()
+			NewSet(ws)
+		}()
+	}
+}
+
+func TestUniformDistribution(t *testing.T) {
+	r := rng.NewSeeded(1)
+	ws := Uniform{W: 3}.Weights(5, r)
+	for _, w := range ws {
+		if w != 3 {
+			t.Fatalf("weights=%v", ws)
+		}
+	}
+}
+
+func TestTwoPoint(t *testing.T) {
+	r := rng.NewSeeded(2)
+	ws := TwoPoint{Heavy: 50, K: 3}.Weights(10, r)
+	heavy, unit := 0, 0
+	for _, w := range ws {
+		switch w {
+		case 50:
+			heavy++
+		case 1:
+			unit++
+		default:
+			t.Fatalf("unexpected weight %v", w)
+		}
+	}
+	if heavy != 3 || unit != 7 {
+		t.Fatalf("heavy=%d unit=%d", heavy, unit)
+	}
+	// Figure 1 bookkeeping: W = m(W,k) + k·wmax.
+	s := NewSet(ws)
+	if s.W() != 7+3*50 {
+		t.Fatalf("W=%v", s.W())
+	}
+}
+
+func TestTwoPointAllHeavy(t *testing.T) {
+	r := rng.NewSeeded(3)
+	ws := TwoPoint{Heavy: 8, K: 99}.Weights(4, r)
+	for _, w := range ws {
+		if w != 8 {
+			t.Fatalf("weights=%v", ws)
+		}
+	}
+}
+
+func TestUniformRangeBounds(t *testing.T) {
+	r := rng.NewSeeded(4)
+	ws := UniformRange{Lo: 2, Hi: 7}.Weights(10000, r)
+	for _, w := range ws {
+		if w < 2 || w > 7 {
+			t.Fatalf("weight %v outside [2,7]", w)
+		}
+	}
+	s := NewSet(ws)
+	if math.Abs(s.WAvg()-4.5) > 0.1 {
+		t.Fatalf("mean=%v want 4.5", s.WAvg())
+	}
+}
+
+func TestExponentialMeanAndSupport(t *testing.T) {
+	r := rng.NewSeeded(5)
+	ws := Exponential{Mean: 5}.Weights(100000, r)
+	sum := 0.0
+	for _, w := range ws {
+		if w < 1 {
+			t.Fatalf("weight %v below 1", w)
+		}
+		sum += w
+	}
+	if mean := sum / float64(len(ws)); math.Abs(mean-5) > 0.1 {
+		t.Fatalf("mean=%v want 5", mean)
+	}
+}
+
+func TestParetoSupportAndCap(t *testing.T) {
+	r := rng.NewSeeded(6)
+	ws := Pareto{Alpha: 1.5, Cap: 100}.Weights(50000, r)
+	for _, w := range ws {
+		if w < 1 || w > 100 {
+			t.Fatalf("weight %v outside [1,100]", w)
+		}
+	}
+}
+
+func TestZipfWeightsSupport(t *testing.T) {
+	r := rng.NewSeeded(7)
+	ws := ZipfWeights{MaxW: 16, S: 1.1}.Weights(20000, r)
+	counts := map[float64]int{}
+	for _, w := range ws {
+		if w < 1 || w > 16 || w != math.Trunc(w) {
+			t.Fatalf("weight %v not an integer in [1,16]", w)
+		}
+		counts[w]++
+	}
+	if counts[1] <= counts[2] {
+		t.Fatal("Zipf should favour weight 1")
+	}
+}
+
+func TestSingleSourcePlacement(t *testing.T) {
+	r := rng.NewSeeded(8)
+	s := NewSet([]float64{1, 1, 1})
+	p := SingleSource{Resource: 2}.Assign(s, 5, r)
+	for _, res := range p {
+		if res != 2 {
+			t.Fatalf("placement=%v", p)
+		}
+	}
+}
+
+func TestSingleSourceOutOfRange(t *testing.T) {
+	r := rng.NewSeeded(9)
+	s := NewSet([]float64{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SingleSource{Resource: 5}.Assign(s, 3, r)
+}
+
+func TestRandomPlacementCoverage(t *testing.T) {
+	r := rng.NewSeeded(10)
+	s := NewSet(Uniform{W: 1}.Weights(10000, r))
+	p := RandomPlacement{}.Assign(s, 10, r)
+	counts := make([]int, 10)
+	for _, res := range p {
+		if res < 0 || res >= 10 {
+			t.Fatalf("resource %d out of range", res)
+		}
+		counts[res]++
+	}
+	for i, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("resource %d got %d/10000 tasks (not uniform)", i, c)
+		}
+	}
+}
+
+func TestBlockPlacement(t *testing.T) {
+	r := rng.NewSeeded(11)
+	s := NewSet([]float64{1, 1, 1, 1, 1})
+	p := BlockPlacement{K: 2}.Assign(s, 10, r)
+	want := []int{0, 1, 0, 1, 0}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("block placement=%v want %v", p, want)
+		}
+	}
+}
+
+// Property: ProperPlacement never exceeds W/n + wmax on any resource.
+func TestProperPlacementInvariant(t *testing.T) {
+	r := rng.NewSeeded(12)
+	f := func(seed uint16) bool {
+		m := 20 + int(seed%200)
+		n := 2 + int(seed%17)
+		ws := Pareto{Alpha: 1.2, Cap: 40}.Weights(m, r)
+		s := NewSet(ws)
+		assign := ProperPlacement{}.Assign(s, n, r)
+		load := make([]float64, n)
+		for id, res := range assign {
+			if res < 0 || res >= n {
+				return false
+			}
+			load[res] += s.Weight(id)
+		}
+		bound := s.W()/float64(n) + s.WMax() + 1e-9
+		for _, l := range load {
+			if l > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProperPlacementTight(t *testing.T) {
+	// m = n unit tasks: proper placement must not stack everything on
+	// one resource even though the per-resource cap (1 + 1·n/n = 2)
+	// would allow pairs.
+	r := rng.NewSeeded(13)
+	s := NewSet(Uniform{W: 1}.Weights(8, r))
+	assign := ProperPlacement{}.Assign(s, 4, r)
+	load := make([]float64, 4)
+	for id, res := range assign {
+		load[res] += s.Weight(id)
+	}
+	for _, l := range load {
+		if l > 1+8.0/4.0+1e-9 {
+			t.Fatalf("load %v exceeds W/n + wmax", l)
+		}
+	}
+}
+
+func TestDistributionNames(t *testing.T) {
+	// Names feed report tables; just pin they are non-empty and distinct.
+	names := map[string]bool{}
+	for _, d := range []Distribution{
+		Uniform{W: 1}, TwoPoint{Heavy: 50, K: 3}, UniformRange{Lo: 1, Hi: 2},
+		Exponential{Mean: 4}, Pareto{Alpha: 2, Cap: 0}, ZipfWeights{MaxW: 8, S: 1},
+	} {
+		n := d.Name()
+		if n == "" || names[n] {
+			t.Fatalf("bad or duplicate name %q", n)
+		}
+		names[n] = true
+	}
+}
+
+func TestSortByWeightDesc(t *testing.T) {
+	r := rng.NewSeeded(14)
+	ws := UniformRange{Lo: 1, Hi: 100}.Weights(500, r)
+	s := NewSet(ws)
+	order := make([]int, s.M())
+	for i := range order {
+		order[i] = i
+	}
+	sortByWeightDesc(order, s)
+	for i := 1; i < len(order); i++ {
+		if s.Weight(order[i-1]) < s.Weight(order[i]) {
+			t.Fatalf("order not descending at %d: %v < %v", i, s.Weight(order[i-1]), s.Weight(order[i]))
+		}
+	}
+	// Must still be a permutation.
+	seen := make([]bool, len(order))
+	for _, id := range order {
+		if seen[id] {
+			t.Fatal("duplicate in order")
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,171 @@
+package walk
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// SpectralGap estimates µ = 1 − max_{2≤i≤n} |λ_i| of the kernel's
+// transition matrix by deflated power iteration: a random start vector
+// is repeatedly multiplied by P (transposed multiplication equals
+// forward multiplication for the symmetric kernels in this package),
+// with the component along the principal eigenvector (the all-ones
+// vector, since P is doubly stochastic) projected out each step. The
+// Rayleigh-quotient magnitude converges to max|λ_i|, i ≥ 2.
+//
+// iters bounds the work; the estimate is returned along with the final
+// |λ₂|. For disconnected or bipartite non-lazy walks the gap is ~0.
+func SpectralGap(k Kernel, iters int, r *rng.Rand) float64 {
+	n := k.Graph().N()
+	if n == 1 {
+		return 1 // trivial chain mixes instantly
+	}
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	deflate(x)
+	normalize(x)
+	lambda := 0.0
+	for it := 0; it < iters; it++ {
+		EvolveDist(k, x, y)
+		deflate(y)
+		num, den := 0.0, 0.0
+		for i := range x {
+			num += y[i] * x[i] // Rayleigh quotient numerator x·Px
+			den += x[i] * x[i]
+		}
+		next := math.Abs(num / den)
+		norm := normalize(y)
+		x, y = y, x
+		if norm == 0 {
+			// The vector collapsed into the principal eigenspace: all
+			// other eigenvalues are (numerically) zero.
+			return 1
+		}
+		if it > 16 && math.Abs(next-lambda) < 1e-12 {
+			lambda = next
+			break
+		}
+		lambda = next
+	}
+	gap := 1 - lambda
+	if gap < 0 {
+		gap = 0
+	}
+	return gap
+}
+
+// deflate removes the component along the all-ones vector.
+func deflate(x []float64) {
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	for i := range x {
+		x[i] -= mean
+	}
+}
+
+// normalize scales x to unit Euclidean norm and returns the old norm.
+func normalize(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	norm := math.Sqrt(s)
+	if norm > 0 {
+		for i := range x {
+			x[i] /= norm
+		}
+	}
+	return norm
+}
+
+// MixingBound returns the paper's analytic mixing time τ(G) = 4·ln n/µ
+// (Lemma 2: for t ≥ 4·ln n/µ, |P^t_{ij} − 1/n| ≤ n⁻³).
+func MixingBound(n int, gap float64) float64 {
+	if gap <= 0 {
+		return math.Inf(1)
+	}
+	return 4 * math.Log(float64(n)) / gap
+}
+
+// TVFromUniform returns the total-variation distance between dist and
+// the uniform distribution on n points.
+func TVFromUniform(dist []float64) float64 {
+	u := 1 / float64(len(dist))
+	s := 0.0
+	for _, p := range dist {
+		s += math.Abs(p - u)
+	}
+	return s / 2
+}
+
+// MixingTimeTV computes the exact ε-total-variation mixing time
+// max over the given start vertices of min{t : TV(P^t(v,·), π) ≤ ε},
+// by evolving the full distribution (O(t·(n+m)) per start). maxT caps
+// the search; returns maxT if the walk has not mixed by then (e.g.
+// periodic chains).
+func MixingTimeTV(k Kernel, starts []int, eps float64, maxT int) int {
+	n := k.Graph().N()
+	worst := 0
+	dist := make([]float64, n)
+	next := make([]float64, n)
+	for _, s := range starts {
+		for i := range dist {
+			dist[i] = 0
+		}
+		dist[s] = 1
+		t := 0
+		for ; t < maxT; t++ {
+			if TVFromUniform(dist) <= eps {
+				break
+			}
+			EvolveDist(k, dist, next)
+			dist, next = next, dist
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// DefaultMixingEps is the conventional 1/4 threshold for TV mixing.
+const DefaultMixingEps = 0.25
+
+// DefaultStarts returns a small set of representative start vertices
+// for worst-case mixing measurements: vertex 0, a minimum-degree
+// vertex, a maximum-degree vertex and the last vertex. On
+// vertex-transitive graphs all choices are equivalent; on irregular
+// graphs (e.g. the clique+pendant family) the minimum-degree vertex is
+// typically the slowest-mixing start.
+func DefaultStarts(k Kernel) []int {
+	g := k.Graph()
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	minV, maxV := 0, 0
+	for v := 1; v < n; v++ {
+		if g.Degree(v) < g.Degree(minV) {
+			minV = v
+		}
+		if g.Degree(v) > g.Degree(maxV) {
+			maxV = v
+		}
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range []int{0, minV, maxV, n - 1} {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package walk
+
+import "math"
+
+// Closed-form reference values for the max-degree walk on canonical
+// graph families. These are exact (not asymptotic) and cross-validate
+// the numeric solvers in this package; the Table 1 experiment reports
+// measured values against the paper's asymptotic forms.
+
+// CompleteHitting returns H_{u,v} for u ≠ v on K_n under the
+// max-degree walk: each step hits the target with probability
+// 1/(n−1), so the hitting time is geometric with mean n−1.
+func CompleteHitting(n int) float64 {
+	if n < 2 {
+		panic("walk: CompleteHitting requires n >= 2")
+	}
+	return float64(n - 1)
+}
+
+// CompleteGap returns the spectral gap of the non-lazy max-degree walk
+// on K_n: P = (J−I)/(n−1) has eigenvalues 1 and −1/(n−1), so
+// µ = 1 − 1/(n−1).
+func CompleteGap(n int) float64 {
+	if n < 3 {
+		panic("walk: CompleteGap requires n >= 3")
+	}
+	return 1 - 1/float64(n-1)
+}
+
+// CycleHitting returns H_{u,v} on the n-cycle under the max-degree
+// (= simple) walk, where k is the clockwise distance from u to v:
+// the classical gambler's-ruin result H = k·(n−k).
+func CycleHitting(n, k int) float64 {
+	if n < 3 || k < 0 || k >= n {
+		panic("walk: CycleHitting requires n >= 3, 0 <= k < n")
+	}
+	return float64(k * (n - k))
+}
+
+// CycleMaxHitting returns H(C_n) = max_k k(n−k) = ⌊n/2⌋·⌈n/2⌉.
+func CycleMaxHitting(n int) float64 {
+	return CycleHitting(n, n/2)
+}
+
+// CycleGap returns the spectral gap of the non-lazy walk on C_n for
+// odd n: eigenvalues are cos(2πj/n), and the largest non-principal
+// magnitude is cos(π/n) (attained near j = (n±1)/2), so
+// µ = 1 − cos(π/n). Even cycles are periodic (gap 0).
+func CycleGap(n int) float64 {
+	if n < 3 {
+		panic("walk: CycleGap requires n >= 3")
+	}
+	if n%2 == 0 {
+		return 0
+	}
+	return 1 - math.Cos(math.Pi/float64(n))
+}
+
+// LazyCycleGap returns the spectral gap of the 1/2-lazy walk on C_n:
+// eigenvalues (1+cos(2πj/n))/2, all non-negative, so
+// µ = (1 − cos(2π/n))/2 for every n ≥ 3.
+func LazyCycleGap(n int) float64 {
+	if n < 3 {
+		panic("walk: LazyCycleGap requires n >= 3")
+	}
+	return (1 - math.Cos(2*math.Pi/float64(n))) / 2
+}
+
+// PathHitting returns H_{u→v} on the path P_n (vertices 0..n−1) under
+// the max-degree walk (d = 2) for u ≤ v. Interior vertices move ±1
+// w.p. 1/2 each; endpoints move inward w.p. 1/2 and stay otherwise
+// (the max-degree self-loop), which is a lazy reflecting boundary.
+//
+// Derivation: let E_i be the expected time from i to i+1. The endpoint
+// gives E_0 = 2 (geometric with success 1/2); interior vertices give
+// E_i = 1 + ½(E_{i−1} + E_i) ⇒ E_i = 2 + E_{i−1} ⇒ E_i = 2i + 2.
+// Summing, H(u→v) = Σ_{i=u}^{v−1} (2i+2) = (v−u)(v+u+1). By the
+// left–right symmetry of the reflecting chain the same expression (in
+// mirrored coordinates) covers leftward targets.
+func PathHitting(n, u, v int) float64 {
+	if n < 2 || u < 0 || v < u || v >= n {
+		panic("walk: PathHitting requires 0 <= u <= v < n")
+	}
+	return float64((v - u) * (v + u + 1))
+}
+
+// HypercubeHittingAntipodal returns H_{u,ū} between antipodal vertices
+// of the d-dimensional hypercube under the simple (= max-degree) walk:
+// H = Σ_{k=1}^{d} (2^d − 1) / binom(d−1, k−1) · … — we use the
+// classical formula H(u,ū) = 2^d · Σ_{k=0}^{d−1} binom(d−1,k)⁻¹ ·
+// (d / (k+1))… Simplified exact computation via the standard
+// birth–death reduction on Hamming distance.
+func HypercubeHittingAntipodal(d int) float64 {
+	if d < 1 {
+		panic("walk: HypercubeHittingAntipodal requires d >= 1")
+	}
+	// Birth–death chain on distance i ∈ {0..d} from the target:
+	// from distance i the walk moves to i−1 w.p. i/d, to i+1 w.p.
+	// (d−i)/d. Expected time E_i from i to i−1 satisfies
+	// E_i = 1 + (d−i)/d · (E_{i+1} + E_i) ⇒ standard solution:
+	// E_i = (Σ_{j=i}^{d} π_j) / (π_i · p_{i,i-1}) with π the binomial
+	// stationary distribution π_i = binom(d,i)/2^d.
+	binom := make([]float64, d+1)
+	binom[0] = 1
+	for i := 1; i <= d; i++ {
+		binom[i] = binom[i-1] * float64(d-i+1) / float64(i)
+	}
+	total := math.Pow(2, float64(d))
+	E := make([]float64, d+1)
+	for i := d; i >= 1; i-- {
+		tail := 0.0
+		for j := i; j <= d; j++ {
+			tail += binom[j] / total
+		}
+		E[i] = tail / ((binom[i] / total) * (float64(i) / float64(d)))
+	}
+	h := 0.0
+	for i := 1; i <= d; i++ {
+		h += E[i]
+	}
+	return h
+}
+
+// StarHitting returns hitting times on the star K_{1,n−1} with centre
+// 0 under the max-degree walk (d = n−1): a leaf moves to the centre
+// w.p. 1/(n−1) (else stays); the centre moves to a uniform leaf.
+//
+//	leaf → centre: the leaf leaves w.p. 1/(n−1) per step (max-degree
+//	  self-loop), so H = n−1 (geometric).
+//	centre → leaf v: C = 1 + (n−2)/(n−1)·(L + C) with L = n−1 (a wrong
+//	  leaf must first return to the centre), solving to C = (n−1)².
+//	leaf u → leaf v: L + C by the strong Markov property.
+func StarHitting(n int, fromLeaf, toLeaf bool) float64 {
+	if n < 3 {
+		panic("walk: StarHitting requires n >= 3")
+	}
+	nn := float64(n)
+	leafToCentre := nn - 1
+	centreToLeaf := (nn - 1) * (nn - 1)
+	switch {
+	case fromLeaf && !toLeaf:
+		return leafToCentre
+	case !fromLeaf && toLeaf:
+		return centreToLeaf
+	case fromLeaf && toLeaf:
+		return leafToCentre + centreToLeaf
+	default:
+		return 0
+	}
+}

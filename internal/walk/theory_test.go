@@ -1,0 +1,160 @@
+package walk
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Every closed form in theory.go is cross-validated against the exact
+// linear solver (Gaussian elimination) on concrete instances.
+
+func TestCompleteHittingMatchesSolver(t *testing.T) {
+	for _, n := range []int{3, 7, 12} {
+		k := NewMaxDegree(graph.Complete(n))
+		h := HittingTimesToExact(k, 0)
+		want := CompleteHitting(n)
+		for v := 1; v < n; v++ {
+			if !almostEq(h[v], want, 1e-9) {
+				t.Fatalf("K%d: solver %v formula %v", n, h[v], want)
+			}
+		}
+	}
+}
+
+func TestCompleteGapMatchesPowerIteration(t *testing.T) {
+	// Covered numerically in TestSpectralGapCompleteGraph; here we pin
+	// the formula itself.
+	if got := CompleteGap(10); !almostEq(got, 8.0/9.0, 1e-15) {
+		t.Fatalf("gap=%v", got)
+	}
+}
+
+func TestCycleHittingMatchesSolver(t *testing.T) {
+	for _, n := range []int{5, 8, 11} {
+		k := NewMaxDegree(graph.Cycle(n))
+		h := HittingTimesToExact(k, 0)
+		for v := 1; v < n; v++ {
+			dist := v // clockwise distance from v to 0 is min(v, n-v) either way by symmetry
+			want := CycleHitting(n, dist)
+			if !almostEq(h[v], want, 1e-7) {
+				t.Fatalf("C%d: h[%d]=%v formula %v", n, v, h[v], want)
+			}
+		}
+	}
+}
+
+func TestCycleMaxHitting(t *testing.T) {
+	if got := CycleMaxHitting(8); got != 16 {
+		t.Fatalf("H(C8)=%v", got)
+	}
+	if got := CycleMaxHitting(9); got != 20 {
+		t.Fatalf("H(C9)=%v", got)
+	}
+}
+
+func TestCycleGapFormulas(t *testing.T) {
+	if got := CycleGap(8); got != 0 {
+		t.Fatalf("even cycle gap=%v", got)
+	}
+	// Odd and lazy variants are validated against power iteration in
+	// TestSpectralGapCycle; pin one value each here.
+	if got := CycleGap(9); !almostEq(got, 0.06030737921409157, 1e-12) {
+		t.Fatalf("C9 gap=%v", got)
+	}
+	if got := LazyCycleGap(8); !almostEq(got, (1-0.7071067811865476)/2, 1e-12) {
+		t.Fatalf("lazy C8 gap=%v", got)
+	}
+}
+
+func TestPathHittingMatchesSolver(t *testing.T) {
+	for _, n := range []int{3, 6, 10} {
+		k := NewMaxDegree(graph.Path(n))
+		for _, target := range []int{n - 1, n / 2} {
+			h := HittingTimesToExact(k, target)
+			for u := 0; u <= target; u++ {
+				want := PathHitting(n, u, target)
+				if !almostEq(h[u], want, 1e-7) {
+					t.Fatalf("P%d target %d: h[%d]=%v formula %v", n, target, u, h[u], want)
+				}
+			}
+		}
+	}
+}
+
+func TestPathHittingKnownValues(t *testing.T) {
+	// P3: H(1→2)=4, H(0→2)=6 (hand-solved in walk_test.go).
+	if got := PathHitting(3, 1, 2); got != 4 {
+		t.Fatalf("got %v", got)
+	}
+	if got := PathHitting(3, 0, 2); got != 6 {
+		t.Fatalf("got %v", got)
+	}
+	if got := PathHitting(5, 2, 2); got != 0 {
+		t.Fatalf("u==v should be 0, got %v", got)
+	}
+}
+
+func TestHypercubeAntipodalMatchesSolver(t *testing.T) {
+	for _, d := range []int{1, 2, 3, 4, 6} {
+		g := graph.Hypercube(d)
+		k := NewMaxDegree(g)
+		n := g.N()
+		h := HittingTimesToExact(k, 0)
+		antipode := n - 1 // all bits flipped
+		want := HypercubeHittingAntipodal(d)
+		if !almostEq(h[antipode], want, 1e-6*(1+want)) {
+			t.Fatalf("Q%d: solver %v formula %v", d, h[antipode], want)
+		}
+	}
+}
+
+func TestHypercubeAntipodalSmall(t *testing.T) {
+	if got := HypercubeHittingAntipodal(1); got != 1 {
+		t.Fatalf("Q1: %v", got)
+	}
+	if got := HypercubeHittingAntipodal(2); got != 4 { // C4 antipodal = 2·2
+		t.Fatalf("Q2: %v", got)
+	}
+}
+
+func TestStarHittingMatchesSolver(t *testing.T) {
+	for _, n := range []int{4, 7, 15} {
+		g := graph.Star(n)
+		k := NewMaxDegree(g)
+		// Target a leaf (vertex 1).
+		h := HittingTimesToExact(k, 1)
+		if want := StarHitting(n, false, true); !almostEq(h[0], want, 1e-7) {
+			t.Fatalf("star%d centre→leaf: solver %v formula %v", n, h[0], want)
+		}
+		if want := StarHitting(n, true, true); !almostEq(h[2], want, 1e-7) {
+			t.Fatalf("star%d leaf→leaf: solver %v formula %v", n, h[2], want)
+		}
+		// Target the centre.
+		hc := HittingTimesToExact(k, 0)
+		if want := StarHitting(n, true, false); !almostEq(hc[1], want, 1e-9) {
+			t.Fatalf("star%d leaf→centre: solver %v formula %v", n, hc[1], want)
+		}
+	}
+}
+
+func TestTheoryPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"complete":  func() { CompleteHitting(1) },
+		"gap":       func() { CompleteGap(2) },
+		"cycle":     func() { CycleHitting(2, 0) },
+		"cycle-k":   func() { CycleHitting(5, 5) },
+		"path":      func() { PathHitting(3, 2, 1) },
+		"hypercube": func() { HypercubeHittingAntipodal(0) },
+		"star":      func() { StarHitting(2, true, false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,262 @@
+package thresholdlb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartScenario(t *testing.T) {
+	sc := Scenario{
+		Graph:    CompleteGraph(50),
+		Weights:  UnitWeights(500),
+		Epsilon:  0.2,
+		Protocol: UserBased,
+		Alpha:    1,
+		Seed:     1,
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Balanced || res.Rounds == 0 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}
+
+func TestResourceBasedOnTorus(t *testing.T) {
+	sc := Scenario{
+		Graph:    TorusGraph(6, 6),
+		Weights:  TwoPointWeights(200, 4, 25),
+		Epsilon:  0.5,
+		Protocol: ResourceBased,
+		LazyWalk: true,
+		Seed:     2,
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Balanced {
+		t.Fatalf("torus run did not balance: %+v", res)
+	}
+}
+
+func TestTightThresholdDefaults(t *testing.T) {
+	// Epsilon 0 selects the tight thresholds for both families.
+	for _, proto := range []ProtocolKind{ResourceBased, UserBased} {
+		sc := Scenario{
+			Graph:    CompleteGraph(20),
+			Weights:  UnitWeights(100),
+			Epsilon:  0,
+			Protocol: proto,
+			Seed:     3,
+		}
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		if !res.Balanced {
+			t.Fatalf("%v tight run did not balance", proto)
+		}
+	}
+}
+
+func TestUserBasedRejectsNonCompleteGraph(t *testing.T) {
+	sc := Scenario{
+		Graph:    TorusGraph(4, 4),
+		Weights:  UnitWeights(64),
+		Epsilon:  0.2,
+		Protocol: UserBased,
+	}
+	if _, err := sc.Run(); err == nil || !strings.Contains(err.Error(), "complete graph") {
+		t.Fatalf("expected complete-graph error, got %v", err)
+	}
+}
+
+func TestUserBasedGraphAndMixed(t *testing.T) {
+	for _, proto := range []ProtocolKind{UserBasedGraph, MixedBased} {
+		sc := Scenario{
+			Graph:    TorusGraph(5, 5),
+			Weights:  UnitWeights(150),
+			Epsilon:  0.5,
+			Protocol: proto,
+			LazyWalk: true,
+			Seed:     4,
+		}
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		if !res.Balanced {
+			t.Fatalf("%v did not balance", proto)
+		}
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	good := Scenario{Graph: CompleteGraph(4), Weights: UnitWeights(8)}
+	cases := []struct {
+		mutate func(*Scenario)
+		want   string
+	}{
+		{func(s *Scenario) { s.Graph = nil }, "Graph is required"},
+		{func(s *Scenario) { s.Weights = nil }, "Weights is required"},
+		{func(s *Scenario) { s.Weights = []float64{1, 0.5} }, "below 1"},
+		{func(s *Scenario) { s.Placement = []int{0} }, "placement has"},
+		{func(s *Scenario) { s.Placement = make([]int, 8); s.Placement[0] = 99 }, "invalid resource"},
+		{func(s *Scenario) { s.Alpha = -1 }, "Alpha"},
+		{func(s *Scenario) { s.Epsilon = -0.1 }, "Epsilon"},
+		{func(s *Scenario) { s.Protocol = ProtocolKind(99) }, "unknown protocol"},
+		{func(s *Scenario) {
+			s.Graph = CustomGraph("islands", 4, [][2]int{{0, 1}, {2, 3}})
+		}, "connected"},
+	}
+	for _, c := range cases {
+		sc := good
+		c.mutate(&sc)
+		if _, err := sc.Run(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("want error containing %q, got %v", c.want, err)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	sc := Scenario{
+		Graph:    ExpanderGraph(64, 4, 7),
+		Weights:  ParetoWeights(300, 1.5, 20, 9),
+		Epsilon:  0.3,
+		Protocol: ResourceBased,
+		LazyWalk: true,
+		Seed:     11,
+	}
+	a, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := sc.Run()
+	if a.Rounds != b.Rounds || a.Migrations != b.Migrations {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestGraphConstructors(t *testing.T) {
+	cases := []struct {
+		g       *Graph
+		n, dmin int
+	}{
+		{CompleteGraph(6), 6, 5},
+		{GridGraph(3, 4), 12, 2},
+		{TorusGraph(3, 3), 9, 4},
+		{HypercubeGraph(3), 8, 3},
+		{ExpanderGraph(10, 3, 1), 10, 3},
+		{CliquePendantGraph(8, 2), 8, 2},
+	}
+	for _, c := range cases {
+		if c.g.N() != c.n {
+			t.Fatalf("%s: n=%d want %d", c.g.Name(), c.g.N(), c.n)
+		}
+		if c.g.MinDegree() != c.dmin {
+			t.Fatalf("%s: min degree %d want %d", c.g.Name(), c.g.MinDegree(), c.dmin)
+		}
+	}
+	er := ErdosRenyiGraph(40, 0.3, 5)
+	if !er.Connected() {
+		t.Fatal("ErdosRenyiGraph must return a connected sample")
+	}
+}
+
+func TestWeightHelpers(t *testing.T) {
+	if w := UnitWeights(5); len(w) != 5 || w[3] != 1 {
+		t.Fatalf("unit weights %v", w)
+	}
+	tp := TwoPointWeights(10, 3, 7)
+	heavy := 0
+	for _, w := range tp {
+		if w == 7 {
+			heavy++
+		}
+	}
+	if heavy != 3 {
+		t.Fatalf("twopoint weights %v", tp)
+	}
+	for _, w := range ParetoWeights(100, 2, 50, 1) {
+		if w < 1 || w > 50 {
+			t.Fatalf("pareto weight %v", w)
+		}
+	}
+	for _, w := range ExponentialWeights(100, 3, 1) {
+		if w < 1 {
+			t.Fatalf("exponential weight %v", w)
+		}
+	}
+}
+
+func TestAnalysisHelpers(t *testing.T) {
+	g := CompleteGraph(20)
+	if mt := MixingTime(g); mt < 1 || mt > 3 {
+		t.Fatalf("K20 lazy mixing time %d", mt)
+	}
+	if h := MaxHittingTime(g); h < 18 || h > 20 {
+		t.Fatalf("H(K20)=%v want 19", h)
+	}
+	if gap := SpectralGap(g, 1); gap < 0.4 || gap > 1 {
+		t.Fatalf("lazy K20 gap %v", gap)
+	}
+}
+
+func TestPotentialTraceExposed(t *testing.T) {
+	sc := Scenario{
+		Graph:           CompleteGraph(20),
+		Weights:         UnitWeights(200),
+		Epsilon:         0.2,
+		Protocol:        UserBased,
+		Seed:            5,
+		RecordPotential: true,
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PotentialTrace) != res.Rounds+1 {
+		t.Fatalf("trace length %d rounds %d", len(res.PotentialTrace), res.Rounds)
+	}
+}
+
+func TestProtocolKindString(t *testing.T) {
+	names := map[ProtocolKind]string{
+		ResourceBased:    "resource-based",
+		UserBased:        "user-based",
+		UserBasedGraph:   "user-based-graph",
+		MixedBased:       "mixed",
+		ProtocolKind(42): "ProtocolKind(42)",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d.String()=%q", int(k), k.String())
+		}
+	}
+}
+
+func TestEstimatedThresholds(t *testing.T) {
+	sc := Scenario{
+		Graph:               TorusGraph(8, 8),
+		Weights:             UnitWeights(256),
+		Epsilon:             0.5,
+		Protocol:            ResourceBased,
+		LazyWalk:            true,
+		Seed:                6,
+		EstimatedThresholds: true,
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Balanced {
+		t.Fatalf("estimated-threshold run did not balance: %+v", res)
+	}
+	// Tight threshold + estimation is rejected.
+	sc.Epsilon = 0
+	if _, err := sc.Run(); err == nil || !strings.Contains(err.Error(), "Epsilon > 0") {
+		t.Fatalf("expected epsilon error, got %v", err)
+	}
+}
