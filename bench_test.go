@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/dynamic"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -134,6 +135,52 @@ func BenchmarkFullUserRun(b *testing.B) {
 			b.Fatal("run did not balance")
 		}
 	}
+}
+
+// BenchmarkDynamicRho regenerates the open-system utilisation sweep
+// (arrival rate ρ → 1, self-tuned thresholds).
+func BenchmarkDynamicRho(b *testing.B) { runDriver(b, "dynrho") }
+
+// BenchmarkDynamicChurn regenerates the open-system churn sweep
+// (weight conservation across resource join/leave).
+func BenchmarkDynamicChurn(b *testing.B) { runDriver(b, "dynchurn") }
+
+// benchDynamicRound measures the dynamic engine's steady-state
+// per-round cost — churnless Poisson arrivals at ρ = 0.8 with
+// heavy-tailed weights, self-tuned thresholds, one protocol round per
+// iteration. Each op is one simulated round (the first ~100 warm the
+// system up; at bench-scale iteration counts they are noise).
+func benchDynamicRound(b *testing.B, g *graph.Graph, proto core.Protocol) {
+	n := g.N()
+	cfg := dynamic.Config{
+		Graph:    g,
+		Protocol: proto,
+		Arrivals: dynamic.Poisson{Rate: 0.8 * float64(n) / 1.95,
+			Weights: task.Pareto{Alpha: 2, Cap: 20}},
+		Service: dynamic.WeightProportional{Rate: 1},
+		Tuner: &dynamic.SelfTuner{Eps: 0.5, Steps: 2,
+			Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+		Rounds: b.N,
+		Window: 1 << 30, // one giant window: no per-window work measured
+		Seed:   0x9e3779b97f4a7c15,
+	}
+	b.ResetTimer()
+	if _, err := dynamic.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkDynamicRound1k: user-controlled rounds on K_1000 under
+// steady ρ = 0.8 Poisson traffic.
+func BenchmarkDynamicRound1k(b *testing.B) {
+	benchDynamicRound(b, graph.Complete(1000), core.UserControlled{Alpha: 1})
+}
+
+// BenchmarkDynamicRound10k: resource-controlled rounds on a 16-regular
+// expander with 10000 resources under steady ρ = 0.8 Poisson traffic.
+func BenchmarkDynamicRound10k(b *testing.B) {
+	g := graph.RandomRegular(10000, 16, newBenchRand())
+	benchDynamicRound(b, g, core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(g))})
 }
 
 // BenchmarkHittingTime measures H(G) computation on a 16×16 torus.

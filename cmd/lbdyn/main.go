@@ -1,0 +1,206 @@
+// Command lbdyn runs an open-system (dynamic) threshold-balancing
+// scenario: continuous task arrivals and departures, optional resource
+// churn, and thresholds re-estimated online. It prints one line per
+// metrics window plus a final summary.
+//
+// Usage examples:
+//
+//	lbdyn -graph complete -n 1000 -rho 0.8 -proto user -rounds 600
+//	lbdyn -graph torus -n 1024 -proto resource -lazy -dispatch hotspot -rho 0.9
+//	lbdyn -graph expander -n 500 -k 8 -proto resource -churn 0.1 -rounds 1000
+//	lbdyn -graph complete -n 200 -arrivals burst -burst-every 50 -burst-size 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	lb "repro"
+	"repro/internal/cli"
+)
+
+func main() {
+	var (
+		graphKind = flag.String("graph", "complete", "complete|grid|torus|hypercube|expander|gnp|cliquependant")
+		n         = flag.Int("n", 1000, "number of resources (rounded per family)")
+		k         = flag.Int("k", 8, "family parameter: pendant links / expander degree")
+		p         = flag.Float64("p", 0.1, "G(n,p) edge probability")
+		proto     = flag.String("proto", "user", "user|resource|usergraph|mixed")
+		alpha     = flag.Float64("alpha", 1, "user-protocol migration constant")
+		eps       = flag.Float64("eps", 0.5, "threshold slack epsilon")
+		lazy      = flag.Bool("lazy", false, "use the 1/2-lazy walk (resource protocol)")
+		rounds    = flag.Int("rounds", 600, "simulated rounds")
+		window    = flag.Int("window", 100, "metrics window length")
+		seed      = flag.Uint64("seed", 1, "RNG seed")
+
+		arrivals   = flag.String("arrivals", "poisson", "poisson|burst")
+		rho        = flag.Float64("rho", 0.8, "offered utilisation (poisson rate = rho*n*svcrate/E[w])")
+		burstEvery = flag.Int("burst-every", 50, "burst period in rounds")
+		burstSize  = flag.Int("burst-size", 100, "tasks per burst")
+		weights    = flag.String("weights", "pareto", "pareto|unit|exp|range")
+		palpha     = flag.Float64("pareto-alpha", 2, "Pareto shape")
+		pcap       = flag.Float64("pareto-cap", 20, "Pareto weight cap (0 = uncapped)")
+		expMean    = flag.Float64("exp-mean", 2, "exponential weight mean")
+		rangeLo    = flag.Float64("range-lo", 1, "uniform range low")
+		rangeHi    = flag.Float64("range-hi", 4, "uniform range high")
+
+		service = flag.String("service", "weight", "weight (proportional to weight) | geom")
+		svcRate = flag.Float64("svcrate", 1, "weight-units served per resource per round")
+		geomP   = flag.Float64("geomp", 0.05, "geometric per-round departure probability")
+
+		dispatch = flag.String("dispatch", "uniform", "uniform|hotspot|power2")
+		hotspot  = flag.Int("hotspot", 0, "hotspot ingress resource")
+
+		churn  = flag.Float64("churn", 0, "per-round leave/join probability (0 = no churn)")
+		minUp  = flag.Int("minup", 0, "floor on up resources (0 = n/2 when churn > 0)")
+		oracle = flag.Bool("oracle", false, "exact-average thresholds instead of self-tuned diffusion estimates")
+		check  = flag.Bool("check", false, "validate weight conservation every round (slow)")
+	)
+	flag.Parse()
+
+	g, err := cli.GraphSpec{Kind: *graphKind, N: *n, K: *k, P: *p, Seed: *seed}.Build()
+	if err != nil {
+		fail(err)
+	}
+
+	var dist lb.WeightDist
+	meanW := 1.0
+	switch *weights {
+	case "pareto":
+		dist = lb.ParetoDist(*palpha, *pcap)
+		// E[min(Pareto(1,a), cap)]; without a cap, a <= 1 has no finite
+		// mean and the rho -> rate conversion is meaningless.
+		switch {
+		case *pcap > 0 && *palpha == 1:
+			meanW = 1 + math.Log(*pcap)
+		case *pcap > 0:
+			c1a := math.Pow(*pcap, 1-*palpha)
+			meanW = *palpha*(c1a-1)/(1-*palpha) + c1a
+		case *palpha > 1:
+			meanW = *palpha / (*palpha - 1)
+		default:
+			fail(fmt.Errorf("pareto with alpha <= 1 needs -pareto-cap for a finite mean (rho is undefined otherwise)"))
+		}
+	case "unit":
+		dist = lb.UnitDist()
+	case "exp":
+		dist = lb.ExponentialDist(*expMean)
+		meanW = *expMean
+	case "range":
+		dist = lb.UniformRangeDist(*rangeLo, *rangeHi)
+		meanW = (*rangeLo + *rangeHi) / 2
+	default:
+		fail(fmt.Errorf("unknown weight distribution %q", *weights))
+	}
+
+	var arr lb.Arrivals
+	switch *arrivals {
+	case "poisson":
+		arr = lb.PoissonArrivals(*rho*float64(g.N())**svcRate/meanW, dist)
+	case "burst":
+		arr = lb.BurstArrivals(*burstEvery, *burstSize, dist)
+	default:
+		fail(fmt.Errorf("unknown arrival process %q", *arrivals))
+	}
+
+	var svc lb.Service
+	switch *service {
+	case "weight":
+		svc = lb.WeightProportionalService(*svcRate)
+	case "geom":
+		svc = lb.GeometricService(*geomP)
+	default:
+		fail(fmt.Errorf("unknown service discipline %q", *service))
+	}
+
+	var disp lb.Dispatch
+	switch *dispatch {
+	case "uniform":
+		disp = lb.UniformDispatch()
+	case "hotspot":
+		disp = lb.HotspotDispatch(*hotspot)
+	case "power2":
+		disp = lb.PowerOfDDispatch(2)
+	default:
+		fail(fmt.Errorf("unknown dispatch %q", *dispatch))
+	}
+
+	kind, err := protocolKind(*proto)
+	if err != nil {
+		fail(err)
+	}
+	var spec lb.ChurnSpec
+	if *churn > 0 {
+		up := *minUp
+		if up <= 0 {
+			up = g.N() / 2
+		}
+		spec = lb.ChurnSpec{LeaveProb: *churn, JoinProb: *churn, MinUp: up}
+	}
+
+	fmt.Printf("graph:     %s (n=%d)\n", g.Name(), g.N())
+	fmt.Printf("protocol:  %s (eps=%g alpha=%g lazy=%v oracle=%v)\n", kind, *eps, *alpha, *lazy, *oracle)
+	fmt.Printf("arrivals:  %s  service: %s  dispatch: %s  churn: %g\n", arr.Name(), svc.Name(), disp.Name(), *churn)
+	fmt.Printf("%8s %10s %10s %10s %10s %10s %10s %6s\n",
+		"rounds", "overload%", "mig/round", "arr/round", "dep/round", "p99load", "W-inflight", "up")
+
+	sc := lb.DynamicScenario{
+		Graph:            g,
+		Protocol:         kind,
+		Alpha:            *alpha,
+		Epsilon:          *eps,
+		LazyWalk:         *lazy,
+		Seed:             *seed,
+		Rounds:           *rounds,
+		Window:           *window,
+		Arrivals:         arr,
+		Service:          svc,
+		Dispatch:         disp,
+		OracleThresholds: *oracle,
+		Churn:            spec,
+		CheckInvariants:  *check,
+		OnWindow: func(w lb.WindowStats) {
+			fmt.Printf("%4d-%-4d %9.2f%% %10.2f %10.2f %10.2f %10.2f %10.0f %6d\n",
+				w.Start, w.End, 100*w.OverloadFrac, w.MigrationRate, w.ArrivalRate,
+				w.DepartureRate, w.P99Load, w.InFlightWeight, w.UpResources)
+		},
+	}
+	res, err := sc.Run()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\narrived:    %d tasks (weight %.0f)\n", res.Arrived, res.ArrivedWeight)
+	fmt.Printf("departed:   %d tasks (weight %.0f)\n", res.Departed, res.DepartedWeight)
+	fmt.Printf("in flight:  %d tasks (weight %.0f)\n", res.FinalInFlight, res.FinalWeight)
+	fmt.Printf("migrations: %d (weight %.0f)\n", res.Migrations, res.MovedWeight)
+	if res.Rehomed > 0 || res.Downs > 0 {
+		fmt.Printf("churn:      %d downs, %d ups, %d tasks re-homed\n", res.Downs, res.Ups, res.Rehomed)
+	}
+	if frac := res.TailOverloadFrac(2); !math.IsNaN(frac) {
+		fmt.Printf("steady overload (skip 2 windows): %.3f%%\n", 100*frac)
+	} else {
+		fmt.Println("steady overload: run at least 3 windows for a warmed-up figure")
+	}
+}
+
+func protocolKind(s string) (lb.ProtocolKind, error) {
+	switch s {
+	case "user":
+		return lb.UserBased, nil
+	case "resource":
+		return lb.ResourceBased, nil
+	case "usergraph":
+		return lb.UserBasedGraph, nil
+	case "mixed":
+		return lb.MixedBased, nil
+	default:
+		return 0, fmt.Errorf("unknown protocol %q", s)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lbdyn:", err)
+	os.Exit(2)
+}

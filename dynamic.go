@@ -1,0 +1,261 @@
+package thresholdlb
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/task"
+	"repro/internal/walk"
+)
+
+// This file is the public face of the open-system engine
+// (internal/dynamic): continuous task arrivals and departures, resource
+// churn, and thresholds re-estimated online — the regime of
+// Goldsztajn et al.'s self-learning threshold balancing, layered on the
+// source paper's migration protocols.
+
+// DynamicResult reports a completed open-system run: totals plus one
+// WindowStats per metrics window.
+type DynamicResult = dynamic.Result
+
+// WindowStats summarises one metrics window (time-averaged overload
+// fraction, migration rate, p99 load, in-flight weight, …).
+type WindowStats = dynamic.WindowStats
+
+// Arrivals is a pluggable arrival process (see PoissonArrivals,
+// BurstArrivals, TraceArrivals).
+type Arrivals = dynamic.Arrivals
+
+// Service is a pluggable departure discipline (see
+// WeightProportionalService, GeometricService).
+type Service = dynamic.Service
+
+// Dispatch routes arriving tasks to resources (see UniformDispatch,
+// HotspotDispatch, PowerOfDDispatch).
+type Dispatch = dynamic.Dispatch
+
+// ChurnSpec configures resource join/leave dynamics; the zero value
+// disables churn.
+type ChurnSpec = dynamic.Churn
+
+// WeightDist generates task weights (each ≥ 1) for arrival processes.
+type WeightDist = task.Distribution
+
+// UnitDist returns the constant unit-weight distribution.
+func UnitDist() WeightDist { return task.Uniform{W: 1} }
+
+// ParetoDist returns the heavy-tailed Pareto(1, alpha) weight
+// distribution capped at cap (0 = uncapped).
+func ParetoDist(alpha, cap float64) WeightDist { return task.Pareto{Alpha: alpha, Cap: cap} }
+
+// ExponentialDist returns the 1+Exp weight distribution with the given
+// mean ≥ 1.
+func ExponentialDist(mean float64) WeightDist { return task.Exponential{Mean: mean} }
+
+// UniformRangeDist returns weights uniform on [lo, hi], lo ≥ 1.
+func UniformRangeDist(lo, hi float64) WeightDist { return task.UniformRange{Lo: lo, Hi: hi} }
+
+// PoissonArrivals emits Poisson(rate) tasks per round with weights
+// from dist.
+func PoissonArrivals(rate float64, dist WeightDist) Arrivals {
+	return dynamic.Poisson{Rate: rate, Weights: dist}
+}
+
+// BurstArrivals emits size tasks every `every` rounds — a periodic
+// batch workload.
+func BurstArrivals(every, size int, dist WeightDist) Arrivals {
+	return dynamic.Burst{Every: every, Size: size, Weights: dist}
+}
+
+// TraceArrivals replays a recorded arrival sequence: rounds[t] holds
+// the weights arriving in round t.
+func TraceArrivals(rounds [][]float64, label string) Arrivals {
+	return dynamic.Trace{Rounds: rounds, Label: label}
+}
+
+// WeightProportionalService makes every resource serve rate
+// weight-units per round, bottom of stack first; a task departs once
+// work equal to its weight is done. Offered utilisation is
+// ρ = arrivalRate·E[w]/(n·rate).
+func WeightProportionalService(rate float64) Service {
+	return dynamic.WeightProportional{Rate: rate}
+}
+
+// GeometricService makes every in-flight task depart independently
+// with probability p per round (mean lifetime 1/p rounds).
+func GeometricService(p float64) Service { return dynamic.Geometric{P: p} }
+
+// UniformDispatch routes each arrival to a uniformly random up
+// resource.
+func UniformDispatch() Dispatch { return dynamic.UniformDispatch{} }
+
+// HotspotDispatch routes every arrival to one ingress resource — the
+// dynamic analogue of the paper's single-source placement.
+func HotspotDispatch(resource int) Dispatch { return dynamic.HotspotDispatch{Resource: resource} }
+
+// PowerOfDDispatch samples d random up resources per arrival and
+// routes to the least loaded (d = 2 is the classic two-choice rule).
+func PowerOfDDispatch(d int) Dispatch { return dynamic.PowerOfD{D: d} }
+
+// DynamicScenario describes one open-system simulation: tasks arrive
+// via Arrivals, are routed by Dispatch, receive service and depart per
+// Service, resources churn per Churn, and every round the selected
+// migration protocol runs against thresholds re-estimated online
+// (decaying load averages spread by diffusion — or the exact average
+// when OracleThresholds is set).
+type DynamicScenario struct {
+	// Graph is the resource topology (required).
+	Graph *Graph
+	// Protocol selects the migration rule (same kinds as Scenario).
+	Protocol ProtocolKind
+	// Alpha is the user-protocol migration constant; 0 means 1.
+	Alpha float64
+	// Epsilon is the threshold slack of the online estimate
+	// T_r = (1+ε)·estimate_r + wmax; 0 means 0.5. Must be positive —
+	// the slack absorbs both estimation error and arrival bursts.
+	Epsilon float64
+	// LazyWalk makes the resource-protocol walk 1/2-lazy.
+	LazyWalk bool
+	// Seed fixes all randomness; runs are fully deterministic.
+	Seed uint64
+	// Rounds is the number of simulated rounds (required).
+	Rounds int
+	// Window is the metrics window length; 0 means 100 rounds.
+	Window int
+	// Arrivals is the arrival process (required).
+	Arrivals Arrivals
+	// Service is the departure discipline (required).
+	Service Service
+	// Dispatch routes arrivals; nil means UniformDispatch.
+	Dispatch Dispatch
+	// OracleThresholds uses the exact in-flight average W(t)/n_up
+	// instead of the decentralised diffusion estimate.
+	OracleThresholds bool
+	// TunerDecay is the per-round EWMA decay of the load estimate
+	// (0 = default 0.8); TunerEvery the rounds between diffusion
+	// refreshes (0 = default 10); TunerSteps the diffusion steps per
+	// refresh (0 = default 8).
+	TunerDecay float64
+	TunerEvery int
+	TunerSteps int
+	// Churn enables resource join/leave; zero value disables.
+	Churn ChurnSpec
+	// InitialWeights/InitialPlacement optionally pre-populate the
+	// system (nil placement puts all initial tasks on resource 0).
+	InitialWeights   []float64
+	InitialPlacement []int
+	// CheckInvariants validates weight conservation every round
+	// (slow; tests only).
+	CheckInvariants bool
+	// OnWindow, if non-nil, receives each completed metrics window —
+	// the streaming-metrics hook.
+	OnWindow func(WindowStats)
+}
+
+// Run executes the open-system scenario.
+func (sc DynamicScenario) Run() (DynamicResult, error) {
+	if sc.Graph == nil {
+		return DynamicResult{}, errors.New("thresholdlb: DynamicScenario.Graph is required")
+	}
+	if sc.Graph.N() == 0 {
+		return DynamicResult{}, errors.New("thresholdlb: graph has no resources")
+	}
+	if !sc.Graph.Connected() {
+		return DynamicResult{}, errors.New("thresholdlb: graph must be connected")
+	}
+	if sc.Arrivals == nil {
+		return DynamicResult{}, errors.New("thresholdlb: DynamicScenario.Arrivals is required")
+	}
+	if sc.Service == nil {
+		return DynamicResult{}, errors.New("thresholdlb: DynamicScenario.Service is required")
+	}
+	if sc.Rounds <= 0 {
+		return DynamicResult{}, errors.New("thresholdlb: DynamicScenario.Rounds must be > 0")
+	}
+	if sc.Epsilon < 0 {
+		return DynamicResult{}, errors.New("thresholdlb: Epsilon must be non-negative")
+	}
+	eps := sc.Epsilon
+	if eps == 0 {
+		eps = 0.5
+	}
+	alpha := sc.Alpha
+	if alpha == 0 {
+		alpha = 1
+	}
+	if alpha < 0 {
+		return DynamicResult{}, errors.New("thresholdlb: Alpha must be positive")
+	}
+	for i, w := range sc.InitialWeights {
+		if !task.ValidWeight(w) {
+			return DynamicResult{}, fmt.Errorf("thresholdlb: initial weight %v at index %d is below 1 (or not finite)", w, i)
+		}
+	}
+
+	mkKernel := func() walk.Kernel {
+		var k walk.Kernel = walk.NewMaxDegree(sc.Graph)
+		if sc.LazyWalk {
+			k = walk.NewLazy(k)
+		}
+		return k
+	}
+	var proto core.Protocol
+	switch sc.Protocol {
+	case ResourceBased:
+		proto = core.ResourceControlled{Kernel: mkKernel()}
+	case UserBased:
+		if !isComplete(sc.Graph) {
+			return DynamicResult{}, errors.New("thresholdlb: UserBased requires the complete graph (the paper's model); use UserBasedGraph for other topologies")
+		}
+		proto = core.UserControlled{Alpha: alpha}
+	case UserBasedGraph:
+		proto = core.UserControlledGraph{Alpha: alpha}
+	case MixedBased:
+		proto = core.Mixed{
+			A:      core.ResourceControlled{Kernel: mkKernel()},
+			B:      core.UserControlledGraph{Alpha: alpha},
+			Period: 2,
+		}
+	default:
+		return DynamicResult{}, fmt.Errorf("thresholdlb: unknown protocol %v", sc.Protocol)
+	}
+
+	var tuner dynamic.Tuner
+	if sc.OracleThresholds {
+		tuner = &dynamic.OracleTuner{Eps: eps, Every: sc.TunerEvery}
+	} else {
+		if sc.Graph.MaxDegree() == 0 {
+			return DynamicResult{}, errors.New("thresholdlb: self-tuned thresholds need a graph with at least one edge to diffuse over; set OracleThresholds for a single resource")
+		}
+		st := dynamic.NewSelfTuner(walk.NewLazy(walk.NewMaxDegree(sc.Graph)), eps)
+		if sc.TunerDecay > 0 {
+			st.Decay = sc.TunerDecay
+		}
+		if sc.TunerEvery > 0 {
+			st.Every = sc.TunerEvery
+		}
+		if sc.TunerSteps > 0 {
+			st.Steps = sc.TunerSteps
+		}
+		tuner = st
+	}
+
+	return dynamic.Run(dynamic.Config{
+		Graph:            sc.Graph,
+		Protocol:         proto,
+		Arrivals:         sc.Arrivals,
+		Service:          sc.Service,
+		Dispatch:         sc.Dispatch,
+		Tuner:            tuner,
+		Churn:            sc.Churn,
+		Rounds:           sc.Rounds,
+		Window:           sc.Window,
+		Seed:             sc.Seed,
+		InitialWeights:   sc.InitialWeights,
+		InitialPlacement: sc.InitialPlacement,
+		CheckInvariants:  sc.CheckInvariants,
+		OnWindow:         sc.OnWindow,
+	})
+}

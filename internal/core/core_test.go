@@ -637,3 +637,161 @@ func TestUserControlledSingleResourceNoPanic(t *testing.T) {
 		t.Fatalf("load changed on singleton graph: %v", s.Load(0))
 	}
 }
+
+func TestDynamicInsertRemove(t *testing.T) {
+	g := graph.Complete(4)
+	s := NewState(g, task.NewEmptySet(), nil, FixedVector{V: make([]float64, 4)}, 1)
+	a := s.InsertTask(3, 0)
+	b := s.InsertTask(5, 2)
+	if a.ID != 0 || b.ID != 1 || s.Load(0) != 3 || s.Load(2) != 5 {
+		t.Fatalf("inserts wrong: %+v %+v", a, b)
+	}
+	if s.Location(b.ID) != 2 || s.InFlightWeight() != 8 {
+		t.Fatalf("location/weight wrong: loc=%d W=%v", s.Location(b.ID), s.InFlightWeight())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	gone := s.RemoveTaskAt(0, 0)
+	if gone.ID != a.ID || s.Load(0) != 0 || s.InFlightWeight() != 5 {
+		t.Fatalf("departure wrong: %+v load=%v", gone, s.Load(0))
+	}
+	if s.Location(a.ID) != -1 || !s.Tasks().Removed(a.ID) {
+		t.Fatal("departed task still registered")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// IDs continue past tombstones and the invariants still hold.
+	c := s.InsertTask(2, 1)
+	if c.ID != 2 {
+		t.Fatalf("post-departure ID %d", c.ID)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvacuateAndAttach(t *testing.T) {
+	g := graph.Complete(3)
+	ts := task.NewSet([]float64{2, 3, 4})
+	s := NewState(g, ts, []int{1, 1, 1}, FixedVector{V: []float64{9, 9, 9}}, 1)
+	out := s.Evacuate(1)
+	if len(out) != 3 || s.Load(1) != 0 {
+		t.Fatalf("evacuate returned %d tasks, load %v", len(out), s.Load(1))
+	}
+	// Mid-evacuation the invariants must fail (tasks in limbo)...
+	if err := s.CheckInvariants(); err == nil {
+		t.Fatal("limbo state passed invariants")
+	}
+	// ...and re-homing restores them, conserving weight.
+	for i, tk := range out {
+		s.Attach(tk, i%3)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if s.InFlightWeight() != 9 {
+		t.Fatalf("weight not conserved: %v", s.InFlightWeight())
+	}
+}
+
+func TestThresholdRefresh(t *testing.T) {
+	g := graph.Complete(2)
+	ts := task.NewSet([]float64{2, 2})
+	s := NewState(g, ts, []int{0, 1}, TightUser{}, 1)
+	if s.Threshold(0) != 4 { // W/n + wmax = 2 + 2
+		t.Fatalf("initial threshold %v", s.Threshold(0))
+	}
+	s.SetThresholds([]float64{7, 8})
+	if s.Threshold(0) != 7 || s.Threshold(1) != 8 {
+		t.Fatal("SetThresholds ignored")
+	}
+	// Growing the task set and refreshing recomputes from live totals.
+	s.InsertTask(6, 0) // W=10, wmax=6
+	s.RefreshThresholds(TightUser{})
+	if s.Threshold(0) != 11 { // 10/2 + 6
+		t.Fatalf("refreshed threshold %v", s.Threshold(0))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad SetThresholds length did not panic")
+		}
+	}()
+	s.SetThresholds([]float64{1})
+}
+
+func TestProtocolsRunOnDynamicState(t *testing.T) {
+	// A state grown entirely through InsertTask balances under the
+	// standard protocols exactly like a statically placed one.
+	g := graph.Complete(10)
+	s := NewState(g, task.NewEmptySet(), nil, FixedVector{V: make([]float64, 10)}, 3)
+	for i := 0; i < 60; i++ {
+		s.InsertTask(1+float64(i%3), 0) // all on one resource
+	}
+	s.RefreshThresholds(AboveAverage{Eps: 0.3})
+	res := Run(s, UserControlled{Alpha: 1}, RunOptions{MaxRounds: 100000, CheckInvariants: true})
+	if !res.Balanced {
+		t.Fatalf("dynamic-grown state did not balance: %+v", res)
+	}
+}
+
+func TestRemoveTasksAtBatch(t *testing.T) {
+	g := graph.Complete(2)
+	ts := task.NewSet([]float64{2, 3, 4, 5})
+	s := NewState(g, ts, []int{0, 0, 0, 0}, FixedVector{V: []float64{99, 99}}, 1)
+	out := s.RemoveTasksAt(0, []int{0, 2})
+	if len(out) != 2 || out[0].Weight != 2 || out[1].Weight != 4 {
+		t.Fatalf("batch removal returned %+v", out)
+	}
+	if s.Load(0) != 8 || s.InFlightWeight() != 8 || !s.Tasks().Removed(out[0].ID) {
+		t.Fatalf("post-removal state: load=%v W=%v", s.Load(0), s.InFlightWeight())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveWMaxTracksDepartures(t *testing.T) {
+	g := graph.Complete(2)
+	s := NewState(g, task.NewEmptySet(), nil, FixedVector{V: []float64{9, 9}}, 1)
+	s.InsertTask(3, 0)
+	heavy := s.InsertTask(7, 1)
+	if s.LiveWMax() != 7 {
+		t.Fatalf("live wmax %v want 7", s.LiveWMax())
+	}
+	s.RemoveTaskAt(s.Location(heavy.ID), 0)
+	// The watermark keeps the departed heavyweight; the live view
+	// (which online thresholds use) does not.
+	if s.Tasks().WMax() != 7 || s.LiveWMax() != 3 {
+		t.Fatalf("wmax watermark=%v live=%v", s.Tasks().WMax(), s.LiveWMax())
+	}
+	s.RemoveTaskAt(0, 0)
+	if s.LiveWMax() != 0 {
+		t.Fatalf("empty-system live wmax %v", s.LiveWMax())
+	}
+}
+
+func TestLeaveProbabilityUsesLiveWMax(t *testing.T) {
+	// A departed heavyweight outlier must not keep suppressing the
+	// user-controlled migration coin: the denominator is the live max
+	// weight, not the all-time watermark.
+	g := graph.Complete(4)
+	s := NewState(g, task.NewEmptySet(), nil, FixedVector{V: []float64{1, 1, 1, 1}}, 1)
+	heavy := s.InsertTask(1000, 0)
+	for i := 0; i < 10; i++ {
+		s.InsertTask(2, 1) // resource 1: load 20 over threshold 1
+	}
+	p := UserControlled{Alpha: 1}
+	// With the heavyweight alive, ceil(phi/1000) = 1 -> prob 1/10.
+	if got := p.leaveProbability(s, 1); got != 0.1 {
+		t.Fatalf("live-heavy probability %v want 0.1", got)
+	}
+	s.RemoveTaskAt(0, 0)
+	_ = heavy
+	// Heavy departed: live wmax is 2, ceil(20/2) = 10 -> prob 1.
+	if got := p.leaveProbability(s, 1); got != 1 {
+		t.Fatalf("post-departure probability %v want 1 (watermark wmax=%v, live=%v)",
+			got, s.Tasks().WMax(), s.LiveWMax())
+	}
+}

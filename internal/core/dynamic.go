@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/task"
+)
+
+// Open-system mutators. The static protocols treat the task population
+// and the threshold vector as fixed for a whole run; the dynamic engine
+// (internal/dynamic) interleaves protocol rounds with arrivals,
+// departures, resource churn and online threshold refreshes through the
+// methods below. All of them keep the stack/location/task-set triple
+// consistent, so CheckInvariants holds between engine phases.
+
+// InsertTask registers a brand-new task of weight w (assigned the next
+// unused ID) and places it on resource r — an open-system arrival.
+func (s *State) InsertTask(w float64, r int) task.Task {
+	if r < 0 || r >= len(s.stacks) {
+		panic(fmt.Sprintf("core: InsertTask on invalid resource %d", r))
+	}
+	tk := s.ts.Add(w)
+	s.stacks[r].Push(tk)
+	s.loc = append(s.loc, int32(r))
+	if w > s.liveWMax {
+		s.liveWMax = w // valid even while dirty: keeps an upper bound
+	}
+	return tk
+}
+
+// RemoveTaskAt removes the task at stack position idx of resource r
+// from the system entirely — a departure. The task leaves the stack and
+// is tombstoned in the task set; its ID is never reused.
+func (s *State) RemoveTaskAt(r, idx int) task.Task {
+	tk := s.stacks[r].PopAt(idx)
+	s.loc[tk.ID] = -1
+	s.ts.Remove(tk.ID)
+	if tk.Weight >= s.liveWMax {
+		s.liveWMaxDirty = true
+	}
+	return tk
+}
+
+// RemoveTasksAt removes the tasks at the given strictly increasing
+// stack positions of resource r in one compaction pass — the batch
+// departure primitive (a round's service completions).
+func (s *State) RemoveTasksAt(r int, indices []int) []task.Task {
+	out := s.stacks[r].RemoveIndices(indices)
+	for _, tk := range out {
+		s.loc[tk.ID] = -1
+		s.ts.Remove(tk.ID)
+		if tk.Weight >= s.liveWMax {
+			s.liveWMaxDirty = true
+		}
+	}
+	return out
+}
+
+// LiveWMax returns the maximum weight among in-flight tasks (0 when
+// the system is empty). Unlike Set.WMax — a high-watermark that keeps
+// counting long-departed tasks — this is the right wmax for protocol
+// probabilities and thresholds that track the current population. The
+// value is cached; it is recomputed (O(n + live tasks)) only after the
+// current maximum departs, so callers must not query it while tasks
+// are in limbo between Evacuate and Attach.
+func (s *State) LiveWMax() float64 {
+	if s.liveWMaxDirty {
+		m := 0.0
+		for r := range s.stacks {
+			for _, tk := range s.stacks[r].Tasks() {
+				if tk.Weight > m {
+					m = tk.Weight
+				}
+			}
+		}
+		s.liveWMax = m
+		s.liveWMaxDirty = false
+	}
+	return s.liveWMax
+}
+
+// Evacuate pops every task off resource r — a resource leaving the
+// system. The tasks stay registered but are in limbo (Location −1)
+// until re-homed with Attach; CheckInvariants fails while tasks are in
+// limbo, so callers must re-home before the next consistency point.
+func (s *State) Evacuate(r int) []task.Task {
+	out := append([]task.Task(nil), s.stacks[r].Tasks()...)
+	s.stacks[r].Reset()
+	for _, tk := range out {
+		s.loc[tk.ID] = -1
+	}
+	return out
+}
+
+// Attach pushes an already-registered task onto resource r — the
+// re-homing half of Evacuate, also used to bounce migrations off
+// resources that left the system mid-round.
+func (s *State) Attach(t task.Task, r int) {
+	if r < 0 || r >= len(s.stacks) {
+		panic(fmt.Sprintf("core: Attach on invalid resource %d", r))
+	}
+	s.stacks[r].Push(t)
+	s.loc[t.ID] = int32(r)
+}
+
+// SetThresholds replaces the threshold vector in place — the dynamic
+// engine's online refresh. The vector must have length N.
+func (s *State) SetThresholds(v []float64) {
+	if len(v) != len(s.stacks) {
+		panic(fmt.Sprintf("core: SetThresholds got %d values, need %d", len(v), len(s.stacks)))
+	}
+	copy(s.thr, v)
+}
+
+// RefreshThresholds recomputes the thresholds from policy against the
+// current (possibly grown or shrunk) task set.
+func (s *State) RefreshThresholds(policy Thresholds) {
+	v := policy.Values(s.ts, len(s.stacks))
+	if len(v) != len(s.stacks) {
+		panic("core: threshold policy returned wrong length")
+	}
+	copy(s.thr, v)
+}
+
+// InFlightWeight returns W(t), the total weight of live tasks.
+func (s *State) InFlightWeight() float64 { return s.ts.W() }

@@ -24,6 +24,11 @@ type State struct {
 	loc    []int32 // task ID -> resource
 	rands  []*rng.Rand
 	round  int
+
+	// Cached max weight over live tasks; dirty after the current max
+	// departs (open systems only — static runs never remove tasks).
+	liveWMax      float64
+	liveWMaxDirty bool
 }
 
 // NewState places the task set on g's resources according to placement
@@ -58,6 +63,7 @@ func NewState(g *graph.Graph, ts *task.Set, placement []int, policy Thresholds, 
 	for r := 0; r < n; r++ {
 		s.rands[r] = rng.Stream(seed, uint64(r))
 	}
+	s.liveWMax = ts.WMax()
 	return s
 }
 
@@ -181,6 +187,9 @@ func (s *State) CheckInvariants() error {
 			if tk.ID < 0 || tk.ID >= s.ts.M() {
 				return fmt.Errorf("resource %d holds unknown task %d", r, tk.ID)
 			}
+			if s.ts.Removed(tk.ID) {
+				return fmt.Errorf("resource %d holds departed task %d", r, tk.ID)
+			}
 			if seen[tk.ID] {
 				return fmt.Errorf("task %d appears twice", tk.ID)
 			}
@@ -192,6 +201,12 @@ func (s *State) CheckInvariants() error {
 		total += s.stacks[r].Load()
 	}
 	for id, ok := range seen {
+		if s.ts.Removed(id) {
+			if s.loc[id] != -1 {
+				return fmt.Errorf("departed task %d still mapped to resource %d", id, s.loc[id])
+			}
+			continue
+		}
 		if !ok {
 			return fmt.Errorf("task %d lost", id)
 		}

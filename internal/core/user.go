@@ -36,14 +36,17 @@ func (p UserControlled) Name() string {
 }
 
 // leaveProbability returns the per-task migration probability for
-// resource r, capped at 1.
+// resource r, capped at 1. The wmax in the coin is the maximum weight
+// of the tasks currently in the system (identical to Set.WMax in the
+// static setting; in the open system the live maximum, so a departed
+// heavyweight outlier cannot permanently suppress migration).
 func (p UserControlled) leaveProbability(s *State, r int) float64 {
 	br := s.Count(r)
 	if br == 0 {
 		return 0
 	}
 	phi := s.ResourcePotential(r)
-	prob := p.Alpha * math.Ceil(phi/s.ts.WMax()) / float64(br)
+	prob := p.Alpha * math.Ceil(phi/s.LiveWMax()) / float64(br)
 	if prob > 1 {
 		prob = 1
 	}
@@ -55,6 +58,11 @@ func (p UserControlled) Step(s *State) StepStats {
 	if p.Alpha <= 0 {
 		panic("core: UserControlled requires Alpha > 0")
 	}
+	// Settle the lazily recomputed live-wmax cache before the propose
+	// phase: leaveProbability reads it from every worker goroutine, and
+	// a dirty cache (possible after open-system departures) would make
+	// those reads racy writes.
+	s.LiveWMax()
 	var moves []migration
 	if p.Workers > 1 {
 		moves = p.proposeParallel(s)

@@ -1,0 +1,138 @@
+package dynamic
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// UpSet tracks which resources are currently part of the system,
+// supporting O(1) membership, removal, re-insertion and uniform
+// sampling — the churn bookkeeping.
+type UpSet struct {
+	list []int // compact list of up resources
+	pos  []int // resource → index in list, −1 when down
+}
+
+// NewUpSet returns an UpSet with all n resources up.
+func NewUpSet(n int) *UpSet {
+	u := &UpSet{list: make([]int, n), pos: make([]int, n)}
+	for i := 0; i < n; i++ {
+		u.list[i] = i
+		u.pos[i] = i
+	}
+	return u
+}
+
+// N returns the number of up resources.
+func (u *UpSet) N() int { return len(u.list) }
+
+// At returns the i-th up resource (order is arbitrary but stable
+// between mutations).
+func (u *UpSet) At(i int) int { return u.list[i] }
+
+// Contains reports whether resource r is up. Out-of-range indices are
+// simply not up (a hotspot pointing outside the graph falls back to
+// its uniform pick instead of crashing).
+func (u *UpSet) Contains(r int) bool { return r >= 0 && r < len(u.pos) && u.pos[r] >= 0 }
+
+// Random returns a uniformly random up resource. Panics when empty.
+func (u *UpSet) Random(r *rng.Rand) int { return u.list[r.Intn(len(u.list))] }
+
+// Down removes resource r (swap-remove). Panics if already down.
+func (u *UpSet) Down(r int) {
+	i := u.pos[r]
+	if i < 0 {
+		panic(fmt.Sprintf("dynamic: resource %d already down", r))
+	}
+	last := len(u.list) - 1
+	moved := u.list[last]
+	u.list[i] = moved
+	u.pos[moved] = i
+	u.list = u.list[:last]
+	u.pos[r] = -1
+}
+
+// Up re-inserts resource r. Panics if already up.
+func (u *UpSet) Up(r int) {
+	if u.pos[r] >= 0 {
+		panic(fmt.Sprintf("dynamic: resource %d already up", r))
+	}
+	u.pos[r] = len(u.list)
+	u.list = append(u.list, r)
+}
+
+// Dispatch routes an arriving task to one of the up resources.
+type Dispatch interface {
+	// Pick returns the destination resource for an arriving task of
+	// weight w. Only up resources may be returned.
+	Pick(s *core.State, up *UpSet, w float64, r *rng.Rand) int
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// UniformDispatch sends each arrival to a uniformly random up resource
+// — the baseline "no ingress knowledge" routing.
+type UniformDispatch struct{}
+
+// Pick implements Dispatch.
+func (UniformDispatch) Pick(s *core.State, up *UpSet, w float64, r *rng.Rand) int {
+	return up.Random(r)
+}
+
+// Name identifies the policy.
+func (UniformDispatch) Name() string { return "uniform" }
+
+// HotspotDispatch sends every arrival to one ingress resource — the
+// dynamic analogue of the paper's single-source placement, the worst
+// case that makes the balancing protocol do all the spreading. If the
+// hotspot is down, arrivals fall back to a uniform pick.
+type HotspotDispatch struct {
+	Resource int
+}
+
+// Pick implements Dispatch.
+func (h HotspotDispatch) Pick(s *core.State, up *UpSet, w float64, r *rng.Rand) int {
+	if up.Contains(h.Resource) {
+		return h.Resource
+	}
+	return up.Random(r)
+}
+
+// Name identifies the policy.
+func (h HotspotDispatch) Name() string { return fmt.Sprintf("hotspot(r=%d)", h.Resource) }
+
+// PowerOfD samples D up resources uniformly and routes to the least
+// loaded — the classic two-choice dispatcher (D = 2), included so the
+// dynamic experiments can separate what the dispatcher contributes
+// from what threshold migration contributes.
+type PowerOfD struct {
+	D int // samples per arrival, ≥ 1
+}
+
+// Pick implements Dispatch.
+func (p PowerOfD) Pick(s *core.State, up *UpSet, w float64, r *rng.Rand) int {
+	if p.D < 1 {
+		panic("dynamic: PowerOfD.D must be >= 1")
+	}
+	best := up.Random(r)
+	for i := 1; i < p.D; i++ {
+		c := up.Random(r)
+		if s.Load(c) < s.Load(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// Validate implements the optional config check.
+func (p PowerOfD) Validate() error {
+	if p.D < 1 {
+		return fmt.Errorf("dynamic: PowerOfD.D %d must be >= 1", p.D)
+	}
+	return nil
+}
+
+// Name identifies the policy.
+func (p PowerOfD) Name() string { return fmt.Sprintf("power-of-%d", p.D) }

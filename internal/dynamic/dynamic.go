@@ -1,0 +1,402 @@
+// Package dynamic is the open-system simulation engine layered on
+// internal/core: instead of placing m tasks once and balancing until
+// quiescence (the paper's closed setting), a round-based event loop
+// feeds the threshold protocols a living system —
+//
+//  1. resource churn: machines leave (their tasks are re-homed) and
+//     rejoin,
+//  2. arrivals: weighted tasks enter via a pluggable arrival process
+//     (Poisson, periodic bursts, a replayed trace) and are routed by a
+//     dispatch policy (uniform, hotspot ingress, power-of-d),
+//  3. service: tasks receive service and depart (service time
+//     proportional to weight, or geometric lifetimes),
+//  4. self-tuning: thresholds are re-estimated online from decaying
+//     load averages spread by diffusion (no global knowledge), and
+//  5. migration: one round of the paper's protocols
+//     (resource-controlled, user-controlled, mixed) runs against the
+//     current thresholds.
+//
+// This is the regime of Goldsztajn et al., "Self-Learning
+// Threshold-Based Load Balancing", and of Hoefer–Sauerwald's dynamic
+// threshold games, grafted onto the weighted-task protocols of the
+// source paper. Runs are fully deterministic per seed: every actor
+// draws from its own split RNG stream.
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/task"
+)
+
+// Churn configures resource join/leave dynamics. Each round at most
+// one resource leaves (probability LeaveProb, never below MinUp up
+// resources) and at most one rejoins (probability JoinProb). A leaving
+// resource's tasks are immediately re-homed to uniformly random up
+// resources; total in-flight weight is conserved across both events.
+type Churn struct {
+	LeaveProb float64 // per-round probability one up resource leaves
+	JoinProb  float64 // per-round probability one down resource rejoins
+	MinUp     int     // floor on up resources; 0 means 1
+}
+
+func (c Churn) enabled() bool { return c.LeaveProb > 0 || c.JoinProb > 0 }
+
+// Config describes one open-system run.
+type Config struct {
+	// Graph is the resource topology (required).
+	Graph *graph.Graph
+	// Protocol is the per-round migration rule (required).
+	Protocol core.Protocol
+	// Arrivals is the arrival process (required).
+	Arrivals Arrivals
+	// Service is the departure discipline (required).
+	Service Service
+	// Dispatch routes arrivals; nil means UniformDispatch.
+	Dispatch Dispatch
+	// Tuner refreshes thresholds online (required).
+	Tuner Tuner
+	// Churn enables resource join/leave; the zero value disables it.
+	Churn Churn
+	// Rounds is the number of simulated rounds (required, > 0).
+	Rounds int
+	// Window is the metrics window length in rounds; 0 means 100.
+	Window int
+	// Seed fixes all randomness.
+	Seed uint64
+	// InitialWeights optionally pre-populates the system; paired with
+	// InitialPlacement (task → resource; nil places all on resource 0).
+	InitialWeights   []float64
+	InitialPlacement []int
+	// CheckInvariants validates conservation after every round (slow;
+	// tests only).
+	CheckInvariants bool
+	// OnRound, if non-nil, runs after every completed round with the
+	// live state (read-only use expected).
+	OnRound func(round int, s *core.State)
+	// OnWindow, if non-nil, receives each completed metrics window.
+	OnWindow func(w WindowStats)
+}
+
+// WindowStats summarises one metrics window of an open-system run.
+// Rates are per-round time averages over the window; load figures are
+// a snapshot over up resources at the window's last round.
+type WindowStats struct {
+	Start, End     int     // round range [Start, End)
+	OverloadFrac   float64 // time-averaged fraction of up resources over threshold
+	MigrationRate  float64 // protocol migrations per round
+	RehomeRate     float64 // churn re-homes + bounced deliveries per round
+	ArrivalRate    float64 // arriving tasks per round
+	DepartureRate  float64 // departing tasks per round
+	MeanLoad       float64 // snapshot mean load over up resources
+	MaxLoad        float64 // snapshot max load
+	P99Load        float64 // snapshot 99th-percentile load
+	InFlight       int     // live tasks at window end
+	InFlightWeight float64 // live weight at window end
+	UpResources    int     // up resources at window end
+}
+
+// Result reports a completed open-system run.
+type Result struct {
+	Rounds         int
+	Arrived        int64
+	Departed       int64
+	ArrivedWeight  float64
+	DepartedWeight float64
+	Migrations     int64   // protocol-driven moves
+	MovedWeight    float64 // weight of protocol-driven moves
+	Rehomed        int64   // churn evacuations + bounced deliveries
+	Downs, Ups     int     // churn events
+	Windows        []WindowStats
+	FinalInFlight  int
+	FinalWeight    float64
+}
+
+// TailOverloadFrac averages the windowed overload fraction over the
+// windows after the first skip ones — the steady-state figure once the
+// warm-up transient is discarded. Returns NaN with no such windows.
+func (r Result) TailOverloadFrac(skip int) float64 {
+	if skip < 0 || skip >= len(r.Windows) {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, w := range r.Windows[skip:] {
+		sum += w.OverloadFrac
+	}
+	return sum / float64(len(r.Windows)-skip)
+}
+
+// Run executes the open-system simulation described by cfg.
+func Run(cfg Config) (Result, error) {
+	if err := validate(cfg); err != nil {
+		return Result{}, err
+	}
+	n := cfg.Graph.N()
+	window := cfg.Window
+	if window <= 0 {
+		window = 100
+	}
+	dispatch := cfg.Dispatch
+	if dispatch == nil {
+		dispatch = UniformDispatch{}
+	}
+	minUp := cfg.Churn.MinUp
+	if minUp <= 0 {
+		minUp = 1
+	}
+
+	// Seed state. Thresholds start at zero; the tuner sets real ones in
+	// round 0 before the first protocol step.
+	var ts *task.Set
+	placement := cfg.InitialPlacement
+	if len(cfg.InitialWeights) > 0 {
+		ts = task.NewSet(cfg.InitialWeights)
+		if placement == nil {
+			placement = make([]int, ts.M())
+		}
+	} else {
+		ts = task.NewEmptySet()
+		placement = nil
+	}
+	s := core.NewState(cfg.Graph, ts, placement,
+		core.FixedVector{V: make([]float64, n), Label: "dynamic-init"}, cfg.Seed)
+
+	// Engine RNG streams live above the per-resource streams 0..n−1.
+	arrRand := rng.Stream(cfg.Seed, uint64(n))
+	dispRand := rng.Stream(cfg.Seed, uint64(n)+1)
+	svcRand := rng.Stream(cfg.Seed, uint64(n)+2)
+	churnRand := rng.Stream(cfg.Seed, uint64(n)+3)
+
+	up := NewUpSet(n)
+	remaining := make([]float64, ts.M())
+	for i := 0; i < ts.M(); i++ {
+		remaining[i] = ts.Weight(i)
+	}
+	initialWeight := ts.W()
+
+	var res Result
+	var depBuf []int
+	loadBuf := make([]float64, 0, n)
+
+	// Per-window accumulators.
+	var wOverload float64
+	var wMigrations, wRehomed, wArrivals, wDepartures int64
+	windowStart := 0
+	flush := func(end int) {
+		rounds := float64(end - windowStart)
+		if rounds == 0 {
+			return
+		}
+		loadBuf = loadBuf[:0]
+		for i := 0; i < up.N(); i++ {
+			loadBuf = append(loadBuf, s.Load(up.At(i)))
+		}
+		ws := WindowStats{
+			Start:          windowStart,
+			End:            end,
+			OverloadFrac:   wOverload / rounds,
+			MigrationRate:  float64(wMigrations) / rounds,
+			RehomeRate:     float64(wRehomed) / rounds,
+			ArrivalRate:    float64(wArrivals) / rounds,
+			DepartureRate:  float64(wDepartures) / rounds,
+			MeanLoad:       stats.Mean(loadBuf),
+			P99Load:        stats.Quantile(loadBuf, 0.99),
+			InFlight:       s.Tasks().Live(),
+			InFlightWeight: s.InFlightWeight(),
+			UpResources:    up.N(),
+		}
+		for _, l := range loadBuf {
+			if l > ws.MaxLoad {
+				ws.MaxLoad = l
+			}
+		}
+		res.Windows = append(res.Windows, ws)
+		if cfg.OnWindow != nil {
+			cfg.OnWindow(ws)
+		}
+		wOverload, wMigrations, wRehomed, wArrivals, wDepartures = 0, 0, 0, 0, 0
+		windowStart = end
+	}
+
+	for t := 0; t < cfg.Rounds; t++ {
+		// 1. Resource churn.
+		if cfg.Churn.enabled() {
+			if up.N() > minUp && churnRand.Bool(cfg.Churn.LeaveProb) {
+				leave := up.Random(churnRand)
+				up.Down(leave)
+				res.Downs++
+				for _, tk := range s.Evacuate(leave) {
+					s.Attach(tk, up.Random(churnRand))
+					res.Rehomed++
+					wRehomed++
+				}
+			}
+			if up.N() < n && churnRand.Bool(cfg.Churn.JoinProb) {
+				// Uniform pick among down resources.
+				k := churnRand.Intn(n - up.N())
+				for r := 0; r < n; r++ {
+					if up.Contains(r) {
+						continue
+					}
+					if k == 0 {
+						up.Up(r)
+						res.Ups++
+						break
+					}
+					k--
+				}
+			}
+		}
+
+		// 2. Arrivals.
+		for _, w := range cfg.Arrivals.Next(t, arrRand) {
+			dest := dispatch.Pick(s, up, w, dispRand)
+			tk := s.InsertTask(w, dest)
+			remaining = append(remaining, tk.Weight)
+			res.Arrived++
+			res.ArrivedWeight += w
+			wArrivals++
+		}
+
+		// 3. Service and departures (up resources only).
+		for i := 0; i < up.N(); i++ {
+			r := up.At(i)
+			if s.Count(r) == 0 {
+				continue
+			}
+			depBuf = cfg.Service.Departures(s.Stack(r), remaining, svcRand, depBuf[:0])
+			if len(depBuf) == 0 {
+				continue
+			}
+			for _, tk := range s.RemoveTasksAt(r, depBuf) {
+				res.Departed++
+				res.DepartedWeight += tk.Weight
+				wDepartures++
+			}
+		}
+
+		// Settle the live-wmax cache at this consistent point (all
+		// departures applied, nothing in limbo or mid-migration) so
+		// neither the tuner nor the protocol recomputes it mid-phase.
+		s.LiveWMax()
+
+		// 4. Online threshold refresh.
+		if thr := cfg.Tuner.Refresh(t, s, up); thr != nil {
+			s.SetThresholds(thr)
+		}
+
+		// 5. One protocol round.
+		st := cfg.Protocol.Step(s)
+		res.Migrations += int64(st.Migrations)
+		res.MovedWeight += st.MovedWeight
+		wMigrations += int64(st.Migrations)
+
+		// 6. Bounce deliveries that landed on down resources.
+		if up.N() < n {
+			for r := 0; r < n; r++ {
+				if up.Contains(r) || s.Count(r) == 0 {
+					continue
+				}
+				for _, tk := range s.Evacuate(r) {
+					s.Attach(tk, up.Random(churnRand))
+					res.Rehomed++
+					wRehomed++
+				}
+			}
+		}
+
+		// 7. Metrics.
+		over := 0
+		for i := 0; i < up.N(); i++ {
+			r := up.At(i)
+			if s.Overloaded(r) {
+				over++
+			}
+		}
+		wOverload += float64(over) / float64(up.N())
+		if cfg.OnRound != nil {
+			cfg.OnRound(t, s)
+		}
+		if cfg.CheckInvariants {
+			if err := checkConservation(s, initialWeight, res); err != nil {
+				return res, fmt.Errorf("dynamic: round %d: %w", t, err)
+			}
+		}
+		if (t+1)%window == 0 {
+			flush(t + 1)
+		}
+	}
+	flush(cfg.Rounds)
+
+	res.Rounds = cfg.Rounds
+	res.FinalInFlight = s.Tasks().Live()
+	res.FinalWeight = s.InFlightWeight()
+	if err := checkConservation(s, initialWeight, res); err != nil {
+		return res, fmt.Errorf("dynamic: %w", err)
+	}
+	return res, nil
+}
+
+// checkConservation validates the open-system weight balance
+// W(t) = W(0) + arrived − departed and the core stack/location/set
+// invariants.
+func checkConservation(s *core.State, initialWeight float64, res Result) error {
+	if err := s.CheckInvariants(); err != nil {
+		return err
+	}
+	want := initialWeight + res.ArrivedWeight - res.DepartedWeight
+	got := s.InFlightWeight()
+	if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+		return fmt.Errorf("in-flight weight %v != arrived−departed balance %v", got, want)
+	}
+	return nil
+}
+
+func validate(cfg Config) error {
+	switch {
+	case cfg.Graph == nil:
+		return errors.New("dynamic: Config.Graph is required")
+	case cfg.Graph.N() == 0:
+		return errors.New("dynamic: graph has no resources")
+	case cfg.Protocol == nil:
+		return errors.New("dynamic: Config.Protocol is required")
+	case cfg.Arrivals == nil:
+		return errors.New("dynamic: Config.Arrivals is required")
+	case cfg.Service == nil:
+		return errors.New("dynamic: Config.Service is required")
+	case cfg.Tuner == nil:
+		return errors.New("dynamic: Config.Tuner is required")
+	case cfg.Rounds <= 0:
+		return errors.New("dynamic: Config.Rounds must be > 0")
+	case cfg.Churn.LeaveProb < 0 || cfg.Churn.LeaveProb > 1 ||
+		cfg.Churn.JoinProb < 0 || cfg.Churn.JoinProb > 1:
+		return errors.New("dynamic: churn probabilities must be in [0,1]")
+	case cfg.Churn.MinUp > cfg.Graph.N():
+		return errors.New("dynamic: Churn.MinUp exceeds the number of resources")
+	}
+	if cfg.InitialPlacement != nil && len(cfg.InitialPlacement) != len(cfg.InitialWeights) {
+		return fmt.Errorf("dynamic: initial placement has %d entries for %d tasks",
+			len(cfg.InitialPlacement), len(cfg.InitialWeights))
+	}
+	for i, r := range cfg.InitialPlacement {
+		if r < 0 || r >= cfg.Graph.N() {
+			return fmt.Errorf("dynamic: initial task %d placed on invalid resource %d", i, r)
+		}
+	}
+	// Pluggable components check their own parameters up front, so a bad
+	// rate or probability is a config error, not a mid-run panic.
+	for _, c := range []any{cfg.Arrivals, cfg.Service, cfg.Dispatch, cfg.Tuner} {
+		if v, ok := c.(interface{ Validate() error }); ok {
+			if err := v.Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

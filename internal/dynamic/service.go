@@ -1,0 +1,96 @@
+package dynamic
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/stack"
+)
+
+// Service decides which tasks complete on a resource each round.
+type Service interface {
+	// Departures appends to buf the strictly increasing stack positions
+	// of the tasks on st that depart at the end of this round. rem maps
+	// task ID → remaining service work and may be decremented; all
+	// randomness comes from r.
+	Departures(st *stack.Stack, rem []float64, r *rng.Rand, buf []int) []int
+	// Name identifies the discipline in reports.
+	Name() string
+}
+
+// WeightProportional models service time proportional to weight: every
+// up resource works through Rate weight-units per round, serving its
+// stack bottom-first (FIFO — the oldest, already-accepted tasks are at
+// the bottom), and a task departs once its remaining work (initially
+// its weight) is done. Offered utilisation is therefore
+// ρ = λ·E[w] / (n·Rate) for Poisson(λ) arrivals, and the system is
+// stable exactly when balancing keeps work spread so that ρ < 1.
+type WeightProportional struct {
+	Rate float64 // weight-units served per resource per round, > 0
+}
+
+// Departures implements Service.
+func (s WeightProportional) Departures(st *stack.Stack, rem []float64, r *rng.Rand, buf []int) []int {
+	if s.Rate <= 0 {
+		panic("dynamic: WeightProportional.Rate must be > 0")
+	}
+	budget := s.Rate
+	for i := 0; i < st.Len() && budget > 0; i++ {
+		id := st.Task(i).ID
+		if rem[id] <= budget {
+			budget -= rem[id]
+			rem[id] = 0
+			buf = append(buf, i)
+			continue
+		}
+		rem[id] -= budget
+		budget = 0
+	}
+	return buf
+}
+
+// Validate implements the optional config check.
+func (s WeightProportional) Validate() error {
+	if s.Rate <= 0 {
+		return fmt.Errorf("dynamic: WeightProportional.Rate %v must be > 0", s.Rate)
+	}
+	return nil
+}
+
+// Name identifies the discipline.
+func (s WeightProportional) Name() string {
+	return fmt.Sprintf("weight-proportional(rate=%g)", s.Rate)
+}
+
+// Geometric models memoryless holding times: each in-flight task
+// departs independently with probability P per round (mean lifetime
+// 1/P rounds), regardless of its position or weight — the
+// infinite-server regime of Goldsztajn et al.'s self-learning
+// threshold model.
+type Geometric struct {
+	P float64 // per-round departure probability, in (0, 1]
+}
+
+// Departures implements Service.
+func (g Geometric) Departures(st *stack.Stack, rem []float64, r *rng.Rand, buf []int) []int {
+	if g.P <= 0 || g.P > 1 {
+		panic("dynamic: Geometric.P must be in (0, 1]")
+	}
+	for i := 0; i < st.Len(); i++ {
+		if r.Bool(g.P) {
+			buf = append(buf, i)
+		}
+	}
+	return buf
+}
+
+// Validate implements the optional config check.
+func (g Geometric) Validate() error {
+	if g.P <= 0 || g.P > 1 {
+		return fmt.Errorf("dynamic: Geometric.P %v must be in (0, 1]", g.P)
+	}
+	return nil
+}
+
+// Name identifies the discipline.
+func (g Geometric) Name() string { return fmt.Sprintf("geometric(p=%g)", g.P) }

@@ -1,0 +1,158 @@
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/diffusion"
+	"repro/internal/walk"
+)
+
+// Tuner re-estimates the threshold vector online as the in-flight
+// population drifts — the self-learning knob of the open system. The
+// engine calls Refresh after every round; a non-nil return value
+// replaces the state's thresholds. Tuners are stateful (decaying
+// averages, cached vectors): construct a fresh one per run, or
+// back-to-back runs with the same seed will diverge.
+type Tuner interface {
+	// Refresh observes the post-round state and returns a fresh
+	// threshold vector when an update is due, or nil to keep the
+	// current one.
+	Refresh(round int, s *core.State, up *UpSet) []float64
+	// Name identifies the tuner in reports.
+	Name() string
+}
+
+// OracleTuner recomputes T = (1+Eps)·W(t)/n_up + wmax every Every
+// rounds from the exact in-flight weight — centralised knowledge, the
+// upper baseline the decentralised tuner is measured against.
+type OracleTuner struct {
+	Eps   float64 // threshold slack, > 0
+	Every int     // refresh period in rounds; 0 means every round
+	thr   []float64
+}
+
+// Refresh implements Tuner.
+func (o *OracleTuner) Refresh(round int, s *core.State, up *UpSet) []float64 {
+	if o.Eps <= 0 {
+		panic("dynamic: OracleTuner.Eps must be > 0")
+	}
+	every := o.Every
+	if every <= 0 {
+		every = 1
+	}
+	if round%every != 0 {
+		return nil
+	}
+	n := s.N()
+	if o.thr == nil {
+		o.thr = make([]float64, n)
+	}
+	t := (1+o.Eps)*s.InFlightWeight()/float64(up.N()) + s.LiveWMax()
+	for r := range o.thr {
+		o.thr[r] = t
+	}
+	return o.thr
+}
+
+// Validate implements the optional config check.
+func (o *OracleTuner) Validate() error {
+	if o.Eps <= 0 {
+		return fmt.Errorf("dynamic: OracleTuner.Eps %v must be > 0", o.Eps)
+	}
+	return nil
+}
+
+// Name identifies the tuner.
+func (o *OracleTuner) Name() string { return fmt.Sprintf("oracle(eps=%g)", o.Eps) }
+
+// SelfTuner is the decentralised threshold estimator: every resource
+// keeps an exponentially decaying average of its own load,
+//
+//	est_r ← Decay·est_r + (1−Decay)·x_r(t),
+//
+// and every Every rounds the estimates run Steps rounds of continuous
+// diffusion over the resource graph (the paper's footnote-1 substrate,
+// reused from internal/diffusion), concentrating them around the
+// system-wide average load W(t)/n. Each resource then sets its own
+// threshold T_r = (1+Eps)·est_r + wmax. No resource ever reads global
+// state — arrivals, departures and churn are absorbed by the decaying
+// average, and the slack Eps covers the estimation error, exactly as
+// it covers the static estimation error in the paper.
+type SelfTuner struct {
+	Eps    float64     // threshold slack, > 0
+	Decay  float64     // EWMA decay in (0,1); 0 means the default 0.8
+	Every  int         // rounds between diffusion refreshes; default 10
+	Steps  int         // diffusion steps per refresh; default 8
+	Kernel walk.Kernel // diffusion kernel; required
+
+	est []float64
+	thr []float64
+}
+
+// NewSelfTuner returns a SelfTuner with the package defaults
+// (Decay 0.8, Every 10, Steps 8).
+func NewSelfTuner(k walk.Kernel, eps float64) *SelfTuner {
+	return &SelfTuner{Eps: eps, Decay: 0.8, Every: 10, Steps: 8, Kernel: k}
+}
+
+// Refresh implements Tuner.
+func (st *SelfTuner) Refresh(round int, s *core.State, up *UpSet) []float64 {
+	if st.Eps <= 0 {
+		panic("dynamic: SelfTuner.Eps must be > 0")
+	}
+	if st.Kernel == nil {
+		panic("dynamic: SelfTuner.Kernel is required")
+	}
+	if st.Decay < 0 || st.Decay >= 1 {
+		panic("dynamic: SelfTuner.Decay must be in [0,1)")
+	}
+	decay := st.Decay
+	if decay == 0 {
+		decay = 0.8
+	}
+	every := st.Every
+	if every <= 0 {
+		every = 10
+	}
+	steps := st.Steps
+	if steps <= 0 {
+		steps = 8
+	}
+	n := s.N()
+	if st.est == nil {
+		st.est = make([]float64, n)
+		st.thr = make([]float64, n)
+	}
+	for r := 0; r < n; r++ {
+		st.est[r] = decay*st.est[r] + (1-decay)*s.Load(r)
+	}
+	if round%every != 0 {
+		return nil
+	}
+	z := diffusion.Run(st.Kernel, st.est, steps)
+	wmax := s.LiveWMax()
+	for r := range st.thr {
+		st.thr[r] = (1+st.Eps)*z[r] + wmax
+	}
+	return st.thr
+}
+
+// Validate implements the optional config check.
+func (st *SelfTuner) Validate() error {
+	switch {
+	case st.Eps <= 0:
+		return fmt.Errorf("dynamic: SelfTuner.Eps %v must be > 0", st.Eps)
+	case st.Kernel == nil:
+		return errors.New("dynamic: SelfTuner.Kernel is required")
+	case st.Decay < 0 || st.Decay >= 1:
+		return fmt.Errorf("dynamic: SelfTuner.Decay %v must be in [0,1) (0 selects the default 0.8)", st.Decay)
+	}
+	return nil
+}
+
+// Name identifies the tuner.
+func (st *SelfTuner) Name() string {
+	return fmt.Sprintf("self-tuned(eps=%g,decay=%g)", st.Eps, st.Decay)
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/walk"
+)
+
+// dynParetoMean is E[min(Pareto(1,2), 20)] = 2 − 1/20, the mean weight
+// of the open-system workload used by the dynamic drivers.
+const dynParetoMean = 1.95
+
+// dynTrial runs one open-system trial and returns the steady-state
+// summary (warm-up windows discarded).
+type dynSummary struct {
+	overload  float64 // tail time-averaged overload fraction
+	p99       float64 // last-window p99 load
+	inflight  float64 // last-window in-flight weight per up resource
+	migRate   float64 // tail migrations per round
+	rehomed   float64 // total re-homed tasks
+	arrived   float64
+	departed  float64
+	conserved bool // weight balance held at the end
+}
+
+func dynTrial(cfg dynamic.Config, warmWindows int) dynSummary {
+	res, err := dynamic.Run(cfg)
+	if err != nil {
+		// Conservation or invariant failure: surface as a broken row
+		// instead of aborting the whole sweep.
+		return dynSummary{conserved: false}
+	}
+	var mig float64
+	tail := res.Windows[warmWindows:]
+	for _, w := range tail {
+		mig += w.MigrationRate
+	}
+	last := res.Windows[len(res.Windows)-1]
+	return dynSummary{
+		overload:  res.TailOverloadFrac(warmWindows),
+		p99:       last.P99Load,
+		inflight:  last.InFlightWeight / float64(last.UpResources),
+		migRate:   mig / float64(len(tail)),
+		rehomed:   float64(res.Rehomed),
+		arrived:   float64(res.Arrived),
+		departed:  float64(res.Departed),
+		conserved: true,
+	}
+}
+
+// DynamicRho sweeps the offered utilisation ρ → 1 on the open system:
+// Poisson arrivals of Pareto-weighted tasks at rate ρ·n/E[w] against
+// unit per-resource service, user-controlled migration on the complete
+// graph, thresholds self-tuned online from diffused decaying load
+// averages. The table shows where threshold balancing keeps the system
+// in steady state (low overload fraction, bounded in-flight weight)
+// and how the margin erodes as ρ approaches the capacity limit.
+func DynamicRho(cfg Config) *Table {
+	cfg = cfg.Defaults()
+	n := 1000
+	rounds, window, warm := 600, 100, 2
+	rhos := []float64{0.5, 0.7, 0.8, 0.9, 0.95, 0.99}
+	if cfg.Quick {
+		n = 200
+		rounds, window, warm = 300, 50, 2
+		rhos = []float64{0.5, 0.8, 0.95}
+	}
+	g := graph.Complete(n)
+	t := &Table{
+		ID:     "dynrho",
+		Title:  f("open system: utilisation sweep (n=%d, Poisson/Pareto(2,cap20), self-tuned thresholds)", n),
+		Header: []string{"rho", "overload%", "p99 load", "W/n in flight", "migrations/round"},
+	}
+	for _, rho := range rhos {
+		out := sim.Run(cfg.Trials, cfg.Workers, func(trial int, seed uint64) dynSummary {
+			return dynTrial(dynamic.Config{
+				Graph:    g,
+				Protocol: core.UserControlled{Alpha: 1},
+				Arrivals: dynamic.Poisson{Rate: rho * float64(n) / dynParetoMean,
+					Weights: task.Pareto{Alpha: 2, Cap: 20}},
+				Service: dynamic.WeightProportional{Rate: 1},
+				Tuner: &dynamic.SelfTuner{Eps: 0.5, Decay: 0.8, Every: 10, Steps: 2,
+					Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+				Rounds: rounds,
+				Window: window,
+				Seed:   seed,
+			}, warm)
+		}, cfg.Seed)
+		var over, p99, infl, mig stats.Online
+		broken := 0
+		for _, s := range out {
+			if !s.conserved {
+				broken++ // excluded: an all-zero row would fake perfect balance
+				continue
+			}
+			over.Add(s.overload * 100)
+			p99.Add(s.p99)
+			infl.Add(s.inflight)
+			mig.Add(s.migRate)
+		}
+		t.AddRow(f("%.2f", rho), meanCell(over), meanCell(p99), meanCell(infl), meanCell(mig))
+		if broken > 0 {
+			t.AddNote("rho=%.2f: %d/%d trials failed conservation and were excluded", rho, broken, len(out))
+		}
+	}
+	t.AddNote("rho = arrivalRate*E[w]/(n*serviceRate); overload%% is the tail time-averaged fraction of resources above threshold")
+	return t
+}
+
+// DynamicChurn holds ρ = 0.8 fixed and sweeps the resource churn rate,
+// checking that re-homing conserves in-flight weight while measuring
+// what machine turnover costs in overload and forced moves. Runs the
+// resource-controlled protocol on an expander (churn on the complete
+// graph is the easy case; an expander keeps re-homed work local).
+func DynamicChurn(cfg Config) *Table {
+	cfg = cfg.Defaults()
+	n, deg := 500, 8
+	rounds, window, warm := 500, 100, 2
+	churns := []float64{0, 0.05, 0.1, 0.2, 0.5}
+	if cfg.Quick {
+		n = 200
+		rounds, window, warm = 250, 50, 2
+		churns = []float64{0, 0.1, 0.5}
+	}
+	g := graph.RandomRegular(n, deg, rng.NewSeeded(cfg.Seed))
+	t := &Table{
+		ID:     "dynchurn",
+		Title:  f("open system: resource churn sweep (n=%d expander, rho=0.8, resource-controlled)", n),
+		Header: []string{"leave/join prob", "overload%", "rehomed/trial", "W/n in flight", "conserved"},
+	}
+	for _, p := range churns {
+		out := sim.Run(cfg.Trials, cfg.Workers, func(trial int, seed uint64) dynSummary {
+			return dynTrial(dynamic.Config{
+				Graph:    g,
+				Protocol: core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+				Arrivals: dynamic.Poisson{Rate: 0.8 * float64(n) / dynParetoMean,
+					Weights: task.Pareto{Alpha: 2, Cap: 20}},
+				Service: dynamic.WeightProportional{Rate: 1},
+				Tuner: &dynamic.SelfTuner{Eps: 0.5,
+					Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+				Churn:  dynamic.Churn{LeaveProb: p, JoinProb: p, MinUp: n / 2},
+				Rounds: rounds,
+				Window: window,
+				Seed:   seed,
+
+				CheckInvariants: true,
+			}, warm)
+		}, cfg.Seed)
+		var over, rehomed, infl stats.Online
+		conserved := true
+		for _, s := range out {
+			if !s.conserved {
+				conserved = false // flagged in the row; excluded from means
+				continue
+			}
+			over.Add(s.overload * 100)
+			rehomed.Add(s.rehomed)
+			infl.Add(s.inflight)
+		}
+		t.AddRow(f("%.2f", p), meanCell(over), meanCell(rehomed), meanCell(infl), f("%v", conserved))
+	}
+	t.AddNote("conserved: every trial's in-flight weight matched arrived-departed after per-round invariant checks")
+	return t
+}

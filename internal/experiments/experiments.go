@@ -123,6 +123,8 @@ var Registry = []struct {
 	{"diffusion", "Footnote 1: diffusion-estimated thresholds end to end", DiffusionThresholds},
 	{"ablation", "Design ablations: mixed protocol, kernels, non-uniform thresholds", Ablation},
 	{"baselines", "Related-work baselines: diffusion, Greedy[2], (1+beta), oracle", Baselines},
+	{"dynrho", "Open system: arrival-rate sweep rho -> 1 with self-tuned thresholds", DynamicRho},
+	{"dynchurn", "Open system: resource churn sweep at rho=0.8 (weight conservation)", DynamicChurn},
 }
 
 // Lookup returns the driver for id, or nil.

@@ -331,6 +331,37 @@ func (z *Zipf) Sample(r *Rand) int {
 	return lo + 1
 }
 
+// Poisson returns a Poisson(lambda) variate. Small rates use Knuth's
+// uniform-product method (exact); large rates fall back to the normal
+// approximation with continuity correction, which is accurate to well
+// under a percent for lambda > 60 — plenty for the arrival processes
+// that use it. It panics on a negative rate.
+func (r *Rand) Poisson(lambda float64) int {
+	if lambda < 0 {
+		panic("rng: Poisson requires lambda >= 0")
+	}
+	if lambda == 0 {
+		return 0
+	}
+	if lambda <= 60 {
+		limit := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= limit {
+				return k
+			}
+			k++
+		}
+	}
+	k := int(math.Round(lambda + math.Sqrt(lambda)*r.NormFloat64()))
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
 // Binomial returns a Binomial(n, p) variate. For small n it sums
 // Bernoulli draws; for large n it uses the normal approximation with
 // continuity correction clamped to [0,n], which is accurate enough for

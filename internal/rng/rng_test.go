@@ -409,3 +409,35 @@ func BenchmarkRandIntn(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestPoissonMoments(t *testing.T) {
+	r := NewSeeded(11)
+	// Both the exact (small-lambda) and approximate (large-lambda)
+	// branches must match the Poisson mean and variance.
+	for _, lambda := range []float64{0.5, 4, 30, 200} {
+		const n = 20000
+		sum, sumsq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			k := float64(r.Poisson(lambda))
+			sum += k
+			sumsq += k * k
+		}
+		mean := sum / n
+		variance := sumsq/n - mean*mean
+		if math.Abs(mean-lambda) > 0.05*lambda+0.1 {
+			t.Fatalf("lambda=%v: mean %v", lambda, mean)
+		}
+		if math.Abs(variance-lambda) > 0.15*lambda+0.2 {
+			t.Fatalf("lambda=%v: variance %v", lambda, variance)
+		}
+	}
+	if r.Poisson(0) != 0 {
+		t.Fatal("Poisson(0) must be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative rate did not panic")
+		}
+	}()
+	r.Poisson(-1)
+}

@@ -188,6 +188,22 @@ func (s *Stack) RemoveIndices(indices []int) []task.Task {
 	return removed
 }
 
+// PopAt removes and returns the task at position i; the tasks above it
+// slide down one slot, preserving relative order. O(len−i). This is the
+// open-system departure primitive: service completions leave from the
+// bottom (i = 0, FIFO) and geometric departures from arbitrary
+// positions. Panics on an out-of-range index.
+func (s *Stack) PopAt(i int) task.Task {
+	if i < 0 || i >= len(s.tasks) {
+		panic(fmt.Sprintf("stack: PopAt index %d out of range (len %d)", i, len(s.tasks)))
+	}
+	tk := s.tasks[i]
+	s.load -= tk.Weight
+	copy(s.tasks[i:], s.tasks[i+1:])
+	s.tasks = s.tasks[:len(s.tasks)-1]
+	return tk
+}
+
 // Clone returns a deep copy.
 func (s *Stack) Clone() *Stack {
 	return &Stack{tasks: append([]task.Task(nil), s.tasks...), load: s.load}

@@ -330,3 +330,25 @@ func BenchmarkPopOverflow(b *testing.B) {
 		s.PopOverflow(500)
 	}
 }
+
+func TestPopAt(t *testing.T) {
+	s := mk(2, 3, 4)
+	if got := s.PopAt(0); got.Weight != 2 {
+		t.Fatalf("PopAt(0) = %+v", got)
+	}
+	if s.Len() != 2 || s.Load() != 7 || s.Task(0).Weight != 3 {
+		t.Fatalf("after bottom pop: len=%d load=%v", s.Len(), s.Load())
+	}
+	if got := s.PopAt(1); got.Weight != 4 {
+		t.Fatalf("PopAt(1) = %+v", got)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range PopAt did not panic")
+		}
+	}()
+	s.PopAt(5)
+}

@@ -24,13 +24,24 @@ type Task struct {
 	Weight float64
 }
 
-// Set is an immutable collection of tasks plus its cached aggregate
-// statistics (W, wmax, wmin) that the threshold formulas need.
+// ValidWeight reports whether w satisfies the library's normalisation:
+// finite and at least wmin = 1. Every entry point (static scenarios,
+// open-system arrivals, Set construction) checks through this single
+// predicate. w >= 1 is false for NaN, so NaN needs no separate test.
+func ValidWeight(w float64) bool { return w >= 1 && !math.IsInf(w, 0) }
+
+// Set is a collection of tasks plus its cached aggregate statistics
+// (W, wmax, wmin) that the threshold formulas need. Static scenarios
+// build a Set once and never mutate it; the open-system engine grows
+// and shrinks a Set via Add and Remove (removed tasks are tombstoned
+// so IDs stay stable, and W/Live track only in-flight tasks).
 type Set struct {
-	tasks []Task
-	total float64
-	wmax  float64
-	wmin  float64
+	tasks   []Task
+	removed []bool // lazily allocated; nil in static runs
+	live    int
+	total   float64 // live weight only
+	wmax    float64 // high-watermark over every task ever added
+	wmin    float64 // low-watermark likewise
 }
 
 // NewSet builds a Set from weights, assigning IDs 0..len-1.
@@ -45,7 +56,7 @@ func NewSet(weights []float64) *Set {
 		wmin:  weights[0],
 	}
 	for i, w := range weights {
-		if w < 1 || math.IsInf(w, 0) || math.IsNaN(w) {
+		if !ValidWeight(w) {
 			panic(fmt.Sprintf("task: weight %v at index %d violates wmin >= 1", w, i))
 		}
 		s.tasks[i] = Task{ID: i, Weight: w}
@@ -57,23 +68,84 @@ func NewSet(weights []float64) *Set {
 			s.wmin = w
 		}
 	}
+	s.live = len(weights)
 	return s
 }
 
-// M returns the number of tasks.
+// NewEmptySet returns a Set with no tasks, ready to grow via Add — the
+// starting state of an open system before the first arrival.
+func NewEmptySet() *Set { return &Set{} }
+
+// Add appends a new task with the next unused ID and returns it. The
+// watermarks wmax/wmin only ever widen, so thresholds computed from
+// them stay valid for every task seen so far.
+// It panics if w is below 1 or non-finite.
+func (s *Set) Add(w float64) Task {
+	if !ValidWeight(w) {
+		panic(fmt.Sprintf("task: weight %v violates wmin >= 1", w))
+	}
+	t := Task{ID: len(s.tasks), Weight: w}
+	s.tasks = append(s.tasks, t)
+	if s.removed != nil {
+		s.removed = append(s.removed, false)
+	}
+	s.live++
+	s.total += w
+	if s.wmax == 0 || w > s.wmax {
+		s.wmax = w
+	}
+	if s.wmin == 0 || w < s.wmin {
+		s.wmin = w
+	}
+	return t
+}
+
+// Remove tombstones task id (a departure): its weight leaves W and the
+// live count, but the ID stays allocated so location maps and traces
+// remain stable. It panics on an unknown or already-removed id.
+func (s *Set) Remove(id int) {
+	if id < 0 || id >= len(s.tasks) {
+		panic(fmt.Sprintf("task: Remove of unknown task %d", id))
+	}
+	if s.removed == nil {
+		s.removed = make([]bool, len(s.tasks))
+	}
+	if s.removed[id] {
+		panic(fmt.Sprintf("task: task %d removed twice", id))
+	}
+	s.removed[id] = true
+	s.live--
+	s.total -= s.tasks[id].Weight
+}
+
+// Removed reports whether task id has departed.
+func (s *Set) Removed(id int) bool {
+	return s.removed != nil && id >= 0 && id < len(s.removed) && s.removed[id]
+}
+
+// Live returns the number of in-flight (non-removed) tasks.
+func (s *Set) Live() int { return s.live }
+
+// M returns the number of task IDs ever issued (including departed
+// tasks in dynamic runs; equal to Live for static sets).
 func (s *Set) M() int { return len(s.tasks) }
 
-// W returns the total weight Σ w_i.
+// W returns the total in-flight weight Σ w_i over live tasks.
 func (s *Set) W() float64 { return s.total }
 
-// WMax returns the maximum task weight.
+// WMax returns the maximum task weight ever seen (0 for an empty set).
 func (s *Set) WMax() float64 { return s.wmax }
 
-// WMin returns the minimum task weight.
+// WMin returns the minimum task weight ever seen (0 for an empty set).
 func (s *Set) WMin() float64 { return s.wmin }
 
-// WAvg returns the average task weight W/m.
-func (s *Set) WAvg() float64 { return s.total / float64(len(s.tasks)) }
+// WAvg returns the average live task weight W/Live (0 when empty).
+func (s *Set) WAvg() float64 {
+	if s.live == 0 {
+		return 0
+	}
+	return s.total / float64(s.live)
+}
 
 // Task returns the i-th task.
 func (s *Set) Task(i int) Task { return s.tasks[i] }

@@ -278,3 +278,55 @@ func TestSortByWeightDesc(t *testing.T) {
 		seen[id] = true
 	}
 }
+
+func TestDynamicSetAddRemove(t *testing.T) {
+	s := NewEmptySet()
+	if s.M() != 0 || s.Live() != 0 || s.W() != 0 || s.WMax() != 0 || s.WAvg() != 0 {
+		t.Fatalf("empty set aggregates: m=%d live=%d W=%v", s.M(), s.Live(), s.W())
+	}
+	a := s.Add(3)
+	b := s.Add(7)
+	if a.ID != 0 || b.ID != 1 || s.Live() != 2 || s.W() != 10 || s.WMax() != 7 || s.WMin() != 3 {
+		t.Fatalf("after adds: %+v %+v live=%d W=%v max=%v min=%v", a, b, s.Live(), s.W(), s.WMax(), s.WMin())
+	}
+	s.Remove(a.ID)
+	if s.Live() != 1 || s.W() != 7 || !s.Removed(a.ID) || s.Removed(b.ID) {
+		t.Fatalf("after remove: live=%d W=%v", s.Live(), s.W())
+	}
+	// Watermarks never shrink: thresholds computed from them stay valid.
+	if s.WMax() != 7 || s.WMin() != 3 {
+		t.Fatalf("watermarks moved: max=%v min=%v", s.WMax(), s.WMin())
+	}
+	// IDs keep growing past tombstones.
+	c := s.Add(2)
+	if c.ID != 2 || s.M() != 3 || s.Live() != 2 || s.W() != 9 {
+		t.Fatalf("post-tombstone add: %+v m=%d live=%d W=%v", c, s.M(), s.Live(), s.W())
+	}
+	if s.WAvg() != 4.5 {
+		t.Fatalf("live average %v want 4.5", s.WAvg())
+	}
+}
+
+func TestDynamicSetPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	s := NewEmptySet()
+	expectPanic("Add(0.5)", func() { s.Add(0.5) })
+	id := s.Add(2).ID
+	s.Remove(id)
+	expectPanic("double Remove", func() { s.Remove(id) })
+	expectPanic("Remove unknown", func() { s.Remove(99) })
+}
+
+func TestStaticSetUnaffectedByDynamicAPI(t *testing.T) {
+	s := NewSet([]float64{1, 2, 3})
+	if s.Live() != 3 || s.Removed(1) {
+		t.Fatalf("static set dynamic view: live=%d", s.Live())
+	}
+}

@@ -198,8 +198,8 @@ func (sc Scenario) Run() (Result, error) {
 		return Result{}, errors.New("thresholdlb: Scenario.Weights is required")
 	}
 	for i, w := range sc.Weights {
-		if w < 1 {
-			return Result{}, fmt.Errorf("thresholdlb: weight %v at index %d is below 1 (rescale so wmin ≥ 1)", w, i)
+		if !task.ValidWeight(w) {
+			return Result{}, fmt.Errorf("thresholdlb: weight %v at index %d is below 1 or not finite (rescale so wmin ≥ 1)", w, i)
 		}
 	}
 	if !sc.Graph.Connected() {

@@ -101,11 +101,14 @@ func TestScenarioValidation(t *testing.T) {
 	}{
 		{func(s *Scenario) { s.Graph = nil }, "Graph is required"},
 		{func(s *Scenario) { s.Weights = nil }, "Weights is required"},
+		{func(s *Scenario) { s.Weights = []float64{} }, "Weights is required"},
 		{func(s *Scenario) { s.Weights = []float64{1, 0.5} }, "below 1"},
 		{func(s *Scenario) { s.Placement = []int{0} }, "placement has"},
 		{func(s *Scenario) { s.Placement = make([]int, 8); s.Placement[0] = 99 }, "invalid resource"},
+		{func(s *Scenario) { s.Placement = make([]int, 8); s.Placement[7] = -1 }, "invalid resource"},
 		{func(s *Scenario) { s.Alpha = -1 }, "Alpha"},
 		{func(s *Scenario) { s.Epsilon = -0.1 }, "Epsilon"},
+		{func(s *Scenario) { s.Protocol = UserBased; s.Graph = TorusGraph(2, 4) }, "complete graph"},
 		{func(s *Scenario) { s.Protocol = ProtocolKind(99) }, "unknown protocol"},
 		{func(s *Scenario) {
 			s.Graph = CustomGraph("islands", 4, [][2]int{{0, 1}, {2, 3}})
@@ -258,5 +261,103 @@ func TestEstimatedThresholds(t *testing.T) {
 	sc.Epsilon = 0
 	if _, err := sc.Run(); err == nil || !strings.Contains(err.Error(), "Epsilon > 0") {
 		t.Fatalf("expected epsilon error, got %v", err)
+	}
+}
+
+func TestDynamicScenarioSteadyState(t *testing.T) {
+	// The public face of the acceptance scenario at reduced size:
+	// Poisson arrivals at rho = 0.8 with heavy-tailed weights, routed
+	// uniformly, served proportionally to weight, thresholds self-tuned
+	// from decaying load averages spread by diffusion.
+	sc := DynamicScenario{
+		Graph:    CompleteGraph(200),
+		Protocol: UserBased,
+		Epsilon:  0.5,
+		Seed:     11,
+		Rounds:   400,
+		Window:   100,
+		Arrivals: PoissonArrivals(0.8*200/1.95, ParetoDist(2, 20)),
+		Service:  WeightProportionalService(1),
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived == 0 || res.Departed == 0 || len(res.Windows) != 4 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	if frac := res.TailOverloadFrac(2); frac >= 0.05 {
+		t.Fatalf("steady-state overload fraction %v, want < 0.05", frac)
+	}
+	again, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Migrations != res.Migrations || again.FinalWeight != res.FinalWeight {
+		t.Fatalf("nondeterministic dynamic run: %+v vs %+v", res, again)
+	}
+}
+
+func TestDynamicScenarioChurnAndStreaming(t *testing.T) {
+	windows := 0
+	sc := DynamicScenario{
+		Graph:            TorusGraph(8, 8),
+		Protocol:         MixedBased,
+		LazyWalk:         true,
+		Seed:             4,
+		Rounds:           300,
+		Window:           60,
+		Arrivals:         BurstArrivals(20, 40, ExponentialDist(2)),
+		Service:          GeometricService(0.1),
+		Dispatch:         HotspotDispatch(0),
+		Churn:            ChurnSpec{LeaveProb: 0.1, JoinProb: 0.1, MinUp: 32},
+		CheckInvariants:  true,
+		OracleThresholds: true,
+		OnWindow:         func(w WindowStats) { windows++ },
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windows != len(res.Windows) || windows != 5 {
+		t.Fatalf("streaming windows %d, result windows %d", windows, len(res.Windows))
+	}
+	if res.Downs == 0 || res.Rehomed == 0 {
+		t.Fatalf("churn never fired: %+v", res)
+	}
+}
+
+func TestDynamicScenarioValidation(t *testing.T) {
+	good := func() DynamicScenario {
+		return DynamicScenario{
+			Graph:    CompleteGraph(8),
+			Rounds:   10,
+			Arrivals: PoissonArrivals(1, UnitDist()),
+			Service:  GeometricService(0.5),
+		}
+	}
+	cases := []struct {
+		mutate func(*DynamicScenario)
+		want   string
+	}{
+		{func(s *DynamicScenario) { s.Graph = nil }, "Graph is required"},
+		{func(s *DynamicScenario) { s.Arrivals = nil }, "Arrivals is required"},
+		{func(s *DynamicScenario) { s.Service = nil }, "Service is required"},
+		{func(s *DynamicScenario) { s.Rounds = 0 }, "Rounds"},
+		{func(s *DynamicScenario) { s.Epsilon = -1 }, "Epsilon"},
+		{func(s *DynamicScenario) { s.Alpha = -2 }, "Alpha"},
+		{func(s *DynamicScenario) { s.Protocol = UserBased; s.Graph = TorusGraph(2, 4) }, "complete graph"},
+		{func(s *DynamicScenario) { s.Protocol = ProtocolKind(99) }, "unknown protocol"},
+		{func(s *DynamicScenario) { s.InitialWeights = []float64{0.2} }, "below 1"},
+		{func(s *DynamicScenario) {
+			s.Graph = CustomGraph("islands", 4, [][2]int{{0, 1}, {2, 3}})
+		}, "connected"},
+	}
+	for _, c := range cases {
+		sc := good()
+		c.mutate(&sc)
+		if _, err := sc.Run(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("want error containing %q, got %v", c.want, err)
+		}
 	}
 }
