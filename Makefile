@@ -1,0 +1,36 @@
+# Threshold Load Balancing with Weighted Tasks — build/test/bench targets.
+
+GO ?= go
+
+.PHONY: build test race bench bench-quick bench-check fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Parallel-sensitive packages under the race detector.
+race:
+	$(GO) test -race ./internal/sim ./internal/core ./internal/dynamic ./internal/par
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...
+
+# Record the dynamic-round perf trajectory into BENCH_dynamic.json and
+# compare against the committed baseline (fails on allocs/op
+# regressions; speed ratios are informational across machines).
+bench:
+	$(GO) run ./cmd/benchrec -benchtime 1s
+
+# The fast CI variant: same gates, shorter measurement.
+bench-quick:
+	$(GO) run ./cmd/benchrec -benchtime 200ms -out ""
+
+# Same-machine certification of the acceptance speedup: every recorded
+# benchmark must beat the committed baseline by ≥ 3×.
+bench-check:
+	$(GO) run ./cmd/benchrec -benchtime 2s -min-speedup 3

@@ -11,6 +11,7 @@
 package thresholdlb
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -33,6 +34,7 @@ func runDriver(b *testing.B, id string) {
 	if d == nil {
 		b.Fatalf("unknown experiment %q", id)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tbl := d(benchCfg())
 		if len(tbl.Rows) == 0 {
@@ -92,6 +94,7 @@ func BenchmarkResourceControlledRound(b *testing.B) {
 	kernel := walk.NewLazy(walk.NewMaxDegree(g))
 	p := core.ResourceControlled{Kernel: kernel}
 	s := core.NewState(g, ts, placement, core.AboveAverage{Eps: 0.5}, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if s.Balanced() {
@@ -112,6 +115,7 @@ func BenchmarkUserControlledRound(b *testing.B) {
 	placement := make([]int, ts.M())
 	p := core.UserControlled{Alpha: 1}
 	s := core.NewState(g, ts, placement, core.AboveAverage{Eps: 0.2}, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if s.Balanced() {
@@ -127,6 +131,7 @@ func BenchmarkUserControlledRound(b *testing.B) {
 // (n=1000, W=10000, k=1) from single-source placement to balance.
 func BenchmarkFullUserRun(b *testing.B) {
 	g := graph.Complete(1000)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ts := task.NewSet(task.TwoPoint{Heavy: 50, K: 1}.Weights(9951, newBenchRand()))
 		s := core.NewState(g, ts, make([]int, ts.M()), core.AboveAverage{Eps: 0.2}, uint64(i))
@@ -149,8 +154,13 @@ func BenchmarkDynamicChurn(b *testing.B) { runDriver(b, "dynchurn") }
 // per-round cost — churnless Poisson arrivals at ρ = 0.8 with
 // heavy-tailed weights, self-tuned thresholds, one protocol round per
 // iteration. Each op is one simulated round (the first ~100 warm the
-// system up; at bench-scale iteration counts they are noise).
-func benchDynamicRound(b *testing.B, g *graph.Graph, proto core.Protocol) {
+// system up; at bench-scale iteration counts they are noise). workers
+// ≤ 0 selects GOMAXPROCS; any worker count produces bit-identical
+// results, so the variants differ only in wall clock.
+func benchDynamicRound(b *testing.B, g *graph.Graph, proto core.Protocol, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	n := g.N()
 	cfg := dynamic.Config{
 		Graph:    g,
@@ -160,10 +170,12 @@ func benchDynamicRound(b *testing.B, g *graph.Graph, proto core.Protocol) {
 		Service: dynamic.WeightProportional{Rate: 1},
 		Tuner: &dynamic.SelfTuner{Eps: 0.5, Steps: 2,
 			Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
-		Rounds: b.N,
-		Window: 1 << 30, // one giant window: no per-window work measured
-		Seed:   0x9e3779b97f4a7c15,
+		Rounds:  b.N,
+		Window:  1 << 30, // one giant window: no per-window work measured
+		Seed:    0x9e3779b97f4a7c15,
+		Workers: workers,
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	if _, err := dynamic.Run(cfg); err != nil {
 		b.Fatal(err)
@@ -171,16 +183,34 @@ func benchDynamicRound(b *testing.B, g *graph.Graph, proto core.Protocol) {
 }
 
 // BenchmarkDynamicRound1k: user-controlled rounds on K_1000 under
-// steady ρ = 0.8 Poisson traffic.
+// steady ρ = 0.8 Poisson traffic, sharded across GOMAXPROCS workers.
 func BenchmarkDynamicRound1k(b *testing.B) {
-	benchDynamicRound(b, graph.Complete(1000), core.UserControlled{Alpha: 1})
+	benchDynamicRound(b, graph.Complete(1000), core.UserControlled{Alpha: 1}, 0)
 }
 
 // BenchmarkDynamicRound10k: resource-controlled rounds on a 16-regular
-// expander with 10000 resources under steady ρ = 0.8 Poisson traffic.
+// expander with 10000 resources under steady ρ = 0.8 Poisson traffic,
+// sharded across GOMAXPROCS workers.
 func BenchmarkDynamicRound10k(b *testing.B) {
 	g := graph.RandomRegular(10000, 16, newBenchRand())
-	benchDynamicRound(b, g, core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(g))})
+	benchDynamicRound(b, g, core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(g))}, 0)
+}
+
+// BenchmarkDynamicRound10kSeq is the Workers=1 control for the same
+// workload: the single-core-normalised figure the perf trajectory in
+// BENCH_dynamic.json tracks against BENCH_baseline.json.
+func BenchmarkDynamicRound10kSeq(b *testing.B) {
+	g := graph.RandomRegular(10000, 16, newBenchRand())
+	benchDynamicRound(b, g, core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(g))}, 1)
+}
+
+// BenchmarkDynamicRound100k: the n = 10⁵ regime of Goldsztajn et al.
+// that the sequential engine could not reach practically — a 16-regular
+// expander with 100000 resources, ~41000 arrivals per round, sharded
+// across GOMAXPROCS workers.
+func BenchmarkDynamicRound100k(b *testing.B) {
+	g := graph.RandomRegular(100_000, 16, newBenchRand())
+	benchDynamicRound(b, g, core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(g))}, 0)
 }
 
 // BenchmarkHittingTime measures H(G) computation on a 16×16 torus.

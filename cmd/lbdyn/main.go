@@ -9,6 +9,13 @@
 //	lbdyn -graph torus -n 1024 -proto resource -lazy -dispatch hotspot -rho 0.9
 //	lbdyn -graph expander -n 500 -k 8 -proto resource -churn 0.1 -rounds 1000
 //	lbdyn -graph complete -n 200 -arrivals burst -burst-every 50 -burst-size 200
+//	lbdyn -graph expander -n 100000 -k 16 -proto resource -workers 8 -rounds 2000
+//	lbdyn -graph complete -n 1000 -trace ingress.csv -rounds 5000
+//
+// -workers shards the round pipeline across a persistent worker pool;
+// results are bit-identical for every worker count (0 = GOMAXPROCS).
+// -trace replays a recorded arrival log (.csv round,weight records or
+// .jsonl {"round":r,"weight":w} lines) instead of a synthetic process.
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 
 	lb "repro"
 	"repro/internal/cli"
@@ -34,8 +42,10 @@ func main() {
 		rounds    = flag.Int("rounds", 600, "simulated rounds")
 		window    = flag.Int("window", 100, "metrics window length")
 		seed      = flag.Uint64("seed", 1, "RNG seed")
+		workers   = flag.Int("workers", 0, "round-pipeline shards (0 = GOMAXPROCS, 1 = sequential; results identical for any value)")
 
 		arrivals   = flag.String("arrivals", "poisson", "poisson|burst")
+		tracePath  = flag.String("trace", "", "replay a recorded arrival trace (.csv round,weight or .jsonl) instead of -arrivals")
 		rho        = flag.Float64("rho", 0.8, "offered utilisation (poisson rate = rho*n*svcrate/E[w])")
 		burstEvery = flag.Int("burst-every", 50, "burst period in rounds")
 		burstSize  = flag.Int("burst-size", 100, "tasks per burst")
@@ -96,10 +106,15 @@ func main() {
 	}
 
 	var arr lb.Arrivals
-	switch *arrivals {
-	case "poisson":
+	switch {
+	case *tracePath != "":
+		var err error
+		if arr, err = lb.LoadTraceArrivals(*tracePath); err != nil {
+			fail(err)
+		}
+	case *arrivals == "poisson":
 		arr = lb.PoissonArrivals(*rho*float64(g.N())**svcRate/meanW, dist)
-	case "burst":
+	case *arrivals == "burst":
 		arr = lb.BurstArrivals(*burstEvery, *burstSize, dist)
 	default:
 		fail(fmt.Errorf("unknown arrival process %q", *arrivals))
@@ -140,8 +155,13 @@ func main() {
 		spec = lb.ChurnSpec{LeaveProb: *churn, JoinProb: *churn, MinUp: up}
 	}
 
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+
 	fmt.Printf("graph:     %s (n=%d)\n", g.Name(), g.N())
-	fmt.Printf("protocol:  %s (eps=%g alpha=%g lazy=%v oracle=%v)\n", kind, *eps, *alpha, *lazy, *oracle)
+	fmt.Printf("protocol:  %s (eps=%g alpha=%g lazy=%v oracle=%v workers=%d)\n", kind, *eps, *alpha, *lazy, *oracle, nWorkers)
 	fmt.Printf("arrivals:  %s  service: %s  dispatch: %s  churn: %g\n", arr.Name(), svc.Name(), disp.Name(), *churn)
 	fmt.Printf("%8s %10s %10s %10s %10s %10s %10s %6s\n",
 		"rounds", "overload%", "mig/round", "arr/round", "dep/round", "p99load", "W-inflight", "up")
@@ -153,6 +173,7 @@ func main() {
 		Epsilon:          *eps,
 		LazyWalk:         *lazy,
 		Seed:             *seed,
+		Workers:          nWorkers,
 		Rounds:           *rounds,
 		Window:           *window,
 		Arrivals:         arr,

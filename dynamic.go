@@ -75,6 +75,17 @@ func TraceArrivals(rounds [][]float64, label string) Arrivals {
 	return dynamic.Trace{Rounds: rounds, Label: label}
 }
 
+// LoadTraceArrivals reads a recorded arrival trace from a file so
+// production logs replay through the open-system engine. The format
+// follows the extension: .csv holds round,weight records (optional
+// header, '#' comments), .jsonl/.ndjson/.json holds one
+// {"round":r,"weight":w} object per line. Records may appear in any
+// round order; weights must satisfy the library's wmin ≥ 1
+// normalisation and errors carry line numbers.
+func LoadTraceArrivals(path string) (Arrivals, error) {
+	return dynamic.LoadTraceFile(path)
+}
+
 // WeightProportionalService makes every resource serve rate
 // weight-units per round, bottom of stack first; a task departs once
 // work equal to its weight is done. Offered utilisation is
@@ -120,6 +131,11 @@ type DynamicScenario struct {
 	LazyWalk bool
 	// Seed fixes all randomness; runs are fully deterministic.
 	Seed uint64
+	// Workers shards the round pipeline across a persistent worker
+	// pool; ≤ 1 runs sequentially. Any worker count produces the same
+	// Result bit for bit — parallelism changes only the wall clock, so
+	// the seed alone still identifies a run.
+	Workers int
 	// Rounds is the number of simulated rounds (required).
 	Rounds int
 	// Window is the metrics window length; 0 means 100 rounds.
@@ -253,6 +269,7 @@ func (sc DynamicScenario) Run() (DynamicResult, error) {
 		Rounds:           sc.Rounds,
 		Window:           sc.Window,
 		Seed:             sc.Seed,
+		Workers:          sc.Workers,
 		InitialWeights:   sc.InitialWeights,
 		InitialPlacement: sc.InitialPlacement,
 		CheckInvariants:  sc.CheckInvariants,

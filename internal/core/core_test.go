@@ -1,7 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"reflect"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -424,31 +427,144 @@ func TestAcceptedTasksNeverMoveAgain(t *testing.T) {
 	}
 }
 
-func TestMigrationSortDeterminism(t *testing.T) {
-	moves := []migration{
-		{t: task.Task{ID: 5}, dest: 2},
-		{t: task.Task{ID: 1}, dest: 2},
-		{t: task.Task{ID: 9}, dest: 0},
-		{t: task.Task{ID: 3}, dest: 1},
+// sortRef is the reference ordering sortMigrations must reproduce:
+// sort.Slice on the (dest, task ID) key. The key is unique per move
+// within a round (a task migrates at most once), so the reference
+// order is total and any correct sort must match it exactly.
+func sortRef(moves []Migration) []Migration {
+	ref := append([]Migration(nil), moves...)
+	sort.Slice(ref, func(i, j int) bool { return migrationLess(ref[i], ref[j]) })
+	return ref
+}
+
+func checkAgainstRef(t *testing.T, label string, moves []Migration) {
+	t.Helper()
+	ref := sortRef(moves)
+	got := append([]Migration(nil), moves...)
+	buf := make([]Migration, len(got))
+	sortMigrations(got, buf)
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("%s: sortMigrations order diverges from sort.Slice reference\ngot  %v\nwant %v",
+			label, got, ref)
 	}
-	sortMigrations(moves)
+}
+
+func TestMigrationSortDeterminism(t *testing.T) {
+	moves := []Migration{
+		{Task: task.Task{ID: 5}, Dest: 2},
+		{Task: task.Task{ID: 1}, Dest: 2},
+		{Task: task.Task{ID: 9}, Dest: 0},
+		{Task: task.Task{ID: 3}, Dest: 1},
+	}
+	sortMigrations(moves, make([]Migration, len(moves)))
 	wantIDs := []int{9, 3, 1, 5}
 	for i, mv := range moves {
-		if mv.t.ID != wantIDs[i] {
+		if mv.Task.ID != wantIDs[i] {
 			t.Fatalf("sorted order %v", moves)
 		}
 	}
-	// Large list exercises the merge path.
-	big := make([]migration, 500)
+}
+
+// TestMigrationSortLargeMergePath drives the ≥32-element bottom-up
+// merge against adversarial input shapes and checks every result
+// against the sort.Slice reference order.
+func TestMigrationSortLargeMergePath(t *testing.T) {
 	r := rng.NewSeeded(14)
-	for i := range big {
-		big[i] = migration{t: task.Task{ID: i}, dest: int32(r.Intn(7))}
+	mk := func(n int, dest func(i int) int32, id func(i int) int) []Migration {
+		ms := make([]Migration, n)
+		for i := range ms {
+			ms[i] = Migration{Task: task.Task{ID: id(i)}, Dest: dest(i)}
+		}
+		return ms
 	}
-	r.Shuffle(len(big), func(i, j int) { big[i], big[j] = big[j], big[i] })
-	sortMigrations(big)
-	for i := 1; i < len(big); i++ {
-		if migrationLess(big[i], big[i-1]) {
-			t.Fatalf("merge sort failed at %d", i)
+	// Boundary sizes around the insertion-sort/merge cutoff and around
+	// merge widths (powers of two ± 1) where the tail-copy logic is
+	// easiest to get wrong.
+	for _, n := range []int{31, 32, 33, 63, 64, 65, 127, 128, 500, 1024, 1025} {
+		sorted := mk(n, func(i int) int32 { return int32(i / 4) }, func(i int) int { return i })
+		checkAgainstRef(t, fmt.Sprintf("n=%d already-sorted", n), sorted)
+
+		rev := mk(n, func(i int) int32 { return int32((n - i) / 4) }, func(i int) int { return n - i })
+		checkAgainstRef(t, fmt.Sprintf("n=%d reversed", n), rev)
+
+		same := mk(n, func(i int) int32 { return 3 }, func(i int) int { return n - i })
+		checkAgainstRef(t, fmt.Sprintf("n=%d single-dest", n), same)
+
+		sawtooth := mk(n, func(i int) int32 { return int32(i % 5) }, func(i int) int { return i })
+		checkAgainstRef(t, fmt.Sprintf("n=%d sawtooth", n), sawtooth)
+
+		random := mk(n, func(i int) int32 { return int32(r.Intn(7)) }, func(i int) int { return i })
+		r.Shuffle(len(random), func(i, j int) { random[i], random[j] = random[j], random[i] })
+		checkAgainstRef(t, fmt.Sprintf("n=%d random", n), random)
+	}
+}
+
+// TestDeliverMigrationsShardOrderInvariant pins the engine's
+// cross-shard merge contract: DeliverMigrations must produce identical
+// stacks, locations and stats — MovedWeight's float rounding included
+// — no matter how the move set was partitioned and concatenated by
+// shards.
+func TestDeliverMigrationsShardOrderInvariant(t *testing.T) {
+	build := func() (*State, []Migration) {
+		r := rng.NewSeeded(99)
+		g := graph.Complete(16)
+		ws := make([]float64, 200)
+		for i := range ws {
+			ws[i] = 1 + 7*r.Float64()
+		}
+		ts := task.NewSet(ws)
+		s := NewState(g, ts, make([]int, len(ws)), AboveAverage{Eps: 0.5}, 7)
+		// Pull 48 tasks off resource 0 as the round's move set, with
+		// clumped destinations so several moves share a dest.
+		var moves []Migration
+		idx := make([]int, 48)
+		for i := range idx {
+			idx[i] = 2 * i
+		}
+		for _, tk := range s.removeForMigration(0, idx, nil) {
+			moves = append(moves, Migration{Task: tk, Dest: int32(tk.ID % 5)})
+		}
+		return s, moves
+	}
+
+	type outcome struct {
+		stats StepStats
+		loads []float64
+		order [][]int
+	}
+	capture := func(s *State, st StepStats) outcome {
+		o := outcome{stats: st, loads: s.Loads()}
+		for rr := 0; rr < s.N(); rr++ {
+			var ids []int
+			for _, tk := range s.Stack(rr).Tasks() {
+				ids = append(ids, tk.ID)
+			}
+			o.order = append(o.order, ids)
+		}
+		return o
+	}
+
+	s, moves := build()
+	ref := capture(s, s.DeliverMigrations(append([]Migration(nil), moves...)))
+
+	// Simulate different shard partitions: split the move set at every
+	// possible boundary pair and concatenate the chunks in reversed
+	// order — the worst-case shard arrival order.
+	for _, cuts := range [][]int{{16}, {1}, {47}, {8, 31}, {3, 7, 40}} {
+		s2, moves2 := build()
+		var parts [][]Migration
+		prev := 0
+		for _, c := range append(cuts, len(moves2)) {
+			parts = append(parts, moves2[prev:c])
+			prev = c
+		}
+		var shuffled []Migration
+		for i := len(parts) - 1; i >= 0; i-- {
+			shuffled = append(shuffled, parts[i]...)
+		}
+		got := capture(s2, s2.DeliverMigrations(shuffled))
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("cuts %v: shard concatenation order leaked into the delivery:\ngot  %+v\nwant %+v", cuts, got, ref)
 		}
 	}
 }
@@ -662,10 +778,14 @@ func TestDynamicInsertRemove(t *testing.T) {
 	if err := s.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
-	// IDs continue past tombstones and the invariants still hold.
+	// The departed ID is recycled for the next arrival and the
+	// invariants still hold.
 	c := s.InsertTask(2, 1)
-	if c.ID != 2 {
-		t.Fatalf("post-departure ID %d", c.ID)
+	if c.ID != a.ID || s.Tasks().Removed(c.ID) {
+		t.Fatalf("post-departure ID %d, want recycled %d", c.ID, a.ID)
+	}
+	if s.Location(c.ID) != 1 || s.InFlightWeight() != 7 {
+		t.Fatalf("recycled task misplaced: loc=%d W=%v", s.Location(c.ID), s.InFlightWeight())
 	}
 	if err := s.CheckInvariants(); err != nil {
 		t.Fatal(err)

@@ -38,36 +38,24 @@ func (p ResourceControlled) Name() string {
 
 // Step executes one synchronous round.
 func (p ResourceControlled) Step(s *State) StepStats {
-	var moves []migration
-	if p.Workers > 1 {
-		moves = p.proposeParallel(s)
-	} else {
-		moves = p.propose(s, 0, s.N(), nil)
-	}
-	stats := StepStats{Migrations: len(moves)}
-	for _, mv := range moves {
-		stats.MovedWeight += mv.t.Weight
-	}
-	s.deliver(moves)
-	s.round++
-	return stats
+	return s.DeliverMigrations(stepPropose(p, s, p.Workers))
 }
 
-// propose scans resources [lo,hi), popping overflow from overloaded
-// ones and sampling a destination per task. Appends to buf.
-func (p ResourceControlled) propose(s *State, lo, hi int, buf []migration) []migration {
+// ProposeRange implements RangeProposer: it scans resources [lo, hi),
+// popping overflow from overloaded ones and sampling a destination per
+// task from the source resource's own stream.
+func (p ResourceControlled) ProposeRange(s *State, lo, hi int, sc *ProposeScratch) {
 	for r := lo; r < hi; r++ {
 		if !s.Overloaded(r) {
 			continue
 		}
-		removed := s.stacks[r].PopOverflow(s.thr[r])
+		sc.tasks = s.popOverflow(r, sc.tasks[:0])
 		rr := s.rands[r]
-		for _, tk := range removed {
+		for _, tk := range sc.tasks {
 			dest := p.Kernel.Step(r, rr)
-			buf = append(buf, migration{t: tk, dest: int32(dest)})
+			sc.Moves = append(sc.Moves, Migration{Task: tk, Dest: int32(dest)})
 		}
 	}
-	return buf
 }
 
 // ResourceControlledSingle is an ablation variant of Algorithm 5.1
@@ -87,51 +75,51 @@ func (p ResourceControlledSingle) Name() string {
 
 // Step executes one synchronous round.
 func (p ResourceControlledSingle) Step(s *State) StepStats {
-	var moves []migration
-	for r := 0; r < s.N(); r++ {
+	return s.DeliverMigrations(stepPropose(p, s, 1))
+}
+
+// ProposeRange implements RangeProposer.
+func (p ResourceControlledSingle) ProposeRange(s *State, lo, hi int, sc *ProposeScratch) {
+	for r := lo; r < hi; r++ {
 		if !s.Overloaded(r) {
 			continue
 		}
-		st := &s.stacks[r]
-		top := st.Len() - 1
-		tk := st.Task(top)
-		st.RemoveIndices([]int{top})
+		sc.idx = append(sc.idx[:0], s.stacks[r].Len()-1)
+		sc.tasks = s.removeForMigration(r, sc.idx, sc.tasks[:0])
 		dest := p.Kernel.Step(r, s.rands[r])
-		moves = append(moves, migration{t: tk, dest: int32(dest)})
+		sc.Moves = append(sc.Moves, Migration{Task: sc.tasks[0], Dest: int32(dest)})
 	}
-	stats := StepStats{Migrations: len(moves)}
-	for _, mv := range moves {
-		stats.MovedWeight += mv.t.Weight
-	}
-	s.deliver(moves)
-	s.round++
-	return stats
 }
 
-// proposeParallel shards the propose phase. Shards own disjoint
-// resource ranges and private buffers, so no locking is needed; the
-// final concatenation order does not matter because deliver sorts.
-func (p ResourceControlled) proposeParallel(s *State) []migration {
-	workers := p.Workers
+// stepPropose collects a full propose phase for a standalone Step call
+// — sequentially, or sharded across `workers` goroutines with private
+// scratches. The concatenation order of the shard buffers does not
+// matter: DeliverMigrations re-sorts into the canonical (dest, task
+// ID) order before any delivery or accounting.
+func stepPropose(p RangeProposer, s *State, workers int) []Migration {
 	n := s.N()
 	if workers > n {
 		workers = n
 	}
-	bufs := make([][]migration, workers)
+	if workers <= 1 {
+		var sc ProposeScratch
+		p.ProposeRange(s, 0, n, &sc)
+		return sc.Moves
+	}
+	scs := make([]ProposeScratch, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
+		lo, hi := w*n/workers, (w+1)*n/workers
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			bufs[w] = p.propose(s, lo, hi, nil)
+			p.ProposeRange(s, lo, hi, &scs[w])
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	var moves []migration
-	for _, b := range bufs {
-		moves = append(moves, b...)
+	var moves []Migration
+	for _, sc := range scs {
+		moves = append(moves, sc.Moves...)
 	}
 	return moves
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -25,10 +26,27 @@ type State struct {
 	rands  []*rng.Rand
 	round  int
 
-	// Cached max weight over live tasks; dirty after the current max
-	// departs (open systems only — static runs never remove tasks).
+	// Incrementally maintained overload tracker: over[r] mirrors
+	// Load(r) > thr[r] and overCount their population count, updated at
+	// every load or threshold mutation so Balanced()/OverloadedCount()
+	// are O(1) instead of O(n) per round. The counter is atomic because
+	// sharded phases flip disjoint over[r] entries concurrently; integer
+	// adds commute, so the barrier-time value is independent of
+	// interleaving.
+	over      []bool
+	overCount atomic.Int64
+
+	// Cached max weight over live tasks plus the number of live tasks
+	// at exactly that weight; dirty only once the last task at the
+	// maximum departs (open systems only — static runs never remove
+	// tasks), which makes the O(live) rescan rare even for capped
+	// weight distributions where many tasks share wmax.
 	liveWMax      float64
+	liveWMaxCount int
 	liveWMaxDirty bool
+
+	// Reusable scratch for DeliverMigrations' canonical sort.
+	sortScratch []Migration
 }
 
 // NewState places the task set on g's resources according to placement
@@ -49,6 +67,7 @@ func NewState(g *graph.Graph, ts *task.Set, placement []int, policy Thresholds, 
 		thr:    policy.Values(ts, n),
 		loc:    make([]int32, ts.M()),
 		rands:  make([]*rng.Rand, n),
+		over:   make([]bool, n),
 	}
 	if len(s.thr) != n {
 		panic("core: threshold policy returned wrong length")
@@ -63,8 +82,44 @@ func NewState(g *graph.Graph, ts *task.Set, placement []int, policy Thresholds, 
 	for r := 0; r < n; r++ {
 		s.rands[r] = rng.Stream(seed, uint64(r))
 	}
+	s.recountOverloaded()
 	s.liveWMax = ts.WMax()
+	for _, tk := range ts.Tasks() {
+		if tk.Weight == s.liveWMax {
+			s.liveWMaxCount++
+		}
+	}
 	return s
+}
+
+// recountOverloaded rebuilds the incremental overload tracker from
+// scratch — O(n), used at construction and after wholesale threshold
+// replacement.
+func (s *State) recountOverloaded() {
+	c := int64(0)
+	for r := range s.stacks {
+		o := s.stacks[r].Load() > s.thr[r]
+		s.over[r] = o
+		if o {
+			c++
+		}
+	}
+	s.overCount.Store(c)
+}
+
+// updateOverloaded refreshes resource r's entry in the overload
+// tracker after a load mutation. Safe to call concurrently for
+// distinct r.
+func (s *State) updateOverloaded(r int) {
+	now := s.stacks[r].Load() > s.thr[r]
+	if now != s.over[r] {
+		s.over[r] = now
+		if now {
+			s.overCount.Add(1)
+		} else {
+			s.overCount.Add(-1)
+		}
+	}
 }
 
 // Graph returns the resource graph.
@@ -97,20 +152,19 @@ func (s *State) Location(id int) int { return int(s.loc[id]) }
 // Overloaded reports whether resource r exceeds its threshold.
 func (s *State) Overloaded(r int) bool { return s.stacks[r].Load() > s.thr[r] }
 
-// OverloadedCount returns the number of overloaded resources.
-func (s *State) OverloadedCount() int {
-	c := 0
-	for r := range s.stacks {
-		if s.Overloaded(r) {
-			c++
-		}
-	}
-	return c
-}
+// OverloadedCount returns the number of overloaded resources — O(1),
+// maintained incrementally by every load and threshold mutation.
+func (s *State) OverloadedCount() int { return int(s.overCount.Load()) }
 
 // Balanced reports whether every load is at or below its threshold —
-// the paper's termination condition.
-func (s *State) Balanced() bool { return s.OverloadedCount() == 0 }
+// the paper's termination condition. O(1).
+func (s *State) Balanced() bool { return s.overCount.Load() == 0 }
+
+// Rand returns resource r's private RNG stream. The open-system engine
+// drives service and protocol draws for r from this one stream in a
+// fixed per-round order, which is what keeps sharded execution
+// bit-identical to sequential execution.
+func (s *State) Rand(r int) *rng.Rand { return s.rands[r] }
 
 // Loads returns a fresh copy of the load vector — the input for the
 // metrics package's imbalance measures.
@@ -214,33 +268,102 @@ func (s *State) CheckInvariants() error {
 	if math.Abs(total-s.ts.W()) > 1e-6*(1+s.ts.W()) {
 		return fmt.Errorf("total weight %v != W %v", total, s.ts.W())
 	}
+	over := 0
+	for r := range s.stacks {
+		if s.over[r] != s.Overloaded(r) {
+			return fmt.Errorf("overload tracker stale at resource %d: cached %v, actual %v",
+				r, s.over[r], s.Overloaded(r))
+		}
+		if s.over[r] {
+			over++
+		}
+	}
+	if got := s.overCount.Load(); got != int64(over) {
+		return fmt.Errorf("overloaded counter %d != recount %d", got, over)
+	}
 	return nil
 }
 
-// migration is one task move decided in the propose phase of a round.
-type migration struct {
-	t    task.Task
-	dest int32
+// Migration is one task move decided in the propose phase of a round.
+type Migration struct {
+	Task task.Task
+	Dest int32
 }
 
-// deliver pushes migrations onto their destination stacks ordered by
-// (destination, task ID): "if several balls arrive at the same
-// resource in one time step the new balls are added in an arbitrary
-// order" — task-ID order is our fixed arbitrary choice, making rounds
-// deterministic.
-func (s *State) deliver(moves []migration) {
-	sortMigrations(moves)
-	for _, mv := range moves {
-		s.stacks[mv.dest].Push(mv.t)
-		s.loc[mv.t.ID] = mv.dest
+// ProposeScratch holds one shard's reusable propose-phase buffers.
+// Each concurrent ProposeRange call needs its own scratch; the zero
+// value is ready for use and the buffers grow to a steady size after
+// the first few rounds, keeping the hot path allocation-free.
+type ProposeScratch struct {
+	// Moves accumulates the shard's proposed migrations. Callers reset
+	// it (Moves = Moves[:0]) between rounds and hand the union of all
+	// shards' moves to DeliverMigrations.
+	Moves []Migration
+
+	idx   []int       // per-resource index scratch (user-controlled coin flips)
+	tasks []task.Task // per-resource removed-task scratch
+}
+
+// RangeProposer is implemented by protocols whose propose phase can
+// run over disjoint resource ranges — the contract of the sharded
+// open-system engine. ProposeRange must draw randomness only from the
+// per-resource streams of [lo, hi), so that any sharding of [0, n)
+// produces the same move multiset as a single sequential sweep.
+type RangeProposer interface {
+	Protocol
+	// ProposeRange appends the propose-phase decisions for resources
+	// [lo, hi) to sc.Moves, removing the migrating tasks from their
+	// source stacks. Safe to call concurrently on disjoint ranges with
+	// distinct scratches.
+	ProposeRange(s *State, lo, hi int, sc *ProposeScratch)
+}
+
+// rangeCapable lets composite protocols (Mixed) report whether every
+// sub-protocol supports ranged proposing; the engine probes it before
+// committing to the sharded path.
+type rangeCapable interface{ RangeCapable() bool }
+
+// CanPropose reports whether p supports the sharded propose/deliver
+// split: it implements RangeProposer and, for composites, so does
+// every sub-protocol.
+func CanPropose(p Protocol) bool {
+	if _, ok := p.(RangeProposer); !ok {
+		return false
 	}
+	if rc, ok := p.(rangeCapable); ok {
+		return rc.RangeCapable()
+	}
+	return true
+}
+
+// DeliverMigrations completes a round for an externally collected move
+// set: it sorts moves by (destination, task ID), pushes them onto
+// their destination stacks in that order, advances the round counter,
+// and returns the round's statistics with MovedWeight summed in the
+// same canonical order. Because the sort key is unique per move, the
+// result — stacks, locations, stats, float rounding included — is
+// independent of the order in which shards contributed moves.
+func (s *State) DeliverMigrations(moves []Migration) StepStats {
+	if len(moves) > len(s.sortScratch) {
+		s.sortScratch = make([]Migration, len(moves))
+	}
+	sortMigrations(moves, s.sortScratch)
+	stats := StepStats{Migrations: len(moves)}
+	for _, mv := range moves {
+		stats.MovedWeight += mv.Task.Weight
+		s.stacks[mv.Dest].Push(mv.Task)
+		s.loc[mv.Task.ID] = mv.Dest
+		s.updateOverloaded(int(mv.Dest))
+	}
+	s.round++
+	return stats
 }
 
 // sortMigrations orders by (dest, task ID) — insertion sort for the
-// typically short per-round move lists, falling back to heap-style
-// sorting cost O(k²) only on adversarial sizes is avoided via a simple
-// bottom-up merge for large k.
-func sortMigrations(moves []migration) {
+// typically short per-round move lists, a bottom-up merge through the
+// caller's scratch (len(buf) ≥ len(moves)) for large k, avoiding the
+// insertion sort's O(k²) worst case on adversarial sizes.
+func sortMigrations(moves, buf []Migration) {
 	if len(moves) < 32 {
 		for i := 1; i < len(moves); i++ {
 			mv := moves[i]
@@ -253,7 +376,6 @@ func sortMigrations(moves []migration) {
 		}
 		return
 	}
-	buf := make([]migration, len(moves))
 	for width := 1; width < len(moves); width *= 2 {
 		for lo := 0; lo < len(moves); lo += 2 * width {
 			mid := min(lo+width, len(moves))
@@ -272,13 +394,33 @@ func sortMigrations(moves []migration) {
 			copy(buf[k:hi], moves[i:mid])
 			copy(buf[k+mid-i:hi], moves[j:hi])
 		}
-		copy(moves, buf)
+		copy(moves, buf[:len(moves)])
 	}
 }
 
-func migrationLess(a, b migration) bool {
-	if a.dest != b.dest {
-		return a.dest < b.dest
+func migrationLess(a, b Migration) bool {
+	if a.Dest != b.Dest {
+		return a.Dest < b.Dest
 	}
-	return a.t.ID < b.t.ID
+	return a.Task.ID < b.Task.ID
+}
+
+// popOverflow removes every cutting-or-above task of resource r into
+// dst, maintaining the overload tracker — the resource-controlled
+// removal step, shard-safe for disjoint r.
+func (s *State) popOverflow(r int, dst []task.Task) []task.Task {
+	dst = s.stacks[r].PopOverflowAppend(s.thr[r], dst)
+	s.updateOverloaded(r)
+	return dst
+}
+
+// removeForMigration removes the tasks at the given strictly
+// increasing stack positions of resource r into dst — the
+// user-controlled removal step. The tasks stay live (they are in
+// flight to a destination); locations are rewritten at delivery.
+// Shard-safe for disjoint r.
+func (s *State) removeForMigration(r int, indices []int, dst []task.Task) []task.Task {
+	dst = s.stacks[r].RemoveIndicesAppend(indices, dst)
+	s.updateOverloaded(r)
+	return dst
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sync"
 )
 
 // UserControlled is Algorithm 6.1 on the complete graph: in parallel,
@@ -63,29 +62,19 @@ func (p UserControlled) Step(s *State) StepStats {
 	// a dirty cache (possible after open-system departures) would make
 	// those reads racy writes.
 	s.LiveWMax()
-	var moves []migration
-	if p.Workers > 1 {
-		moves = p.proposeParallel(s)
-	} else {
-		moves = p.propose(s, 0, s.N(), nil)
-	}
-	stats := StepStats{Migrations: len(moves)}
-	for _, mv := range moves {
-		stats.MovedWeight += mv.t.Weight
-	}
-	s.deliver(moves)
-	s.round++
-	return stats
+	return s.DeliverMigrations(stepPropose(p, s, p.Workers))
 }
 
-// propose flips the leave coin for every task on each overloaded
-// resource in [lo,hi) (bottom-to-top order) and samples destinations
-// uniformly over the other resources. All randomness for resource r
-// comes from r's own stream, keeping parallel execution deterministic.
-func (p UserControlled) propose(s *State, lo, hi int, buf []migration) []migration {
+// ProposeRange implements RangeProposer: it flips the leave coin for
+// every task on each overloaded resource in [lo, hi) (bottom-to-top
+// order) and samples destinations uniformly over the other resources.
+// All randomness for resource r comes from r's own stream, keeping
+// sharded execution deterministic. Callers must settle LiveWMax before
+// proposing in parallel.
+func (p UserControlled) ProposeRange(s *State, lo, hi int, sc *ProposeScratch) {
 	n := s.N()
 	if n < 2 {
-		return buf // nowhere to migrate on a single resource
+		return // nowhere to migrate on a single resource
 	}
 	for r := lo; r < hi; r++ {
 		if !s.Overloaded(r) {
@@ -96,49 +85,24 @@ func (p UserControlled) propose(s *State, lo, hi int, buf []migration) []migrati
 			continue
 		}
 		rr := s.rands[r]
-		var leaving []int
+		sc.idx = sc.idx[:0]
 		for i := 0; i < s.stacks[r].Len(); i++ {
 			if rr.Bool(prob) {
-				leaving = append(leaving, i)
+				sc.idx = append(sc.idx, i)
 			}
 		}
-		if len(leaving) == 0 {
+		if len(sc.idx) == 0 {
 			continue
 		}
-		for _, tk := range s.stacks[r].RemoveIndices(leaving) {
+		sc.tasks = s.removeForMigration(r, sc.idx, sc.tasks[:0])
+		for _, tk := range sc.tasks {
 			dest := rr.Intn(n - 1)
 			if dest >= r {
 				dest++ // uniform over the n−1 other resources
 			}
-			buf = append(buf, migration{t: tk, dest: int32(dest)})
+			sc.Moves = append(sc.Moves, Migration{Task: tk, Dest: int32(dest)})
 		}
 	}
-	return buf
-}
-
-func (p UserControlled) proposeParallel(s *State) []migration {
-	workers := p.Workers
-	n := s.N()
-	if workers > n {
-		workers = n
-	}
-	bufs := make([][]migration, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			bufs[w] = p.propose(s, lo, hi, nil)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	var moves []migration
-	for _, b := range bufs {
-		moves = append(moves, b...)
-	}
-	return moves
 }
 
 // UserControlledGraph generalises Algorithm 6.1 to arbitrary graphs:
@@ -155,15 +119,20 @@ func (p UserControlledGraph) Name() string {
 	return fmt.Sprintf("user-controlled-graph(alpha=%g)", p.Alpha)
 }
 
-// Step executes one synchronous round.
+// Step executes one synchronous round of the graph variant.
 func (p UserControlledGraph) Step(s *State) StepStats {
 	if p.Alpha <= 0 {
 		panic("core: UserControlledGraph requires Alpha > 0")
 	}
+	s.LiveWMax()
+	return s.DeliverMigrations(stepPropose(p, s, 1))
+}
+
+// ProposeRange implements RangeProposer.
+func (p UserControlledGraph) ProposeRange(s *State, lo, hi int, sc *ProposeScratch) {
 	inner := UserControlled{Alpha: p.Alpha}
-	var moves []migration
 	g := s.Graph()
-	for r := 0; r < s.N(); r++ {
+	for r := lo; r < hi; r++ {
 		if !s.Overloaded(r) {
 			continue
 		}
@@ -172,27 +141,21 @@ func (p UserControlledGraph) Step(s *State) StepStats {
 			continue
 		}
 		rr := s.rands[r]
-		var leaving []int
+		sc.idx = sc.idx[:0]
 		for i := 0; i < s.stacks[r].Len(); i++ {
 			if rr.Bool(prob) {
-				leaving = append(leaving, i)
+				sc.idx = append(sc.idx, i)
 			}
 		}
-		if len(leaving) == 0 {
+		if len(sc.idx) == 0 {
 			continue
 		}
-		for _, tk := range s.stacks[r].RemoveIndices(leaving) {
+		sc.tasks = s.removeForMigration(r, sc.idx, sc.tasks[:0])
+		for _, tk := range sc.tasks {
 			dest := g.Neighbor(r, rr.Intn(g.Degree(r)))
-			moves = append(moves, migration{t: tk, dest: int32(dest)})
+			sc.Moves = append(sc.Moves, Migration{Task: tk, Dest: int32(dest)})
 		}
 	}
-	stats := StepStats{Migrations: len(moves)}
-	for _, mv := range moves {
-		stats.MovedWeight += mv.t.Weight
-	}
-	s.deliver(moves)
-	s.round++
-	return stats
 }
 
 // Mixed alternates two protocols — the "mixed protocols, which are both
@@ -208,13 +171,30 @@ func (p Mixed) Name() string {
 	return fmt.Sprintf("mixed(%s|%s,period=%d)", p.A.Name(), p.B.Name(), p.Period)
 }
 
-// Step executes one synchronous round of whichever sub-protocol is due.
-func (p Mixed) Step(s *State) StepStats {
+// due returns the sub-protocol scheduled for the given round.
+func (p Mixed) due(round int) Protocol {
 	if p.Period < 1 {
 		panic("core: Mixed requires Period >= 1")
 	}
-	if s.round%p.Period == 0 {
-		return p.A.Step(s)
+	if round%p.Period == 0 {
+		return p.A
 	}
-	return p.B.Step(s)
+	return p.B
+}
+
+// Step executes one synchronous round of whichever sub-protocol is due.
+func (p Mixed) Step(s *State) StepStats {
+	return p.due(s.round).Step(s)
+}
+
+// ProposeRange implements RangeProposer by delegating to the due
+// sub-protocol. Only valid when RangeCapable reports true.
+func (p Mixed) ProposeRange(s *State, lo, hi int, sc *ProposeScratch) {
+	p.due(s.round).(RangeProposer).ProposeRange(s, lo, hi, sc)
+}
+
+// RangeCapable reports whether both sub-protocols support the sharded
+// propose/deliver split.
+func (p Mixed) RangeCapable() bool {
+	return CanPropose(p.A) && CanPropose(p.B)
 }

@@ -18,6 +18,24 @@ type Arrivals interface {
 	Name() string
 }
 
+// AppendArrivals is the allocation-free extension of Arrivals:
+// AppendNext emits round t's weights into a caller-provided buffer and
+// must consume the generator exactly like Next. The engine probes for
+// it so the steady-state round loop allocates nothing; processes that
+// only implement Next still work (the engine copies out of the
+// returned slice).
+type AppendArrivals interface {
+	AppendNext(t int, r *rng.Rand, dst []float64) []float64
+}
+
+// appendNext dispatches to the allocation-free path when a has one.
+func appendNext(a Arrivals, t int, r *rng.Rand, dst []float64) []float64 {
+	if aa, ok := a.(AppendArrivals); ok {
+		return aa.AppendNext(t, r, dst)
+	}
+	return append(dst, a.Next(t, r)...)
+}
+
 // Poisson emits a Poisson(Rate) number of tasks per round with weights
 // drawn from Weights — the classical open-system arrival stream.
 type Poisson struct {
@@ -32,6 +50,11 @@ func (p Poisson) Next(t int, r *rng.Rand) []float64 {
 		return nil
 	}
 	return p.Weights.Weights(k, r)
+}
+
+// AppendNext implements AppendArrivals.
+func (p Poisson) AppendNext(t int, r *rng.Rand, dst []float64) []float64 {
+	return task.AppendWeights(p.Weights, dst, r.Poisson(p.Rate), r)
 }
 
 // Validate implements the optional config check.
@@ -83,6 +106,17 @@ func (b Burst) Next(t int, r *rng.Rand) []float64 {
 	return b.Weights.Weights(b.Size, r)
 }
 
+// AppendNext implements AppendArrivals.
+func (b Burst) AppendNext(t int, r *rng.Rand, dst []float64) []float64 {
+	if b.Every < 1 {
+		panic("dynamic: Burst.Every must be >= 1")
+	}
+	if t%b.Every != 0 || b.Size <= 0 {
+		return dst
+	}
+	return task.AppendWeights(b.Weights, dst, b.Size, r)
+}
+
 // Validate implements the optional config check.
 func (b Burst) Validate() error {
 	if b.Every < 1 {
@@ -116,6 +150,11 @@ func (tr Trace) Next(t int, r *rng.Rand) []float64 {
 		return nil
 	}
 	return tr.Rounds[t]
+}
+
+// AppendNext implements AppendArrivals.
+func (tr Trace) AppendNext(t int, r *rng.Rand, dst []float64) []float64 {
+	return append(dst, tr.Next(t, r)...)
 }
 
 // Validate implements the optional config check: every replayed

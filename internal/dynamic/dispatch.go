@@ -9,10 +9,14 @@ import (
 
 // UpSet tracks which resources are currently part of the system,
 // supporting O(1) membership, removal, re-insertion and uniform
-// sampling — the churn bookkeeping.
+// sampling of both the up and the down population — the churn
+// bookkeeping. Keeping the complement explicit lets the engine rejoin
+// a uniform down resource and bounce stray deliveries by walking just
+// the down list instead of scanning all n resources every round.
 type UpSet struct {
 	list []int // compact list of up resources
-	pos  []int // resource → index in list, −1 when down
+	down []int // compact list of down resources
+	pos  []int // resource → index into list (≥ 0) or ^index into down (< 0)
 }
 
 // NewUpSet returns an UpSet with all n resources up.
@@ -32,6 +36,13 @@ func (u *UpSet) N() int { return len(u.list) }
 // between mutations).
 func (u *UpSet) At(i int) int { return u.list[i] }
 
+// DownN returns the number of down resources.
+func (u *UpSet) DownN() int { return len(u.down) }
+
+// DownAt returns the i-th down resource (order arbitrary but stable
+// between mutations).
+func (u *UpSet) DownAt(i int) int { return u.down[i] }
+
 // Contains reports whether resource r is up. Out-of-range indices are
 // simply not up (a hotspot pointing outside the graph falls back to
 // its uniform pick instead of crashing).
@@ -39,6 +50,10 @@ func (u *UpSet) Contains(r int) bool { return r >= 0 && r < len(u.pos) && u.pos[
 
 // Random returns a uniformly random up resource. Panics when empty.
 func (u *UpSet) Random(r *rng.Rand) int { return u.list[r.Intn(len(u.list))] }
+
+// RandomDown returns a uniformly random down resource. Panics when
+// every resource is up.
+func (u *UpSet) RandomDown(r *rng.Rand) int { return u.down[r.Intn(len(u.down))] }
 
 // Down removes resource r (swap-remove). Panics if already down.
 func (u *UpSet) Down(r int) {
@@ -51,14 +66,22 @@ func (u *UpSet) Down(r int) {
 	u.list[i] = moved
 	u.pos[moved] = i
 	u.list = u.list[:last]
-	u.pos[r] = -1
+	u.pos[r] = ^len(u.down)
+	u.down = append(u.down, r)
 }
 
 // Up re-inserts resource r. Panics if already up.
 func (u *UpSet) Up(r int) {
-	if u.pos[r] >= 0 {
+	i := u.pos[r]
+	if i >= 0 {
 		panic(fmt.Sprintf("dynamic: resource %d already up", r))
 	}
+	di := ^i
+	last := len(u.down) - 1
+	moved := u.down[last]
+	u.down[di] = moved
+	u.pos[moved] = ^di
+	u.down = u.down[:last]
 	u.pos[r] = len(u.list)
 	u.list = append(u.list, r)
 }

@@ -30,9 +30,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
-	"repro/internal/rng"
-	"repro/internal/stats"
-	"repro/internal/task"
 )
 
 // Churn configures resource join/leave dynamics. Each round at most
@@ -70,6 +67,14 @@ type Config struct {
 	Window int
 	// Seed fixes all randomness.
 	Seed uint64
+	// Workers shards the round pipeline (service, tuner sweeps,
+	// protocol propose, metrics) across a persistent worker pool;
+	// ≤ 1 runs sequentially. Results are bit-identical
+	// for every worker count: all randomness is drawn from
+	// per-resource or sequential engine streams, cross-shard effects
+	// merge in canonical (destination, task ID) order, and float
+	// reductions always run in the same order.
+	Workers int
 	// InitialWeights optionally pre-populates the system; paired with
 	// InitialPlacement (task → resource; nil places all on resource 0).
 	InitialWeights   []float64
@@ -132,215 +137,17 @@ func (r Result) TailOverloadFrac(skip int) float64 {
 	return sum / float64(len(r.Windows)-skip)
 }
 
-// Run executes the open-system simulation described by cfg.
+// Run executes the open-system simulation described by cfg on the
+// sharded round pipeline (see engine.go). For any Config.Workers the
+// Result — WindowStats and float totals included — is bit-identical to
+// the sequential Workers = 1 execution.
 func Run(cfg Config) (Result, error) {
 	if err := validate(cfg); err != nil {
 		return Result{}, err
 	}
-	n := cfg.Graph.N()
-	window := cfg.Window
-	if window <= 0 {
-		window = 100
-	}
-	dispatch := cfg.Dispatch
-	if dispatch == nil {
-		dispatch = UniformDispatch{}
-	}
-	minUp := cfg.Churn.MinUp
-	if minUp <= 0 {
-		minUp = 1
-	}
-
-	// Seed state. Thresholds start at zero; the tuner sets real ones in
-	// round 0 before the first protocol step.
-	var ts *task.Set
-	placement := cfg.InitialPlacement
-	if len(cfg.InitialWeights) > 0 {
-		ts = task.NewSet(cfg.InitialWeights)
-		if placement == nil {
-			placement = make([]int, ts.M())
-		}
-	} else {
-		ts = task.NewEmptySet()
-		placement = nil
-	}
-	s := core.NewState(cfg.Graph, ts, placement,
-		core.FixedVector{V: make([]float64, n), Label: "dynamic-init"}, cfg.Seed)
-
-	// Engine RNG streams live above the per-resource streams 0..n−1.
-	arrRand := rng.Stream(cfg.Seed, uint64(n))
-	dispRand := rng.Stream(cfg.Seed, uint64(n)+1)
-	svcRand := rng.Stream(cfg.Seed, uint64(n)+2)
-	churnRand := rng.Stream(cfg.Seed, uint64(n)+3)
-
-	up := NewUpSet(n)
-	remaining := make([]float64, ts.M())
-	for i := 0; i < ts.M(); i++ {
-		remaining[i] = ts.Weight(i)
-	}
-	initialWeight := ts.W()
-
-	var res Result
-	var depBuf []int
-	loadBuf := make([]float64, 0, n)
-
-	// Per-window accumulators.
-	var wOverload float64
-	var wMigrations, wRehomed, wArrivals, wDepartures int64
-	windowStart := 0
-	flush := func(end int) {
-		rounds := float64(end - windowStart)
-		if rounds == 0 {
-			return
-		}
-		loadBuf = loadBuf[:0]
-		for i := 0; i < up.N(); i++ {
-			loadBuf = append(loadBuf, s.Load(up.At(i)))
-		}
-		ws := WindowStats{
-			Start:          windowStart,
-			End:            end,
-			OverloadFrac:   wOverload / rounds,
-			MigrationRate:  float64(wMigrations) / rounds,
-			RehomeRate:     float64(wRehomed) / rounds,
-			ArrivalRate:    float64(wArrivals) / rounds,
-			DepartureRate:  float64(wDepartures) / rounds,
-			MeanLoad:       stats.Mean(loadBuf),
-			P99Load:        stats.Quantile(loadBuf, 0.99),
-			InFlight:       s.Tasks().Live(),
-			InFlightWeight: s.InFlightWeight(),
-			UpResources:    up.N(),
-		}
-		for _, l := range loadBuf {
-			if l > ws.MaxLoad {
-				ws.MaxLoad = l
-			}
-		}
-		res.Windows = append(res.Windows, ws)
-		if cfg.OnWindow != nil {
-			cfg.OnWindow(ws)
-		}
-		wOverload, wMigrations, wRehomed, wArrivals, wDepartures = 0, 0, 0, 0, 0
-		windowStart = end
-	}
-
-	for t := 0; t < cfg.Rounds; t++ {
-		// 1. Resource churn.
-		if cfg.Churn.enabled() {
-			if up.N() > minUp && churnRand.Bool(cfg.Churn.LeaveProb) {
-				leave := up.Random(churnRand)
-				up.Down(leave)
-				res.Downs++
-				for _, tk := range s.Evacuate(leave) {
-					s.Attach(tk, up.Random(churnRand))
-					res.Rehomed++
-					wRehomed++
-				}
-			}
-			if up.N() < n && churnRand.Bool(cfg.Churn.JoinProb) {
-				// Uniform pick among down resources.
-				k := churnRand.Intn(n - up.N())
-				for r := 0; r < n; r++ {
-					if up.Contains(r) {
-						continue
-					}
-					if k == 0 {
-						up.Up(r)
-						res.Ups++
-						break
-					}
-					k--
-				}
-			}
-		}
-
-		// 2. Arrivals.
-		for _, w := range cfg.Arrivals.Next(t, arrRand) {
-			dest := dispatch.Pick(s, up, w, dispRand)
-			tk := s.InsertTask(w, dest)
-			remaining = append(remaining, tk.Weight)
-			res.Arrived++
-			res.ArrivedWeight += w
-			wArrivals++
-		}
-
-		// 3. Service and departures (up resources only).
-		for i := 0; i < up.N(); i++ {
-			r := up.At(i)
-			if s.Count(r) == 0 {
-				continue
-			}
-			depBuf = cfg.Service.Departures(s.Stack(r), remaining, svcRand, depBuf[:0])
-			if len(depBuf) == 0 {
-				continue
-			}
-			for _, tk := range s.RemoveTasksAt(r, depBuf) {
-				res.Departed++
-				res.DepartedWeight += tk.Weight
-				wDepartures++
-			}
-		}
-
-		// Settle the live-wmax cache at this consistent point (all
-		// departures applied, nothing in limbo or mid-migration) so
-		// neither the tuner nor the protocol recomputes it mid-phase.
-		s.LiveWMax()
-
-		// 4. Online threshold refresh.
-		if thr := cfg.Tuner.Refresh(t, s, up); thr != nil {
-			s.SetThresholds(thr)
-		}
-
-		// 5. One protocol round.
-		st := cfg.Protocol.Step(s)
-		res.Migrations += int64(st.Migrations)
-		res.MovedWeight += st.MovedWeight
-		wMigrations += int64(st.Migrations)
-
-		// 6. Bounce deliveries that landed on down resources.
-		if up.N() < n {
-			for r := 0; r < n; r++ {
-				if up.Contains(r) || s.Count(r) == 0 {
-					continue
-				}
-				for _, tk := range s.Evacuate(r) {
-					s.Attach(tk, up.Random(churnRand))
-					res.Rehomed++
-					wRehomed++
-				}
-			}
-		}
-
-		// 7. Metrics.
-		over := 0
-		for i := 0; i < up.N(); i++ {
-			r := up.At(i)
-			if s.Overloaded(r) {
-				over++
-			}
-		}
-		wOverload += float64(over) / float64(up.N())
-		if cfg.OnRound != nil {
-			cfg.OnRound(t, s)
-		}
-		if cfg.CheckInvariants {
-			if err := checkConservation(s, initialWeight, res); err != nil {
-				return res, fmt.Errorf("dynamic: round %d: %w", t, err)
-			}
-		}
-		if (t+1)%window == 0 {
-			flush(t + 1)
-		}
-	}
-	flush(cfg.Rounds)
-
-	res.Rounds = cfg.Rounds
-	res.FinalInFlight = s.Tasks().Live()
-	res.FinalWeight = s.InFlightWeight()
-	if err := checkConservation(s, initialWeight, res); err != nil {
-		return res, fmt.Errorf("dynamic: %w", err)
-	}
-	return res, nil
+	e := newEngine(cfg)
+	defer e.close()
+	return e.run()
 }
 
 // checkConservation validates the open-system weight balance

@@ -1,0 +1,384 @@
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/task"
+)
+
+// The sharded round pipeline. The n resources are partitioned into
+// Workers contiguous shards that live on a persistent worker pool
+// (internal/par); every O(n) sweep — service and departures, the
+// tuner's decay and diffusion passes, the protocol's propose phase —
+// runs shard-local with per-shard scratch buffers, and the
+// cross-shard effects meet at one barrier per phase where they are
+// merged in a canonical order. Arrivals stay sequential by design:
+// their streams are global, ID assignment is order-sensitive, and
+// load-aware dispatch must observe earlier same-round arrivals; they
+// cost O(arrivals) with O(1) per-task work, which the sharded sweeps
+// dwarf.
+//
+// Determinism is the design constraint, and it is enforced by three
+// rules:
+//
+//  1. Randomness is only ever drawn from per-resource streams (inside
+//     a shard phase, for the resource being processed) or from the
+//     engine's sequential streams (arrivals, dispatch, churn) outside
+//     the parallel phases. No stream is ever shared across shards.
+//  2. A shard phase writes only shard-owned state: its resources'
+//     stacks, its tasks' location entries, its scratch buffers. The
+//     one shared aggregate — the overloaded-resource counter — is an
+//     integer updated atomically, so its barrier-time value is
+//     independent of interleaving.
+//  3. Every floating-point reduction runs in a canonical order that
+//     does not depend on the shard partition: departures settle in
+//     ascending resource order, migrations deliver (and sum) in
+//     (destination, task ID) order, and window snapshots scan the up
+//     list. Shard-concatenation order never feeds a float sum.
+//
+// Together these make the run a pure function of (Config minus
+// Workers), which the cross-worker-count golden test pins.
+//
+// The steady-state hot path is also allocation-free: arrival weights,
+// departure indices, evacuation lists, migration buffers and metric
+// snapshots all live in reusable engine- or shard-owned buffers, task
+// IDs (and the arrays indexed by them) are recycled via the task set's
+// free list, and the pool dispatches phases without allocating.
+
+// shard is one worker's slice of the resource range plus its scratch.
+type shard struct {
+	lo, hi   int
+	depIdx   []int       // service departure-index scratch
+	departed []task.Task // tasks departed this round, resource-ascending
+	sc       core.ProposeScratch
+}
+
+type engine struct {
+	cfg      Config
+	n        int
+	window   int
+	minUp    int
+	dispatch Dispatch
+	proto    core.RangeProposer // nil → sequential Protocol.Step fallback
+	ptuner   PooledTuner        // nil → sequential Tuner.Refresh
+
+	s  *core.State
+	ts *task.Set
+	up *UpSet
+
+	pool   *par.Pool
+	shards []shard
+
+	// Sequential engine streams, living above the per-resource streams
+	// 0..n−1 (slot n+2 was the global service stream before service
+	// randomness moved onto the per-resource streams).
+	arrRand, dispRand, churnRand *rng.Rand
+
+	remaining  []float64 // task ID → remaining service work
+	weightsBuf []float64 // this round's arrival weights
+	evacBuf    []task.Task
+	moves      []core.Migration
+
+	initialWeight float64
+	res           Result
+
+	// Per-window accumulators and pooled snapshot buffers.
+	wOverload                                     float64
+	wMigrations, wRehomed, wArrivals, wDepartures int64
+	windowStart                                   int
+	loadBuf, sortBuf                              []float64
+
+	// Phase closures, bound once so pool dispatch allocates nothing.
+	serviceFn, proposeFn func(int)
+}
+
+func newEngine(cfg Config) *engine {
+	n := cfg.Graph.N()
+	e := &engine{cfg: cfg, n: n}
+	e.window = cfg.Window
+	if e.window <= 0 {
+		e.window = 100
+	}
+	e.dispatch = cfg.Dispatch
+	if e.dispatch == nil {
+		e.dispatch = UniformDispatch{}
+	}
+	e.minUp = cfg.Churn.MinUp
+	if e.minUp <= 0 {
+		e.minUp = 1
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Seed state. Thresholds start at zero; the tuner sets real ones in
+	// round 0 before the first protocol step.
+	placement := cfg.InitialPlacement
+	if len(cfg.InitialWeights) > 0 {
+		e.ts = task.NewSet(cfg.InitialWeights)
+		if placement == nil {
+			placement = make([]int, e.ts.M())
+		}
+	} else {
+		e.ts = task.NewEmptySet()
+		placement = nil
+	}
+	e.s = core.NewState(cfg.Graph, e.ts, placement,
+		core.FixedVector{V: make([]float64, n), Label: "dynamic-init"}, cfg.Seed)
+
+	e.arrRand = rng.Stream(cfg.Seed, uint64(n))
+	e.dispRand = rng.Stream(cfg.Seed, uint64(n)+1)
+	e.churnRand = rng.Stream(cfg.Seed, uint64(n)+3)
+
+	e.up = NewUpSet(n)
+	e.remaining = make([]float64, e.ts.M())
+	for i := 0; i < e.ts.M(); i++ {
+		e.remaining[i] = e.ts.Weight(i)
+	}
+	e.initialWeight = e.ts.W()
+
+	e.pool = par.NewPool(workers)
+	e.shards = make([]shard, workers)
+	for i := range e.shards {
+		lo, hi := e.pool.Shard(n, i)
+		e.shards[i] = shard{lo: lo, hi: hi}
+	}
+	if core.CanPropose(cfg.Protocol) {
+		e.proto = cfg.Protocol.(core.RangeProposer)
+	}
+	if pt, ok := cfg.Tuner.(PooledTuner); ok {
+		e.ptuner = pt
+	}
+	e.loadBuf = make([]float64, 0, n)
+	e.sortBuf = make([]float64, 0, n)
+	e.serviceFn = e.serviceShard
+	e.proposeFn = e.proposeShard
+	return e
+}
+
+// close releases the pool's goroutines.
+func (e *engine) close() { e.pool.Close() }
+
+// run executes the configured number of rounds.
+func (e *engine) run() (Result, error) {
+	for t := 0; t < e.cfg.Rounds; t++ {
+		if err := e.round(t); err != nil {
+			return e.res, err
+		}
+		if (t+1)%e.window == 0 {
+			e.flush(t + 1)
+		}
+	}
+	e.flush(e.cfg.Rounds)
+	e.res.Rounds = e.cfg.Rounds
+	e.res.FinalInFlight = e.ts.Live()
+	e.res.FinalWeight = e.s.InFlightWeight()
+	if err := checkConservation(e.s, e.initialWeight, e.res); err != nil {
+		return e.res, fmt.Errorf("dynamic: %w", err)
+	}
+	return e.res, nil
+}
+
+// round advances the system by one open-system round.
+func (e *engine) round(t int) error {
+	s, up := e.s, e.up
+
+	// 1. Resource churn (sequential: one global stream, rare events).
+	if e.cfg.Churn.enabled() {
+		if up.N() > e.minUp && e.churnRand.Bool(e.cfg.Churn.LeaveProb) {
+			leave := up.Random(e.churnRand)
+			up.Down(leave)
+			e.res.Downs++
+			e.evacBuf = s.EvacuateAppend(leave, e.evacBuf[:0])
+			for _, tk := range e.evacBuf {
+				s.Attach(tk, up.Random(e.churnRand))
+				e.res.Rehomed++
+				e.wRehomed++
+			}
+		}
+		if up.DownN() > 0 && e.churnRand.Bool(e.cfg.Churn.JoinProb) {
+			up.Up(up.RandomDown(e.churnRand))
+			e.res.Ups++
+		}
+	}
+
+	// 2. Arrivals — sequential end to end: the arrival and dispatch
+	// streams are global, ID assignment must happen in arrival order,
+	// and load-aware dispatchers (PowerOfD) must observe the loads of
+	// earlier same-round arrivals, so each task is placed immediately
+	// after its pick. The work is O(arrivals) with O(1) per-task cost,
+	// far below the O(n) sweeps the shards absorb.
+	e.weightsBuf = appendNext(e.cfg.Arrivals, t, e.arrRand, e.weightsBuf[:0])
+	for _, w := range e.weightsBuf {
+		dest := e.dispatch.Pick(s, up, w, e.dispRand)
+		tk := s.InsertTask(w, dest)
+		e.setRemaining(tk.ID, w)
+		e.res.Arrived++
+		e.res.ArrivedWeight += w
+		e.wArrivals++
+	}
+
+	// 3a. Service and departures (up resources only), sharded: each
+	// resource draws from its own stream and pops its own stack.
+	e.pool.Run(len(e.shards), e.serviceFn)
+	// 3b. Settle the shared accounting in canonical ascending-resource
+	// order (shards are contiguous and ordered), so the weight totals
+	// are identical for every worker count.
+	for i := range e.shards {
+		sh := &e.shards[i]
+		for _, tk := range sh.departed {
+			s.SettleDeparture(tk)
+			e.res.Departed++
+			e.res.DepartedWeight += tk.Weight
+			e.wDepartures++
+		}
+		sh.departed = sh.departed[:0]
+	}
+
+	// Settle the live-wmax cache at this consistent point (all
+	// departures applied, nothing in limbo or mid-migration) so
+	// neither the tuner nor the protocol recomputes it mid-phase.
+	s.LiveWMax()
+
+	// 4. Online threshold refresh, on the pool when the tuner supports
+	// sharded sweeps.
+	var thr []float64
+	if e.ptuner != nil {
+		thr = e.ptuner.RefreshPooled(t, s, up, e.pool)
+	} else {
+		thr = e.cfg.Tuner.Refresh(t, s, up)
+	}
+	if thr != nil {
+		s.SetThresholds(thr)
+	}
+
+	// 5. One protocol round: sharded propose phases into per-shard
+	// move buffers, then one canonical merge-and-deliver. The
+	// concatenation order below is worker-count-dependent, but
+	// DeliverMigrations re-sorts by (destination, task ID) — a unique
+	// key — before anything (stack pushes, the MovedWeight sum)
+	// consumes it.
+	var st core.StepStats
+	if e.proto != nil {
+		e.pool.Run(len(e.shards), e.proposeFn)
+		e.moves = e.moves[:0]
+		for i := range e.shards {
+			e.moves = append(e.moves, e.shards[i].sc.Moves...)
+		}
+		st = s.DeliverMigrations(e.moves)
+	} else {
+		st = e.cfg.Protocol.Step(s)
+	}
+	e.res.Migrations += int64(st.Migrations)
+	e.res.MovedWeight += st.MovedWeight
+	e.wMigrations += int64(st.Migrations)
+
+	// 6. Bounce deliveries that landed on down resources (sequential:
+	// the re-home stream is global; the down list is short).
+	for i := 0; i < up.DownN(); i++ {
+		r := up.DownAt(i)
+		if s.Count(r) == 0 {
+			continue
+		}
+		e.evacBuf = s.EvacuateAppend(r, e.evacBuf[:0])
+		for _, tk := range e.evacBuf {
+			s.Attach(tk, up.Random(e.churnRand))
+			e.res.Rehomed++
+			e.wRehomed++
+		}
+	}
+
+	// 7. Metrics. Down resources are always empty here (bounced above)
+	// and thresholds are non-negative, so the incremental all-resource
+	// counter equals the overloaded count over up resources.
+	e.wOverload += float64(s.OverloadedCount()) / float64(up.N())
+	if e.cfg.OnRound != nil {
+		e.cfg.OnRound(t, s)
+	}
+	if e.cfg.CheckInvariants {
+		if err := checkConservation(s, e.initialWeight, e.res); err != nil {
+			return fmt.Errorf("dynamic: round %d: %w", t, err)
+		}
+	}
+	return nil
+}
+
+// setRemaining records a new task's service work, growing the ID-indexed
+// vector only when the task set extends its ID space.
+func (e *engine) setRemaining(id int, w float64) {
+	for id >= len(e.remaining) {
+		e.remaining = append(e.remaining, 0)
+	}
+	e.remaining[id] = w
+}
+
+// serviceShard runs the service discipline over shard i's up
+// resources, popping departures into the shard buffer in ascending
+// resource order.
+func (e *engine) serviceShard(i int) {
+	sh := &e.shards[i]
+	s, svc := e.s, e.cfg.Service
+	for r := sh.lo; r < sh.hi; r++ {
+		if !e.up.Contains(r) || s.Count(r) == 0 {
+			continue
+		}
+		sh.depIdx = svc.Departures(s.Stack(r), e.remaining, s.Rand(r), sh.depIdx[:0])
+		if len(sh.depIdx) == 0 {
+			continue
+		}
+		sh.departed = s.RemoveForDeparture(r, sh.depIdx, sh.departed)
+	}
+}
+
+// proposeShard runs the protocol's propose phase over shard i.
+func (e *engine) proposeShard(i int) {
+	sh := &e.shards[i]
+	sh.sc.Moves = sh.sc.Moves[:0]
+	e.proto.ProposeRange(e.s, sh.lo, sh.hi, &sh.sc)
+}
+
+// flush closes the metrics window ending at round `end`.
+func (e *engine) flush(end int) {
+	rounds := float64(end - e.windowStart)
+	if rounds == 0 {
+		return
+	}
+	s, up := e.s, e.up
+	e.loadBuf = e.loadBuf[:0]
+	for i := 0; i < up.N(); i++ {
+		e.loadBuf = append(e.loadBuf, s.Load(up.At(i)))
+	}
+	e.sortBuf = append(e.sortBuf[:0], e.loadBuf...)
+	sort.Float64s(e.sortBuf)
+	ws := WindowStats{
+		Start:          e.windowStart,
+		End:            end,
+		OverloadFrac:   e.wOverload / rounds,
+		MigrationRate:  float64(e.wMigrations) / rounds,
+		RehomeRate:     float64(e.wRehomed) / rounds,
+		ArrivalRate:    float64(e.wArrivals) / rounds,
+		DepartureRate:  float64(e.wDepartures) / rounds,
+		MeanLoad:       stats.Mean(e.loadBuf),
+		MaxLoad:        e.sortBuf[len(e.sortBuf)-1],
+		P99Load:        stats.QuantileSorted(e.sortBuf, 0.99),
+		InFlight:       e.ts.Live(),
+		InFlightWeight: s.InFlightWeight(),
+		UpResources:    up.N(),
+	}
+	e.res.Windows = append(e.res.Windows, ws)
+	if e.cfg.OnWindow != nil {
+		e.cfg.OnWindow(ws)
+	}
+	e.wOverload = 0
+	e.wMigrations, e.wRehomed, e.wArrivals, e.wDepartures = 0, 0, 0, 0
+	e.windowStart = end
+}

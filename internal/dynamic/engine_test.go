@@ -1,0 +1,195 @@
+package dynamic
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/task"
+	"repro/internal/walk"
+)
+
+// goldenConfig is the determinism workload: Poisson/Pareto traffic,
+// self-tuned thresholds, and (optionally) heavy resource churn so the
+// cross-shard paths — evacuations, bounced deliveries, the up-mass
+// renormalisation — are all exercised.
+func goldenConfig(n int, proto core.Protocol, g *graph.Graph, churn Churn, seed uint64, workers int) Config {
+	return Config{
+		Graph:    g,
+		Protocol: proto,
+		Arrivals: Poisson{Rate: 0.8 * float64(n) / paretoMean, Weights: task.Pareto{Alpha: 2, Cap: 20}},
+		Service:  WeightProportional{Rate: 1},
+		Tuner: &SelfTuner{Eps: 0.5, Decay: 0.8, Every: 10, Steps: 2,
+			Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+		Churn:   churn,
+		Rounds:  250,
+		Window:  50,
+		Seed:    seed,
+		Workers: workers,
+	}
+}
+
+// TestShardedDeterminism is the golden cross-worker-count test: for
+// seeds {1, 2, 3} and workers {1, 2, 4, 8}, the sharded engine must
+// produce byte-identical Result values — WindowStats and float totals
+// included — matching the sequential Workers = 1 run, with and without
+// churn, for both protocol families and for geometric service (whose
+// randomness rides the per-resource streams).
+func TestShardedDeterminism(t *testing.T) {
+	expander := graph.RandomRegular(200, 8, rng.NewSeeded(7))
+	complete := graph.Complete(120)
+	cases := []struct {
+		name  string
+		build func(seed uint64, workers int) Config
+	}{
+		{"resource-churnless", func(seed uint64, workers int) Config {
+			return goldenConfig(200, core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(expander))},
+				expander, Churn{}, seed, workers)
+		}},
+		{"resource-churn", func(seed uint64, workers int) Config {
+			return goldenConfig(200, core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(expander))},
+				expander, Churn{LeaveProb: 0.3, JoinProb: 0.3, MinUp: 100}, seed, workers)
+		}},
+		{"user-churn", func(seed uint64, workers int) Config {
+			return goldenConfig(120, core.UserControlled{Alpha: 1},
+				complete, Churn{LeaveProb: 0.2, JoinProb: 0.2, MinUp: 60}, seed, workers)
+		}},
+		{"mixed-geometric-churn", func(seed uint64, workers int) Config {
+			cfg := goldenConfig(200, core.Mixed{
+				A:      core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(expander))},
+				B:      core.UserControlledGraph{Alpha: 1},
+				Period: 2,
+			}, expander, Churn{LeaveProb: 0.2, JoinProb: 0.2, MinUp: 100}, seed, workers)
+			cfg.Service = Geometric{P: 0.2}
+			return cfg
+		}},
+	}
+	for _, tc := range cases {
+		for _, seed := range []uint64{1, 2, 3} {
+			var ref Result
+			for _, workers := range []int{1, 2, 4, 8} {
+				cfg := tc.build(seed, workers)
+				cfg.CheckInvariants = workers == 1 // once per seed is plenty
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("%s seed %d workers %d: %v", tc.name, seed, workers, err)
+				}
+				if workers == 1 {
+					ref = res
+					if res.Arrived == 0 || res.Departed == 0 {
+						t.Fatalf("%s seed %d: no traffic: %+v", tc.name, seed, res)
+					}
+					continue
+				}
+				if !reflect.DeepEqual(res, ref) {
+					t.Fatalf("%s seed %d: workers=%d diverges from sequential run\ngot  %+v\nwant %+v",
+						tc.name, seed, workers, res, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkersExceedingResources pins the clamp: more workers than
+// resources must neither crash nor change the outcome.
+func TestWorkersExceedingResources(t *testing.T) {
+	g := graph.Complete(5)
+	build := func(workers int) Config {
+		return Config{
+			Graph:    g,
+			Protocol: core.UserControlled{Alpha: 1},
+			Arrivals: Poisson{Rate: 2, Weights: task.Uniform{W: 1}},
+			Service:  Geometric{P: 0.3},
+			Tuner:    &OracleTuner{Eps: 0.5},
+			Rounds:   80,
+			Window:   20,
+			Seed:     11,
+			Workers:  workers,
+		}
+	}
+	ref, err := Run(build(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(build(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("worker clamp changed the run:\ngot  %+v\nwant %+v", got, ref)
+	}
+}
+
+// TestNonRangeProtocolFallback runs a protocol without ProposeRange
+// through the sharded engine: it must fall back to sequential Step and
+// still be worker-count-invariant.
+func TestNonRangeProtocolFallback(t *testing.T) {
+	g := graph.Complete(50)
+	build := func(workers int) Config {
+		return Config{
+			Graph:    g,
+			Protocol: nullProtocol{},
+			Arrivals: Poisson{Rate: 10, Weights: task.Pareto{Alpha: 2, Cap: 20}},
+			Service:  WeightProportional{Rate: 1},
+			Tuner:    &OracleTuner{Eps: 0.5},
+			Rounds:   60,
+			Window:   20,
+			Seed:     5,
+			Workers:  workers,
+		}
+	}
+	ref, err := Run(build(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(build(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("fallback path diverged across workers:\ngot  %+v\nwant %+v", got, ref)
+	}
+	if got.Migrations != 0 {
+		t.Fatalf("null protocol migrated: %+v", got)
+	}
+}
+
+// TestSteadyStateZeroAllocs asserts the headline allocation budget:
+// once warmed up, the churnless Poisson configuration must run whole
+// rounds — arrivals, dispatch, service, tuner refresh, propose,
+// deliver, metrics — without allocating, for both the sequential and
+// the sharded engine. testing.Benchmark amortises the one-time engine
+// construction and the logarithmically-rare buffer growth; anything
+// per-round would show up as ≥ 1 alloc/op.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrating benchmark runs take ~1s each")
+	}
+	g := graph.RandomRegular(256, 8, rng.NewSeeded(3))
+	for _, workers := range []int{1, 2} {
+		res := testing.Benchmark(func(b *testing.B) {
+			cfg := Config{
+				Graph:    g,
+				Protocol: core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+				Arrivals: Poisson{Rate: 0.8 * 256 / paretoMean, Weights: task.Pareto{Alpha: 2, Cap: 20}},
+				Service:  WeightProportional{Rate: 1},
+				Tuner: &SelfTuner{Eps: 0.5, Steps: 2,
+					Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+				Rounds:  b.N,
+				Window:  1 << 30,
+				Seed:    0x5eed,
+				Workers: workers,
+			}
+			b.ReportAllocs()
+			if _, err := Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		})
+		if allocs := res.AllocsPerOp(); allocs != 0 {
+			t.Fatalf("workers=%d: steady-state round allocates %d times/op (%d B/op), want 0",
+				workers, allocs, res.AllocedBytesPerOp())
+		}
+	}
+}

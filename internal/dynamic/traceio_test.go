@@ -1,0 +1,143 @@
+package dynamic
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// tracedConfig mirrors TestTraceDrivenRun's setup for a loaded trace.
+func tracedConfig(tr Trace) Config {
+	return Config{
+		Graph:    graph.Complete(10),
+		Protocol: core.UserControlled{Alpha: 1},
+		Arrivals: tr,
+		Service:  Geometric{P: 0.2},
+		Tuner:    &OracleTuner{Eps: 0.5},
+		Rounds:   120,
+		Window:   30,
+		Seed:     2,
+
+		CheckInvariants: true,
+	}
+}
+
+func TestReadTraceCSV(t *testing.T) {
+	in := `round,weight
+# ingress log, scaled to wmin=1
+0,5
+0,2.5
+2,3
+1,1
+2,4
+`
+	tr, err := ReadTraceCSV(strings.NewReader(in), "unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{5, 2.5}, {1}, {3, 4}}
+	if !reflect.DeepEqual(tr.Rounds, want) {
+		t.Fatalf("rounds %v, want %v", tr.Rounds, want)
+	}
+	if tr.Name() != "trace(unit)" {
+		t.Fatalf("label lost: %s", tr.Name())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("loaded trace failed validation: %v", err)
+	}
+}
+
+func TestReadTraceCSVNoHeader(t *testing.T) {
+	tr, err := ReadTraceCSV(strings.NewReader("3,2\n0,1.5\n"), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{1.5}, nil, nil, {2}}
+	if !reflect.DeepEqual(tr.Rounds, want) {
+		t.Fatalf("rounds %v, want %v", tr.Rounds, want)
+	}
+}
+
+func TestReadTraceCSVErrors(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"0,0.5\n", "below 1"},
+		{"-1,2\n", "negative round"},
+		{"x,2\n", "bad round"},
+		{"0,heavy\n", "bad weight"},
+		{"0,2,3\n", "wrong number of fields"},
+	}
+	for _, c := range cases {
+		if _, err := ReadTraceCSV(strings.NewReader(c.in), ""); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("input %q: want error containing %q, got %v", c.in, c.want, err)
+		}
+	}
+}
+
+func TestReadTraceJSONL(t *testing.T) {
+	in := `{"round":1,"weight":2}
+# comment
+
+{"round":0,"weight":5.5}
+{"round":1,"weight":3}
+`
+	tr, err := ReadTraceJSONL(strings.NewReader(in), "jl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{5.5}, {2, 3}}
+	if !reflect.DeepEqual(tr.Rounds, want) {
+		t.Fatalf("rounds %v, want %v", tr.Rounds, want)
+	}
+	if _, err := ReadTraceJSONL(strings.NewReader(`{"round":0,"weight":0.2}`), ""); err == nil || !strings.Contains(err.Error(), "below 1") {
+		t.Fatalf("want weight error, got %v", err)
+	}
+	if _, err := ReadTraceJSONL(strings.NewReader(`{"round":0,"w":2}`), ""); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestLoadTraceFileAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "arrivals.csv")
+	if err := os.WriteFile(csvPath, []byte("round,weight\n0,5\n0,5\n0,5\n10,1\n10,1\n10,1\n10,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := LoadTraceFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Label != "arrivals.csv" {
+		t.Fatalf("label %q", tr.Label)
+	}
+	// Replay through the engine: identical accounting to the in-memory
+	// trace used by TestTraceDrivenRun.
+	cfg := tracedConfig(tr)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived != 7 || res.ArrivedWeight != 19 {
+		t.Fatalf("replay accounting: arrived=%d weight=%v", res.Arrived, res.ArrivedWeight)
+	}
+
+	jlPath := filepath.Join(dir, "arrivals.jsonl")
+	if err := os.WriteFile(jlPath, []byte(`{"round":0,"weight":5}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTraceFile(jlPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTraceFile(filepath.Join(dir, "arrivals.txt")); err == nil {
+		t.Fatal("unknown extension accepted")
+	}
+	if _, err := LoadTraceFile(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -5,7 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/diffusion"
+	"repro/internal/par"
 	"repro/internal/walk"
 )
 
@@ -22,6 +22,16 @@ type Tuner interface {
 	Refresh(round int, s *core.State, up *UpSet) []float64
 	// Name identifies the tuner in reports.
 	Name() string
+}
+
+// PooledTuner is implemented by tuners whose per-resource sweeps
+// (decaying averages, diffusion steps) can run on the engine's worker
+// pool. RefreshPooled must return bit-identical vectors for every
+// worker count, including the plain Refresh path — each output entry
+// is computed by exactly one worker with a fixed-order inner loop.
+type PooledTuner interface {
+	Tuner
+	RefreshPooled(round int, s *core.State, up *UpSet, pool *par.Pool) []float64
 }
 
 // OracleTuner recomputes T = (1+Eps)·W(t)/n_up + wmax every Every
@@ -73,13 +83,28 @@ func (o *OracleTuner) Name() string { return fmt.Sprintf("oracle(eps=%g)", o.Eps
 //	est_r ← Decay·est_r + (1−Decay)·x_r(t),
 //
 // and every Every rounds the estimates run Steps rounds of continuous
-// diffusion over the resource graph (the paper's footnote-1 substrate,
-// reused from internal/diffusion), concentrating them around the
-// system-wide average load W(t)/n. Each resource then sets its own
-// threshold T_r = (1+Eps)·est_r + wmax. No resource ever reads global
-// state — arrivals, departures and churn are absorbed by the decaying
-// average, and the slack Eps covers the estimation error, exactly as
-// it covers the static estimation error in the paper.
+// diffusion over the resource graph (the paper's footnote-1 substrate),
+// concentrating them around the system-wide average load. Each
+// resource then sets its own threshold T_r = (1+Eps)·est_r + wmax.
+//
+// Under resource churn the raw diffusion average is the wrong target:
+// down resources hold zero load, so the estimates concentrate around
+// W/n instead of the live capacity's W/n_up, and thresholds sag as
+// churn deepens. The tuner therefore runs a push-sum style
+// renormalisation: alongside est it maintains an identically decayed
+// and diffused up-mass vector
+//
+//	upw_r ← Decay·upw_r + (1−Decay)·1{r up},
+//
+// and divides the diffused load estimate by the diffused up-mass, so
+// each resource's ratio converges to (Σ est)/(Σ upw) ≈ W/n_up with no
+// global knowledge. While no resource has ever been down, upw is
+// exactly 1 everywhere and the division is skipped, keeping the
+// churnless hot path at one diffusion per refresh. No resource ever
+// reads global state — arrivals, departures and churn are absorbed by
+// the decaying averages, and the slack Eps covers the estimation
+// error, exactly as it covers the static estimation error in the
+// paper.
 type SelfTuner struct {
 	Eps    float64     // threshold slack, > 0
 	Decay  float64     // EWMA decay in (0,1); 0 means the default 0.8
@@ -88,7 +113,26 @@ type SelfTuner struct {
 	Kernel walk.Kernel // diffusion kernel; required
 
 	est []float64
+	upw []float64
 	thr []float64
+	// Diffusion ping-pong buffers, reused across refreshes.
+	zEst, zEstNext []float64
+	zUp, zUpNext   []float64
+	// churned latches once any resource has been observed down; only
+	// then is the up-mass diffusion and division paid for.
+	churned bool
+
+	// Pooled-sweep wiring: the phase closures are bound once and read
+	// the fields below, so dispatching a sweep allocates nothing.
+	s          *core.State
+	up         *UpSet
+	pool       *par.Pool
+	decayFn    func(int)
+	diffuseFn  func(int)
+	thrFn      func(int)
+	src, dst   []float64
+	srcU, dstU []float64
+	diffuseUp  bool
 }
 
 // NewSelfTuner returns a SelfTuner with the package defaults
@@ -97,8 +141,14 @@ func NewSelfTuner(k walk.Kernel, eps float64) *SelfTuner {
 	return &SelfTuner{Eps: eps, Decay: 0.8, Every: 10, Steps: 8, Kernel: k}
 }
 
-// Refresh implements Tuner.
+// Refresh implements Tuner (the single-worker sweep).
 func (st *SelfTuner) Refresh(round int, s *core.State, up *UpSet) []float64 {
+	return st.RefreshPooled(round, s, up, nil)
+}
+
+// RefreshPooled implements PooledTuner. A nil pool runs the sweeps
+// inline; any pool produces bit-identical thresholds.
+func (st *SelfTuner) RefreshPooled(round int, s *core.State, up *UpSet, pool *par.Pool) []float64 {
 	if st.Eps <= 0 {
 		panic("dynamic: SelfTuner.Eps must be > 0")
 	}
@@ -107,10 +157,6 @@ func (st *SelfTuner) Refresh(round int, s *core.State, up *UpSet) []float64 {
 	}
 	if st.Decay < 0 || st.Decay >= 1 {
 		panic("dynamic: SelfTuner.Decay must be in [0,1)")
-	}
-	decay := st.Decay
-	if decay == 0 {
-		decay = 0.8
 	}
 	every := st.Every
 	if every <= 0 {
@@ -123,20 +169,117 @@ func (st *SelfTuner) Refresh(round int, s *core.State, up *UpSet) []float64 {
 	n := s.N()
 	if st.est == nil {
 		st.est = make([]float64, n)
+		st.upw = make([]float64, n)
+		for r := range st.upw {
+			st.upw[r] = 1
+		}
 		st.thr = make([]float64, n)
+		st.zEst = make([]float64, n)
+		st.zEstNext = make([]float64, n)
+		st.decayFn = st.decayShard
+		st.diffuseFn = st.diffuseShard
+		st.thrFn = st.thresholdShard
 	}
-	for r := 0; r < n; r++ {
-		st.est[r] = decay*st.est[r] + (1-decay)*s.Load(r)
+	if up.DownN() > 0 {
+		st.churned = true
 	}
+	if st.churned && st.zUp == nil {
+		st.zUp = make([]float64, n)
+		st.zUpNext = make([]float64, n)
+	}
+
+	st.s, st.up, st.pool = s, up, pool
+	defer func() { st.s, st.up, st.pool = nil, nil, nil }()
+
+	st.runShards(st.decayFn)
 	if round%every != 0 {
 		return nil
 	}
-	z := diffusion.Run(st.Kernel, st.est, steps)
-	wmax := s.LiveWMax()
-	for r := range st.thr {
-		st.thr[r] = (1+st.Eps)*z[r] + wmax
+
+	// Diffuse a copy of the estimates (est itself stays the raw EWMA,
+	// as in the footnote-1 reading: resources keep their running
+	// estimate and simulate diffusion on it at refresh time).
+	copy(st.zEst, st.est)
+	st.diffuseUp = st.churned
+	if st.diffuseUp {
+		copy(st.zUp, st.upw)
 	}
+	for i := 0; i < steps; i++ {
+		st.src, st.dst = st.zEst, st.zEstNext
+		st.srcU, st.dstU = st.zUp, st.zUpNext
+		st.runShards(st.diffuseFn)
+		st.zEst, st.zEstNext = st.zEstNext, st.zEst
+		if st.diffuseUp {
+			st.zUp, st.zUpNext = st.zUpNext, st.zUp
+		}
+	}
+	st.runShards(st.thrFn)
 	return st.thr
+}
+
+// runShards executes fn over the canonical resource partition — on the
+// pool when one is attached, inline otherwise.
+func (st *SelfTuner) runShards(fn func(int)) {
+	if st.pool == nil {
+		fn(0)
+		return
+	}
+	st.pool.Run(st.pool.Workers(), fn)
+}
+
+// shardRange returns the resource range shard i covers.
+func (st *SelfTuner) shardRange(i int) (int, int) {
+	if st.pool == nil {
+		return 0, len(st.est)
+	}
+	return st.pool.Shard(len(st.est), i)
+}
+
+func (st *SelfTuner) decayShard(i int) {
+	lo, hi := st.shardRange(i)
+	decay := st.Decay
+	if decay == 0 {
+		decay = 0.8
+	}
+	for r := lo; r < hi; r++ {
+		st.est[r] = decay*st.est[r] + (1-decay)*st.s.Load(r)
+	}
+	if !st.churned {
+		return
+	}
+	for r := lo; r < hi; r++ {
+		m := 0.0
+		if st.up.Contains(r) {
+			m = 1
+		}
+		st.upw[r] = decay*st.upw[r] + (1-decay)*m
+	}
+}
+
+func (st *SelfTuner) diffuseShard(i int) {
+	lo, hi := st.shardRange(i)
+	walk.EvolveDistRange(st.Kernel, st.src, st.dst, lo, hi)
+	if st.diffuseUp {
+		walk.EvolveDistRange(st.Kernel, st.srcU, st.dstU, lo, hi)
+	}
+}
+
+func (st *SelfTuner) thresholdShard(i int) {
+	lo, hi := st.shardRange(i)
+	wmax := st.s.LiveWMax()
+	if !st.diffuseUp {
+		for r := lo; r < hi; r++ {
+			st.thr[r] = (1+st.Eps)*st.zEst[r] + wmax
+		}
+		return
+	}
+	for r := lo; r < hi; r++ {
+		mass := st.zUp[r]
+		if mass < 1e-12 {
+			mass = 1e-12 // a resource diffusively isolated from all live mass
+		}
+		st.thr[r] = (1+st.Eps)*st.zEst[r]/mass + wmax
+	}
 }
 
 // Validate implements the optional config check.

@@ -1,6 +1,10 @@
 package experiments
 
 import (
+	"reflect"
+	"runtime"
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/dynamic"
 	"repro/internal/graph"
@@ -109,6 +113,72 @@ func DynamicRho(cfg Config) *Table {
 		}
 	}
 	t.AddNote("rho = arrivalRate*E[w]/(n*serviceRate); overload%% is the tail time-averaged fraction of resources above threshold")
+	return t
+}
+
+// DynamicScale measures the sharded engine: one fixed open-system
+// workload run at worker counts 1, 2, 4, 8, reporting wall-clock
+// rounds/second per worker count and — the engine's headline guarantee
+// — verifying that every run's Result is bit-identical to the
+// sequential one (windowed metrics and float totals included). On a
+// single-core host the speedup column reads ≈ 1; the determinism
+// column must read true everywhere regardless.
+func DynamicScale(cfg Config) *Table {
+	cfg = cfg.Defaults()
+	n, deg := 5000, 16
+	rounds := 400
+	if cfg.Quick {
+		n, rounds = 1000, 150
+	}
+	g := graph.RandomRegular(n, deg, rng.NewSeeded(cfg.Seed))
+	build := func(workers int) dynamic.Config {
+		return dynamic.Config{
+			Graph:    g,
+			Protocol: core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+			Arrivals: dynamic.Poisson{Rate: 0.8 * float64(n) / dynParetoMean,
+				Weights: task.Pareto{Alpha: 2, Cap: 20}},
+			Service: dynamic.WeightProportional{Rate: 1},
+			Tuner: &dynamic.SelfTuner{Eps: 0.5, Steps: 2,
+				Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+			Rounds:  rounds,
+			Window:  rounds,
+			Seed:    cfg.Seed,
+			Workers: workers,
+		}
+	}
+	t := &Table{
+		ID:     "dynscale",
+		Title:  f("open system: sharded-engine scaling (n=%d expander, rho=0.8, %d rounds)", n, rounds),
+		Header: []string{"workers", "rounds/sec", "speedup", "identical to sequential"},
+	}
+	var ref dynamic.Result
+	var seqRate float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		res, err := dynamic.Run(build(workers))
+		elapsed := time.Since(start)
+		if err != nil {
+			t.AddRow(f("%d", workers), "error", "-", f("%v", err))
+			if workers == 1 {
+				// Without the sequential reference the speedup and
+				// determinism columns are meaningless; stop here.
+				t.AddNote("sequential reference run failed; sweep aborted")
+				return t
+			}
+			continue
+		}
+		rate := float64(rounds) / elapsed.Seconds()
+		identical := true
+		if workers == 1 {
+			ref = res
+			seqRate = rate
+		} else {
+			identical = reflect.DeepEqual(res, ref)
+		}
+		t.AddRow(f("%d", workers), f("%.0f", rate), f("%.2fx", rate/seqRate), f("%v", identical))
+	}
+	t.AddNote("identical: reflect.DeepEqual of the full Result (windows, float totals) against workers=1")
+	t.AddNote("GOMAXPROCS=%d during this run; speedup is wall-clock and saturates at the core count", runtime.GOMAXPROCS(0))
 	return t
 }
 

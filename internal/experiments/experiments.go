@@ -125,6 +125,7 @@ var Registry = []struct {
 	{"baselines", "Related-work baselines: diffusion, Greedy[2], (1+beta), oracle", Baselines},
 	{"dynrho", "Open system: arrival-rate sweep rho -> 1 with self-tuned thresholds", DynamicRho},
 	{"dynchurn", "Open system: resource churn sweep at rho=0.8 (weight conservation)", DynamicChurn},
+	{"dynscale", "Open system: sharded-engine worker scaling + determinism check", DynamicScale},
 }
 
 // Lookup returns the driver for id, or nil.

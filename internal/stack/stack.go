@@ -138,16 +138,24 @@ func (s *Stack) OverflowCount(t float64) int {
 // their heights ("once a task is accepted by a resource, it will never
 // leave that resource again").
 func (s *Stack) PopOverflow(t float64) []task.Task {
-	below, _ := s.Partition(t)
-	if below == len(s.tasks) {
+	if below, _ := s.Partition(t); below == len(s.tasks) {
 		return nil
 	}
-	removed := append([]task.Task(nil), s.tasks[below:]...)
-	for _, tk := range removed {
-		s.load -= tk.Weight
+	return s.PopOverflowAppend(t, nil)
+}
+
+// PopOverflowAppend is PopOverflow into a caller-provided buffer: the
+// removed tasks are appended to dst, which is returned. The hot-path
+// variant for the open-system engine, where per-shard scratch buffers
+// keep steady-state rounds allocation-free.
+func (s *Stack) PopOverflowAppend(t float64, dst []task.Task) []task.Task {
+	below, _ := s.Partition(t)
+	for i := below; i < len(s.tasks); i++ {
+		s.load -= s.tasks[i].Weight
+		dst = append(dst, s.tasks[i])
 	}
 	s.tasks = s.tasks[:below]
-	return removed
+	return dst
 }
 
 // Accepts reports whether a new task of weight w would be accepted: its
@@ -164,14 +172,24 @@ func (s *Stack) RemoveIndices(indices []int) []task.Task {
 	if len(indices) == 0 {
 		return nil
 	}
-	removed := make([]task.Task, 0, len(indices))
+	return s.RemoveIndicesAppend(indices, make([]task.Task, 0, len(indices)))
+}
+
+// RemoveIndicesAppend is RemoveIndices into a caller-provided buffer:
+// removed tasks are appended to dst, which is returned (unchanged when
+// indices is empty). The allocation-free variant for reusable
+// per-shard departure and migration buffers.
+func (s *Stack) RemoveIndicesAppend(indices []int, dst []task.Task) []task.Task {
+	if len(indices) == 0 {
+		return dst
+	}
 	prev := -1
 	for _, i := range indices {
 		if i <= prev || i >= len(s.tasks) {
 			panic(fmt.Sprintf("stack: RemoveIndices bad index %d (prev %d, len %d)", i, prev, len(s.tasks)))
 		}
 		prev = i
-		removed = append(removed, s.tasks[i])
+		dst = append(dst, s.tasks[i])
 		s.load -= s.tasks[i].Weight
 	}
 	// Compact in one pass.
@@ -185,7 +203,7 @@ func (s *Stack) RemoveIndices(indices []int) []task.Task {
 		out = append(out, tk)
 	}
 	s.tasks = out
-	return removed
+	return dst
 }
 
 // PopAt removes and returns the task at position i; the tasks above it

@@ -138,11 +138,22 @@ func Quantile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		panic("stats: Quantile of empty slice")
 	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return QuantileSorted(s, q)
+}
+
+// QuantileSorted is Quantile for input the caller has already sorted
+// ascending — no copy, no allocation. The open-system engine's
+// window-snapshot path pools one sorted buffer and reads several
+// quantiles from it.
+func QuantileSorted(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		panic("stats: QuantileSorted of empty slice")
+	}
 	if q < 0 || q > 1 {
 		panic("stats: quantile out of [0,1]")
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
 	if len(s) == 1 {
 		return s[0]
 	}

@@ -33,11 +33,15 @@ func ValidWeight(w float64) bool { return w >= 1 && !math.IsInf(w, 0) }
 // Set is a collection of tasks plus its cached aggregate statistics
 // (W, wmax, wmin) that the threshold formulas need. Static scenarios
 // build a Set once and never mutate it; the open-system engine grows
-// and shrinks a Set via Add and Remove (removed tasks are tombstoned
-// so IDs stay stable, and W/Live track only in-flight tasks).
+// and shrinks a Set via Add and Remove. A removed task's ID is
+// recycled: it goes on a free list and the next Add reuses it, so the
+// ID space — and every array indexed by task ID — stays proportional
+// to the in-flight population instead of growing with every arrival
+// ever. An ID therefore identifies a task only while it is live.
 type Set struct {
 	tasks   []Task
 	removed []bool // lazily allocated; nil in static runs
+	free    []int  // recycled IDs, LIFO
 	live    int
 	total   float64 // live weight only
 	wmax    float64 // high-watermark over every task ever added
@@ -76,7 +80,8 @@ func NewSet(weights []float64) *Set {
 // starting state of an open system before the first arrival.
 func NewEmptySet() *Set { return &Set{} }
 
-// Add appends a new task with the next unused ID and returns it. The
+// Add registers a new task and returns it, reusing the most recently
+// freed ID when one exists and extending the ID space otherwise. The
 // watermarks wmax/wmin only ever widen, so thresholds computed from
 // them stay valid for every task seen so far.
 // It panics if w is below 1 or non-finite.
@@ -84,10 +89,19 @@ func (s *Set) Add(w float64) Task {
 	if !ValidWeight(w) {
 		panic(fmt.Sprintf("task: weight %v violates wmin >= 1", w))
 	}
-	t := Task{ID: len(s.tasks), Weight: w}
-	s.tasks = append(s.tasks, t)
-	if s.removed != nil {
-		s.removed = append(s.removed, false)
+	var t Task
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		t = Task{ID: id, Weight: w}
+		s.tasks[id] = t
+		s.removed[id] = false
+	} else {
+		t = Task{ID: len(s.tasks), Weight: w}
+		s.tasks = append(s.tasks, t)
+		if s.removed != nil {
+			s.removed = append(s.removed, false)
+		}
 	}
 	s.live++
 	s.total += w
@@ -100,9 +114,11 @@ func (s *Set) Add(w float64) Task {
 	return t
 }
 
-// Remove tombstones task id (a departure): its weight leaves W and the
-// live count, but the ID stays allocated so location maps and traces
-// remain stable. It panics on an unknown or already-removed id.
+// Remove retires task id (a departure): its weight leaves W and the
+// live count, and the ID joins the free list for the next Add to
+// reuse. Callers that follow individual tasks across time must
+// therefore treat (ID, liveness interval) as the identity, not the ID
+// alone. It panics on an unknown or already-removed id.
 func (s *Set) Remove(id int) {
 	if id < 0 || id >= len(s.tasks) {
 		panic(fmt.Sprintf("task: Remove of unknown task %d", id))
@@ -114,6 +130,7 @@ func (s *Set) Remove(id int) {
 		panic(fmt.Sprintf("task: task %d removed twice", id))
 	}
 	s.removed[id] = true
+	s.free = append(s.free, id)
 	s.live--
 	s.total -= s.tasks[id].Weight
 }
@@ -126,8 +143,10 @@ func (s *Set) Removed(id int) bool {
 // Live returns the number of in-flight (non-removed) tasks.
 func (s *Set) Live() int { return s.live }
 
-// M returns the number of task IDs ever issued (including departed
-// tasks in dynamic runs; equal to Live for static sets).
+// M returns the size of the ID space: the high-watermark of
+// simultaneously allocated IDs (equal to Live for static sets; with ID
+// recycling this tracks the peak in-flight population, not the number
+// of arrivals ever).
 func (s *Set) M() int { return len(s.tasks) }
 
 // W returns the total in-flight weight Σ w_i over live tasks.
@@ -164,20 +183,46 @@ type Distribution interface {
 	Name() string
 }
 
+// Appender is implemented by distributions that can emit weights into
+// a caller-provided buffer. AppendWeights must consume the generator
+// exactly like Weights, so the two are interchangeable in a
+// deterministic run; the open-system engine uses it to keep
+// steady-state arrival rounds allocation-free.
+type Appender interface {
+	AppendWeights(dst []float64, m int, r *rng.Rand) []float64
+}
+
+// AppendWeights appends m weights drawn from d to dst, using d's
+// allocation-free path when it has one and falling back to Weights
+// otherwise.
+func AppendWeights(d Distribution, dst []float64, m int, r *rng.Rand) []float64 {
+	if m <= 0 {
+		return dst
+	}
+	if a, ok := d.(Appender); ok {
+		return a.AppendWeights(dst, m, r)
+	}
+	return append(dst, d.Weights(m, r)...)
+}
+
 // Uniform gives every task the same weight w ≥ 1 (the classical
 // unit-ball setting when w = 1, i.e. the Ackermann et al. baseline).
 type Uniform struct{ W float64 }
 
 // Weights implements Distribution.
 func (u Uniform) Weights(m int, r *rng.Rand) []float64 {
+	return u.AppendWeights(make([]float64, 0, m), m, r)
+}
+
+// AppendWeights implements Appender.
+func (u Uniform) AppendWeights(dst []float64, m int, r *rng.Rand) []float64 {
 	if u.W < 1 {
 		panic("task: Uniform weight must be >= 1")
 	}
-	ws := make([]float64, m)
-	for i := range ws {
-		ws[i] = u.W
+	for i := 0; i < m; i++ {
+		dst = append(dst, u.W)
 	}
-	return ws
+	return dst
 }
 
 // Name identifies the distribution.
@@ -194,21 +239,25 @@ type TwoPoint struct {
 // matching the paper's "k tasks with weight wmax" description; placement
 // strategies randomise positions independently of IDs.
 func (t TwoPoint) Weights(m int, r *rng.Rand) []float64 {
+	return t.AppendWeights(make([]float64, 0, m), m, r)
+}
+
+// AppendWeights implements Appender; the heavy tasks lead each batch.
+func (t TwoPoint) AppendWeights(dst []float64, m int, r *rng.Rand) []float64 {
 	if t.Heavy < 1 {
 		panic("task: TwoPoint heavy weight must be >= 1")
 	}
 	if t.K < 0 {
 		panic("task: TwoPoint K must be >= 0")
 	}
-	ws := make([]float64, m)
-	for i := range ws {
+	for i := 0; i < m; i++ {
 		if i < t.K {
-			ws[i] = t.Heavy
+			dst = append(dst, t.Heavy)
 		} else {
-			ws[i] = 1
+			dst = append(dst, 1)
 		}
 	}
-	return ws
+	return dst
 }
 
 // Name identifies the distribution.
@@ -219,14 +268,18 @@ type UniformRange struct{ Lo, Hi float64 }
 
 // Weights implements Distribution.
 func (u UniformRange) Weights(m int, r *rng.Rand) []float64 {
+	return u.AppendWeights(make([]float64, 0, m), m, r)
+}
+
+// AppendWeights implements Appender.
+func (u UniformRange) AppendWeights(dst []float64, m int, r *rng.Rand) []float64 {
 	if u.Lo < 1 || u.Hi < u.Lo {
 		panic("task: UniformRange requires 1 <= Lo <= Hi")
 	}
-	ws := make([]float64, m)
-	for i := range ws {
-		ws[i] = u.Lo + (u.Hi-u.Lo)*r.Float64()
+	for i := 0; i < m; i++ {
+		dst = append(dst, u.Lo+(u.Hi-u.Lo)*r.Float64())
 	}
-	return ws
+	return dst
 }
 
 // Name identifies the distribution.
@@ -238,14 +291,18 @@ type Exponential struct{ Mean float64 }
 
 // Weights implements Distribution.
 func (e Exponential) Weights(m int, r *rng.Rand) []float64 {
+	return e.AppendWeights(make([]float64, 0, m), m, r)
+}
+
+// AppendWeights implements Appender.
+func (e Exponential) AppendWeights(dst []float64, m int, r *rng.Rand) []float64 {
 	if e.Mean < 1 {
 		panic("task: Exponential mean must be >= 1")
 	}
-	ws := make([]float64, m)
-	for i := range ws {
-		ws[i] = 1 + (e.Mean-1)*r.ExpFloat64()
+	for i := 0; i < m; i++ {
+		dst = append(dst, 1+(e.Mean-1)*r.ExpFloat64())
 	}
-	return ws
+	return dst
 }
 
 // Name identifies the distribution.
@@ -261,18 +318,22 @@ type Pareto struct {
 
 // Weights implements Distribution.
 func (p Pareto) Weights(m int, r *rng.Rand) []float64 {
+	return p.AppendWeights(make([]float64, 0, m), m, r)
+}
+
+// AppendWeights implements Appender.
+func (p Pareto) AppendWeights(dst []float64, m int, r *rng.Rand) []float64 {
 	if p.Alpha <= 0 {
 		panic("task: Pareto alpha must be positive")
 	}
-	ws := make([]float64, m)
-	for i := range ws {
+	for i := 0; i < m; i++ {
 		w := r.Pareto(1, p.Alpha)
 		if p.Cap > 0 && w > p.Cap {
 			w = p.Cap
 		}
-		ws[i] = w
+		dst = append(dst, w)
 	}
-	return ws
+	return dst
 }
 
 // Name identifies the distribution.

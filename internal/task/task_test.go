@@ -297,13 +297,27 @@ func TestDynamicSetAddRemove(t *testing.T) {
 	if s.WMax() != 7 || s.WMin() != 3 {
 		t.Fatalf("watermarks moved: max=%v min=%v", s.WMax(), s.WMin())
 	}
-	// IDs keep growing past tombstones.
+	// Tombstoned IDs are recycled LIFO, so ID-indexed arrays stay
+	// proportional to the in-flight population.
 	c := s.Add(2)
-	if c.ID != 2 || s.M() != 3 || s.Live() != 2 || s.W() != 9 {
+	if c.ID != a.ID || s.M() != 2 || s.Live() != 2 || s.W() != 9 || s.Removed(c.ID) {
 		t.Fatalf("post-tombstone add: %+v m=%d live=%d W=%v", c, s.M(), s.Live(), s.W())
 	}
 	if s.WAvg() != 4.5 {
 		t.Fatalf("live average %v want 4.5", s.WAvg())
+	}
+	// The ID space only extends once the free list is drained.
+	d := s.Add(5)
+	if d.ID != 2 || s.M() != 3 || s.Live() != 3 || s.W() != 14 {
+		t.Fatalf("free-list drained add: %+v m=%d live=%d W=%v", d, s.M(), s.Live(), s.W())
+	}
+	// Interleaved churn: removals feed later adds in LIFO order.
+	s.Remove(b.ID)
+	s.Remove(d.ID)
+	e := s.Add(1)
+	f := s.Add(1)
+	if e.ID != d.ID || f.ID != b.ID || s.M() != 3 || s.Live() != 3 {
+		t.Fatalf("LIFO recycling: e=%+v f=%+v m=%d live=%d", e, f, s.M(), s.Live())
 	}
 }
 

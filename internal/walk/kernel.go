@@ -157,6 +157,75 @@ func (k *Metropolis) SelfProb(v int) float64 {
 // Name identifies the kernel.
 func (k *Metropolis) Name() string { return "metropolis" }
 
+// EdgeUniform is implemented by kernels whose off-diagonal transition
+// probability is one constant p for every edge (MaxDegree and its lazy
+// wrapper). EvolveDistRange uses it to replace two interface calls per
+// edge with a fused constant-coefficient gather — the diffusion hot
+// path of the open-system self-tuner.
+type EdgeUniform interface {
+	// EdgeProb returns (p, true) when P(v→w) = p for every edge {v,w},
+	// or (0, false) when the edge probabilities vary.
+	EdgeProb() (float64, bool)
+}
+
+// EdgeProb implements EdgeUniform: every edge carries 1/d.
+func (k *MaxDegree) EdgeProb() (float64, bool) { return 1 / float64(k.d), true }
+
+// EdgeProb implements EdgeUniform when the base kernel does.
+func (k *Lazy) EdgeProb() (float64, bool) {
+	if eu, ok := k.base.(EdgeUniform); ok {
+		if p, ok := eu.EdgeProb(); ok {
+			return p / 2, true
+		}
+	}
+	return 0, false
+}
+
+// EvolveDistRange computes entries [lo, hi) of next = dist · P by
+// gathering over each vertex's neighbourhood: next[v] = dist[v]·P(v,v)
+// + Σ_{w ∈ N(v)} dist[w]·P(w,v). It requires a symmetric kernel
+// (P(w,v) = P(v,w)), which every kernel in this package satisfies —
+// the package-wide uniform-stationarity contract. Because each output
+// entry is produced by exactly one call with a fixed-order inner loop,
+// disjoint ranges can run on concurrent workers and the result is
+// bit-identical for every range partition, which is what the sharded
+// self-tuner needs for deterministic replay.
+func EvolveDistRange(k Kernel, dist, next []float64, lo, hi int) {
+	g := k.Graph()
+	n := g.N()
+	if len(dist) != n || len(next) != n {
+		panic("walk: EvolveDistRange dimension mismatch")
+	}
+	if p, ok := edgeProb(k); ok {
+		// Uniform edge probability: row sums are 1, so
+		// P(v,v) = 1 − p·deg(v) and the whole update collapses to one
+		// constant-coefficient pass over the CSR row.
+		for v := lo; v < hi; v++ {
+			sum := 0.0
+			nb := g.Neighbors(v)
+			for _, w := range nb {
+				sum += dist[w]
+			}
+			next[v] = dist[v] + p*(sum-float64(len(nb))*dist[v])
+		}
+		return
+	}
+	for v := lo; v < hi; v++ {
+		acc := dist[v] * k.SelfProb(v)
+		for _, w := range g.Neighbors(v) {
+			acc += dist[w] * k.NeighborProb(v, int(w))
+		}
+		next[v] = acc
+	}
+}
+
+func edgeProb(k Kernel) (float64, bool) {
+	if eu, ok := k.(EdgeUniform); ok {
+		return eu.EdgeProb()
+	}
+	return 0, false
+}
+
 // EvolveDist advances a probability distribution one step:
 // next = dist · P. next must have length n; it is overwritten.
 // O(n + m) using the CSR adjacency.

@@ -424,3 +424,75 @@ func TestSimpleWalkWouldNotBeUniform(t *testing.T) {
 		t.Fatal("test graph must be irregular")
 	}
 }
+
+func TestEvolveDistRangeMatchesEvolveDist(t *testing.T) {
+	g := graph.CliquePendant(8, 3)
+	r := rng.NewSeeded(31)
+	dist := make([]float64, g.N())
+	total := 0.0
+	for i := range dist {
+		dist[i] = r.Float64()
+		total += dist[i]
+	}
+	for i := range dist {
+		dist[i] /= total
+	}
+	for _, k := range []Kernel{NewMaxDegree(g), NewLazy(NewMaxDegree(g)), NewMetropolis(g)} {
+		scatter := make([]float64, g.N())
+		EvolveDist(k, dist, scatter)
+		gather := make([]float64, g.N())
+		EvolveDistRange(k, dist, gather, 0, g.N())
+		for v := range scatter {
+			if math.Abs(scatter[v]-gather[v]) > 1e-12 {
+				t.Fatalf("%s: vertex %d: scatter %v vs gather %v", k.Name(), v, scatter[v], gather[v])
+			}
+		}
+	}
+}
+
+// TestEvolveDistRangePartitionInvariant pins the sharded-tuner
+// determinism contract: any partition of [0, n) into ranges must give
+// bit-identical output to the full-range call, for both the
+// constant-edge fast path and the general gather.
+func TestEvolveDistRangePartitionInvariant(t *testing.T) {
+	g := graph.CliquePendant(9, 4)
+	r := rng.NewSeeded(33)
+	dist := make([]float64, g.N())
+	for i := range dist {
+		dist[i] = 10 * r.Float64()
+	}
+	for _, k := range []Kernel{NewLazy(NewMaxDegree(g)), NewMetropolis(g)} {
+		whole := make([]float64, g.N())
+		EvolveDistRange(k, dist, whole, 0, g.N())
+		for _, cuts := range [][]int{{1}, {g.N() - 1}, {3, 7}, {2, 5, 9}} {
+			parts := make([]float64, g.N())
+			prev := 0
+			for _, c := range append(cuts, g.N()) {
+				EvolveDistRange(k, dist, parts, prev, c)
+				prev = c
+			}
+			for v := range whole {
+				if whole[v] != parts[v] {
+					t.Fatalf("%s cuts %v: vertex %d differs: %v vs %v", k.Name(), cuts, v, whole[v], parts[v])
+				}
+			}
+		}
+	}
+}
+
+// TestEdgeProb pins the fast-path coefficients the sharded diffusion
+// relies on.
+func TestEdgeProb(t *testing.T) {
+	g := graph.CliquePendant(8, 2)
+	md := NewMaxDegree(g)
+	if p, ok := md.EdgeProb(); !ok || p != 1/float64(g.MaxDegree()) {
+		t.Fatalf("maxdeg EdgeProb = %v,%v", p, ok)
+	}
+	lz := NewLazy(md)
+	if p, ok := lz.EdgeProb(); !ok || p != 1/(2*float64(g.MaxDegree())) {
+		t.Fatalf("lazy EdgeProb = %v,%v", p, ok)
+	}
+	if p, ok := NewLazy(NewMetropolis(g)).EdgeProb(); ok {
+		t.Fatalf("lazy(metropolis) claims uniform edges: %v", p)
+	}
+}
