@@ -10,9 +10,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Parallel-sensitive packages under the race detector.
+# Parallel-sensitive packages under the race detector (mirrors the CI
+# race job: the exchange and evacuation tests run real multi-worker
+# phases, so the detector sees the concurrent paths).
 race:
-	$(GO) test -race ./internal/sim ./internal/core ./internal/dynamic ./internal/par
+	$(GO) test -race ./internal/core ./internal/dynamic ./internal/par ./internal/sim ./internal/stack ./internal/task
 
 fmt:
 	gofmt -l .

@@ -18,6 +18,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/task"
 	"repro/internal/walk"
@@ -211,6 +212,92 @@ func BenchmarkDynamicRound10kSeq(b *testing.B) {
 func BenchmarkDynamicRound100k(b *testing.B) {
 	g := graph.RandomRegular(100_000, 16, newBenchRand())
 	benchDynamicRound(b, g, core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(g))}, 0)
+}
+
+// BenchmarkDeliver measures the per-destination-shard delivery
+// exchange in isolation: 20000 tasks on 10000 resources are popped by
+// their source shards and re-delivered to rotated destinations through
+// core.Exchange every iteration — route (sort + lane segmentation),
+// the per-destination k-way merge, and the canonical stats fold. One
+// op is one full cross-shard delivery of 20000 moves.
+func BenchmarkDeliver(b *testing.B) {
+	const (
+		n      = 10_000
+		m      = 2 * n
+		shards = 8
+	)
+	g := graph.RandomRegular(n, 16, newBenchRand())
+	ts := task.NewSet(task.UniformRange{Lo: 1, Hi: 4}.Weights(m, newBenchRand()))
+	placement := make([]int, m)
+	for i := range placement {
+		placement[i] = i % n
+	}
+	s := core.NewState(g, ts, placement, core.AboveAverage{Eps: 0.5}, 1)
+	bounds := make([]int, shards+1)
+	for i := 0; i <= shards; i++ {
+		bounds[i] = i * n / shards
+	}
+	x := core.NewExchange(bounds)
+	pool := par.NewPool(runtime.GOMAXPROCS(0))
+	defer pool.Close()
+	moves := make([][]core.Migration, shards)
+	route := func(i int) {
+		lo, hi := bounds[i], bounds[i+1]
+		moves[i] = moves[i][:0]
+		for r := lo; r < hi; r++ {
+			for _, tk := range s.Stack(r).Tasks() {
+				moves[i] = append(moves[i],
+					core.Migration{Task: tk, Dest: int32((r + n/2 + 1) % n)})
+			}
+			s.Stack(r).Reset()
+		}
+		x.Route(i, moves[i])
+	}
+	deliver := func(j int) { x.DeliverShard(s, j) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.Run(shards, route)
+		pool.Run(shards, deliver)
+		st := x.Finish(s, false)
+		if st.Migrations != m {
+			b.Fatalf("delivered %d of %d moves", st.Migrations, m)
+		}
+	}
+}
+
+// BenchmarkMassChurn10k measures mass-failure rounds end to end: a
+// 10000-resource open system under steady ρ = 0.8 traffic where every
+// 20th round 1000 resources fail simultaneously (their tasks evacuate
+// through the sharded exchange) and rejoin 10 rounds later. One op is
+// one simulated round, ~1/20 of which carry a rack-loss evacuation.
+func BenchmarkMassChurn10k(b *testing.B) {
+	g := graph.RandomRegular(10_000, 16, newBenchRand())
+	cfg := dynamic.Config{
+		Graph:    g,
+		Protocol: core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+		Arrivals: dynamic.Poisson{Rate: 0.8 * 10_000 / 1.95,
+			Weights: task.Pareto{Alpha: 2, Cap: 20}},
+		Service: dynamic.WeightProportional{Rate: 1},
+		Tuner: &dynamic.SelfTuner{Eps: 0.5, Steps: 2,
+			Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+		Churn: dynamic.Churn{
+			MinUp: 5_000,
+			Events: []dynamic.ChurnEvent{
+				{Round: 10, Every: 20, Down: 1000},
+				{Round: 20, Every: 20, Up: 1000},
+			},
+		},
+		Rounds:  b.N,
+		Window:  1 << 30,
+		Seed:    0x9e3779b97f4a7c15,
+		Workers: runtime.GOMAXPROCS(0),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := dynamic.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkHittingTime measures H(G) computation on a 16×16 torus.

@@ -63,10 +63,11 @@ func main() {
 		dispatch = flag.String("dispatch", "uniform", "uniform|hotspot|power2")
 		hotspot  = flag.Int("hotspot", 0, "hotspot ingress resource")
 
-		churn  = flag.Float64("churn", 0, "per-round leave/join probability (0 = no churn)")
-		minUp  = flag.Int("minup", 0, "floor on up resources (0 = n/2 when churn > 0)")
-		oracle = flag.Bool("oracle", false, "exact-average thresholds instead of self-tuned diffusion estimates")
-		check  = flag.Bool("check", false, "validate weight conservation every round (slow)")
+		churn      = flag.Float64("churn", 0, "per-round leave/join probability (0 = no churn)")
+		minUp      = flag.Int("minup", 0, "floor on up resources (0 = n/2 when churn > 0)")
+		oracle     = flag.Bool("oracle", false, "exact-average thresholds instead of self-tuned diffusion estimates")
+		check      = flag.Bool("check", false, "validate weight conservation every round (slow)")
+		shardDebug = flag.Bool("sharddebug", false, "print per-shard measured round-cost stats at every rebalance (workers > 1)")
 	)
 	flag.Parse()
 
@@ -187,6 +188,23 @@ func main() {
 				w.Start, w.End, 100*w.OverloadFrac, w.MigrationRate, w.ArrivalRate,
 				w.DepartureRate, w.P99Load, w.InFlightWeight, w.UpResources)
 		},
+	}
+	if *shardDebug {
+		sc.OnRebalance = func(round int, stats []lb.ShardStat) {
+			total := int64(0)
+			for _, st := range stats {
+				total += st.Nanos
+			}
+			fmt.Printf("[shards] round %d:", round)
+			for i, st := range stats {
+				share := 0.0
+				if total > 0 {
+					share = 100 * float64(st.Nanos) / float64(total)
+				}
+				fmt.Printf(" %d:[%d,%d) %.0f%%", i, st.Lo, st.Hi, share)
+			}
+			fmt.Println()
+		}
 	}
 	res, err := sc.Run()
 	if err != nil {

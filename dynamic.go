@@ -40,6 +40,16 @@ type Dispatch = dynamic.Dispatch
 // disables churn.
 type ChurnSpec = dynamic.Churn
 
+// ChurnEvent scripts one mass join/leave burst (e.g. a rack loss:
+// thousands of simultaneous failures in one round, evacuated through
+// the engine's sharded exchange); add events to ChurnSpec.Events.
+type ChurnEvent = dynamic.ChurnEvent
+
+// ShardStat reports one worker shard's resource range and measured
+// phase cost — the observability surface of measured-cost shard sizing
+// (see DynamicScenario.OnRebalance).
+type ShardStat = dynamic.ShardStat
+
 // WeightDist generates task weights (each ≥ 1) for arrival processes.
 type WeightDist = task.Distribution
 
@@ -136,6 +146,15 @@ type DynamicScenario struct {
 	// Result bit for bit — parallelism changes only the wall clock, so
 	// the seed alone still identifies a run.
 	Workers int
+	// RebalanceEvery is the measured-cost shard-sizing period in
+	// rounds: shard boundaries move so observed per-shard cost
+	// equalises. 0 selects the default (64); < 0 pins equal-count
+	// shards. Boundary placement never changes results.
+	RebalanceEvery int
+	// OnRebalance, if non-nil, receives per-shard measured costs at
+	// every rebalance point (Workers > 1 only); the slice is reused
+	// across calls.
+	OnRebalance func(round int, stats []ShardStat)
 	// Rounds is the number of simulated rounds (required).
 	Rounds int
 	// Window is the metrics window length; 0 means 100 rounds.
@@ -270,6 +289,8 @@ func (sc DynamicScenario) Run() (DynamicResult, error) {
 		Window:           sc.Window,
 		Seed:             sc.Seed,
 		Workers:          sc.Workers,
+		RebalanceEvery:   sc.RebalanceEvery,
+		OnRebalance:      sc.OnRebalance,
 		InitialWeights:   sc.InitialWeights,
 		InitialPlacement: sc.InitialPlacement,
 		CheckInvariants:  sc.CheckInvariants,

@@ -339,21 +339,36 @@ func CanPropose(p Protocol) bool {
 // DeliverMigrations completes a round for an externally collected move
 // set: it sorts moves by (destination, task ID), pushes them onto
 // their destination stacks in that order, advances the round counter,
-// and returns the round's statistics with MovedWeight summed in the
-// same canonical order. Because the sort key is unique per move, the
-// result — stacks, locations, stats, float rounding included — is
-// independent of the order in which shards contributed moves.
+// and returns the round's statistics. Because the sort key is unique
+// per move, the result — stacks, locations, stats, float rounding
+// included — is independent of the order in which shards contributed
+// moves. MovedWeight is accumulated exactly like the parallel
+// Exchange: one partial sum per destination resource (in task-ID
+// order), folded in ascending resource order — so the sequential and
+// the exchange delivery paths agree bit for bit.
 func (s *State) DeliverMigrations(moves []Migration) StepStats {
 	if len(moves) > len(s.sortScratch) {
 		s.sortScratch = make([]Migration, len(moves))
 	}
 	sortMigrations(moves, s.sortScratch)
 	stats := StepStats{Migrations: len(moves)}
+	curDest := int32(-1)
+	run := 0.0
 	for _, mv := range moves {
-		stats.MovedWeight += mv.Task.Weight
+		if mv.Dest != curDest {
+			if curDest >= 0 {
+				stats.MovedWeight += run
+				s.updateOverloaded(int(curDest))
+			}
+			curDest, run = mv.Dest, 0
+		}
+		run += mv.Task.Weight
 		s.stacks[mv.Dest].Push(mv.Task)
 		s.loc[mv.Task.ID] = mv.Dest
-		s.updateOverloaded(int(mv.Dest))
+	}
+	if curDest >= 0 {
+		stats.MovedWeight += run
+		s.updateOverloaded(int(curDest))
 	}
 	s.round++
 	return stats

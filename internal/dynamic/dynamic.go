@@ -33,17 +33,45 @@ import (
 )
 
 // Churn configures resource join/leave dynamics. Each round at most
-// one resource leaves (probability LeaveProb, never below MinUp up
-// resources) and at most one rejoins (probability JoinProb). A leaving
-// resource's tasks are immediately re-homed to uniformly random up
-// resources; total in-flight weight is conserved across both events.
+// one resource leaves stochastically (probability LeaveProb, never
+// below MinUp up resources) and at most one rejoins (probability
+// JoinProb); Events additionally scripts mass join/leave bursts — a
+// whole rack failing in one round. A leaving resource's tasks are
+// immediately re-homed to uniformly random up resources (each lost
+// resource draws destinations from its own deterministic re-home
+// stream, so evacuation shards like every other phase); total
+// in-flight weight is conserved across all events.
 type Churn struct {
-	LeaveProb float64 // per-round probability one up resource leaves
-	JoinProb  float64 // per-round probability one down resource rejoins
-	MinUp     int     // floor on up resources; 0 means 1
+	LeaveProb float64      // per-round probability one up resource leaves
+	JoinProb  float64      // per-round probability one down resource rejoins
+	MinUp     int          // floor on up resources; 0 means 1
+	Events    []ChurnEvent // scripted mass join/leave bursts
 }
 
-func (c Churn) enabled() bool { return c.LeaveProb > 0 || c.JoinProb > 0 }
+// ChurnEvent is one scripted churn burst: at round Round (and, when
+// Every > 0, every Every rounds after it) Down uniformly random up
+// resources fail simultaneously and Up uniformly random down resources
+// rejoin. Failures respect Churn.MinUp; rejoins are capped by the down
+// population. Mass failures (Down in the thousands) exercise the
+// engine's parallel evacuation path.
+type ChurnEvent struct {
+	Round int // first round at which the event fires (0-based)
+	Every int // repeat period in rounds; 0 fires exactly once
+	Down  int // up resources failing together
+	Up    int // down resources rejoining together
+}
+
+// fires reports whether the event is due at round t.
+func (ev ChurnEvent) fires(t int) bool {
+	if ev.Every <= 0 {
+		return t == ev.Round
+	}
+	return t >= ev.Round && (t-ev.Round)%ev.Every == 0
+}
+
+func (c Churn) enabled() bool {
+	return c.LeaveProb > 0 || c.JoinProb > 0 || len(c.Events) > 0
+}
 
 // Config describes one open-system run.
 type Config struct {
@@ -68,13 +96,25 @@ type Config struct {
 	// Seed fixes all randomness.
 	Seed uint64
 	// Workers shards the round pipeline (service, tuner sweeps,
-	// protocol propose, metrics) across a persistent worker pool;
-	// ≤ 1 runs sequentially. Results are bit-identical
-	// for every worker count: all randomness is drawn from
-	// per-resource or sequential engine streams, cross-shard effects
-	// merge in canonical (destination, task ID) order, and float
-	// reductions always run in the same order.
+	// protocol propose, migration delivery, churn evacuation) across a
+	// persistent worker pool; ≤ 1 runs sequentially. Results are
+	// bit-identical for every worker count: all randomness is drawn
+	// from per-resource or sequential engine streams, cross-shard
+	// effects merge in canonical (destination, task ID) order, and
+	// float reductions always run in the same order.
 	Workers int
+	// RebalanceEvery is the period, in rounds, of measured-cost shard
+	// sizing: the engine times every shard phase and periodically moves
+	// the shard boundaries so observed per-shard round nanos equalise
+	// (skewed workloads stop bottlenecking on one worker). 0 selects
+	// the default (64); < 0 pins the equal-count partition. Boundary
+	// placement never affects results — only the work split — so runs
+	// stay bit-identical across worker counts and machines.
+	RebalanceEvery int
+	// OnRebalance, if non-nil, receives the per-shard measured costs at
+	// every rebalance point (the -sharddebug hook). The stats slice is
+	// reused across calls. Only fires with Workers > 1.
+	OnRebalance func(round int, stats []ShardStat)
 	// InitialWeights optionally pre-populates the system; paired with
 	// InitialPlacement (task → resource; nil places all on resource 0).
 	InitialWeights   []float64
@@ -105,6 +145,15 @@ type WindowStats struct {
 	InFlight       int     // live tasks at window end
 	InFlightWeight float64 // live weight at window end
 	UpResources    int     // up resources at window end
+}
+
+// ShardStat reports one shard's resource range and the wall-clock
+// nanos its sharded phases (service, propose, deliver, evacuate)
+// consumed since the previous rebalance — the observability surface of
+// measured-cost shard sizing.
+type ShardStat struct {
+	Lo, Hi int   // resource range [Lo, Hi) the shard owned
+	Nanos  int64 // accumulated phase nanos over the window
 }
 
 // Result reports a completed open-system run.
@@ -186,6 +235,11 @@ func validate(cfg Config) error {
 		return errors.New("dynamic: churn probabilities must be in [0,1]")
 	case cfg.Churn.MinUp > cfg.Graph.N():
 		return errors.New("dynamic: Churn.MinUp exceeds the number of resources")
+	}
+	for i, ev := range cfg.Churn.Events {
+		if ev.Round < 0 || ev.Every < 0 || ev.Down < 0 || ev.Up < 0 {
+			return fmt.Errorf("dynamic: churn event %d has negative fields: %+v", i, ev)
+		}
 	}
 	if cfg.InitialPlacement != nil && len(cfg.InitialPlacement) != len(cfg.InitialWeights) {
 		return fmt.Errorf("dynamic: initial placement has %d entries for %d tasks",

@@ -3,6 +3,7 @@ package dynamic
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/par"
@@ -15,21 +16,28 @@ import (
 // Workers contiguous shards that live on a persistent worker pool
 // (internal/par); every O(n) sweep — service and departures, the
 // tuner's decay and diffusion passes, the protocol's propose phase —
-// runs shard-local with per-shard scratch buffers, and the
-// cross-shard effects meet at one barrier per phase where they are
-// merged in a canonical order. Arrivals stay sequential by design:
-// their streams are global, ID assignment is order-sensitive, and
-// load-aware dispatch must observe earlier same-round arrivals; they
-// cost O(arrivals) with O(1) per-task work, which the sharded sweeps
-// dwarf.
+// AND every O(moves) cross-shard effect — migration delivery, churn
+// evacuation — runs shard-local with per-shard scratch buffers.
+// Cross-shard moves travel through a per-destination-shard exchange
+// (core.Exchange): the propose/evacuate phase routes each shard's
+// accepted moves into (source, destination)-shard lanes, and a second
+// parallel phase has every destination shard k-way-merge and apply its
+// own inbound lanes, so delivery is O(moves/shard) parallel instead of
+// the former O(moves) sequential sort-and-push barrier. Arrivals stay
+// sequential by design: their streams are global, ID assignment is
+// order-sensitive, and load-aware dispatch must observe earlier
+// same-round arrivals; they cost O(arrivals) with O(1) per-task work,
+// which the sharded sweeps dwarf.
 //
 // Determinism is the design constraint, and it is enforced by three
 // rules:
 //
 //  1. Randomness is only ever drawn from per-resource streams (inside
-//     a shard phase, for the resource being processed) or from the
-//     engine's sequential streams (arrivals, dispatch, churn) outside
-//     the parallel phases. No stream is ever shared across shards.
+//     a shard phase, for the resource being processed — service draws,
+//     propose draws, and a lost resource's re-home draws all ride the
+//     resource's own stream) or from the engine's sequential streams
+//     (arrivals, dispatch, churn selection) outside the parallel
+//     phases. No stream is ever shared across shards.
 //  2. A shard phase writes only shard-owned state: its resources'
 //     stacks, its tasks' location entries, its scratch buffers. The
 //     one shared aggregate — the overloaded-resource counter — is an
@@ -37,26 +45,41 @@ import (
 //     independent of interleaving.
 //  3. Every floating-point reduction runs in a canonical order that
 //     does not depend on the shard partition: departures settle in
-//     ascending resource order, migrations deliver (and sum) in
-//     (destination, task ID) order, and window snapshots scan the up
-//     list. Shard-concatenation order never feeds a float sum.
+//     ascending resource order, migrations deliver in (destination,
+//     task ID) order with MovedWeight folded as ascending-resource
+//     partial sums (see core.Exchange), and window snapshots scan the
+//     up list. Shard-concatenation order never feeds a float sum.
 //
 // Together these make the run a pure function of (Config minus
-// Workers), which the cross-worker-count golden test pins.
+// Workers/RebalanceEvery), which the cross-worker-count golden tests
+// pin — including mass-failure rounds that evacuate a thousand
+// resources at once. Because every phase produces identical output for
+// ANY contiguous partition, the engine is free to move the shard
+// boundaries at runtime: it times each shard's phases and periodically
+// re-cuts the partition so measured per-shard cost equalises
+// (par.Balance), which keeps skewed workloads from bottlenecking on
+// one worker without touching the determinism contract.
 //
 // The steady-state hot path is also allocation-free: arrival weights,
-// departure indices, evacuation lists, migration buffers and metric
-// snapshots all live in reusable engine- or shard-owned buffers, task
-// IDs (and the arrays indexed by them) are recycled via the task set's
-// free list, and the pool dispatches phases without allocating.
+// departure indices, evacuation lists, migration buffers, exchange
+// lanes and metric snapshots all live in reusable engine- or
+// shard-owned buffers, task IDs (and the arrays indexed by them) are
+// recycled via the task set's free list, and the pool dispatches
+// phases without allocating.
 
 // shard is one worker's slice of the resource range plus its scratch.
 type shard struct {
-	lo, hi   int
-	depIdx   []int       // service departure-index scratch
-	departed []task.Task // tasks departed this round, resource-ascending
-	sc       core.ProposeScratch
+	lo, hi    int
+	depIdx    []int            // service departure-index scratch
+	departed  []task.Task      // tasks departed this round, resource-ascending
+	evacTasks []task.Task      // evacuation pop scratch
+	evacMoves []core.Migration // evacuation re-home moves
+	sc        core.ProposeScratch
 }
+
+// rebalanceDefault is the measured-cost shard-resize period when
+// Config.RebalanceEvery is zero.
+const rebalanceDefault = 64
 
 type engine struct {
 	cfg      Config
@@ -73,6 +96,17 @@ type engine struct {
 
 	pool   *par.Pool
 	shards []shard
+	exch   *core.Exchange
+	bounds []int // current shard boundaries, len(shards)+1
+
+	// Measured-cost shard sizing: per-shard accumulated phase nanos,
+	// rebalanced every rebalanceEvery rounds (0 = disabled). Boundary
+	// placement never affects results, only the work split.
+	rebalanceEvery int
+	shardNanos     []int64
+	costBuf        []float64   // per-resource cost scratch (lazily sized n)
+	boundsBuf      []int       // par.Balance output scratch
+	statsBuf       []ShardStat // OnRebalance scratch
 
 	// Sequential engine streams, living above the per-resource streams
 	// 0..n−1 (slot n+2 was the global service stream before service
@@ -81,8 +115,6 @@ type engine struct {
 
 	remaining  []float64 // task ID → remaining service work
 	weightsBuf []float64 // this round's arrival weights
-	evacBuf    []task.Task
-	moves      []core.Migration
 
 	initialWeight float64
 	res           Result
@@ -94,7 +126,7 @@ type engine struct {
 	loadBuf, sortBuf                              []float64
 
 	// Phase closures, bound once so pool dispatch allocates nothing.
-	serviceFn, proposeFn func(int)
+	serviceFn, proposeFn, deliverFn, evacFn func(int)
 }
 
 func newEngine(cfg Config) *engine {
@@ -148,9 +180,22 @@ func newEngine(cfg Config) *engine {
 
 	e.pool = par.NewPool(workers)
 	e.shards = make([]shard, workers)
+	e.bounds = make([]int, workers+1)
 	for i := range e.shards {
 		lo, hi := e.pool.Shard(n, i)
 		e.shards[i] = shard{lo: lo, hi: hi}
+		e.bounds[i] = lo
+	}
+	e.bounds[workers] = n
+	e.exch = core.NewExchange(e.bounds)
+	e.rebalanceEvery = cfg.RebalanceEvery
+	if e.rebalanceEvery == 0 {
+		e.rebalanceEvery = rebalanceDefault
+	}
+	if e.rebalanceEvery > 0 && workers > 1 {
+		e.shardNanos = make([]int64, workers)
+	} else {
+		e.rebalanceEvery = -1
 	}
 	if core.CanPropose(cfg.Protocol) {
 		e.proto = cfg.Protocol.(core.RangeProposer)
@@ -162,6 +207,8 @@ func newEngine(cfg Config) *engine {
 	e.sortBuf = make([]float64, 0, n)
 	e.serviceFn = e.serviceShard
 	e.proposeFn = e.proposeShard
+	e.deliverFn = e.deliverShard
+	e.evacFn = e.evacShard
 	return e
 }
 
@@ -176,6 +223,9 @@ func (e *engine) run() (Result, error) {
 		}
 		if (t+1)%e.window == 0 {
 			e.flush(t + 1)
+		}
+		if e.rebalanceEvery > 0 && (t+1)%e.rebalanceEvery == 0 {
+			e.rebalance(t + 1)
 		}
 	}
 	e.flush(e.cfg.Rounds)
@@ -192,23 +242,19 @@ func (e *engine) run() (Result, error) {
 func (e *engine) round(t int) error {
 	s, up := e.s, e.up
 
-	// 1. Resource churn (sequential: one global stream, rare events).
+	// 1. Resource churn. Selecting WHICH resources leave or rejoin is
+	// sequential (one global stream, cheap O(events)); evacuating the
+	// failed resources' tasks — the expensive part of a mass failure —
+	// is sharded below.
+	downed := false
 	if e.cfg.Churn.enabled() {
-		if up.N() > e.minUp && e.churnRand.Bool(e.cfg.Churn.LeaveProb) {
-			leave := up.Random(e.churnRand)
-			up.Down(leave)
-			e.res.Downs++
-			e.evacBuf = s.EvacuateAppend(leave, e.evacBuf[:0])
-			for _, tk := range e.evacBuf {
-				s.Attach(tk, up.Random(e.churnRand))
-				e.res.Rehomed++
-				e.wRehomed++
-			}
-		}
-		if up.DownN() > 0 && e.churnRand.Bool(e.cfg.Churn.JoinProb) {
-			up.Up(up.RandomDown(e.churnRand))
-			e.res.Ups++
-		}
+		downed = e.applyChurn(t)
+	}
+	// 1b. Parallel evacuation: every task stranded on a down resource
+	// is re-homed through the exchange, each lost resource drawing
+	// destinations from its own deterministic re-home stream.
+	if downed && e.evacPending() {
+		e.evacuate()
 	}
 
 	// 2. Arrivals — sequential end to end: the arrival and dispatch
@@ -261,20 +307,17 @@ func (e *engine) round(t int) error {
 		s.SetThresholds(thr)
 	}
 
-	// 5. One protocol round: sharded propose phases into per-shard
-	// move buffers, then one canonical merge-and-deliver. The
-	// concatenation order below is worker-count-dependent, but
-	// DeliverMigrations re-sorts by (destination, task ID) — a unique
-	// key — before anything (stack pushes, the MovedWeight sum)
-	// consumes it.
+	// 5. One protocol round: sharded propose phases route each shard's
+	// accepted moves into per-destination-shard lanes, then every
+	// destination shard merges and applies its own inbound lanes in
+	// canonical (destination, task ID) order — no sequential delivery
+	// section. Finish folds the stats in a partition-independent order
+	// and advances the round.
 	var st core.StepStats
 	if e.proto != nil {
 		e.pool.Run(len(e.shards), e.proposeFn)
-		e.moves = e.moves[:0]
-		for i := range e.shards {
-			e.moves = append(e.moves, e.shards[i].sc.Moves...)
-		}
-		st = s.DeliverMigrations(e.moves)
+		e.pool.Run(len(e.shards), e.deliverFn)
+		st = e.exch.Finish(s, true)
 	} else {
 		st = e.cfg.Protocol.Step(s)
 	}
@@ -282,19 +325,11 @@ func (e *engine) round(t int) error {
 	e.res.MovedWeight += st.MovedWeight
 	e.wMigrations += int64(st.Migrations)
 
-	// 6. Bounce deliveries that landed on down resources (sequential:
-	// the re-home stream is global; the down list is short).
-	for i := 0; i < up.DownN(); i++ {
-		r := up.DownAt(i)
-		if s.Count(r) == 0 {
-			continue
-		}
-		e.evacBuf = s.EvacuateAppend(r, e.evacBuf[:0])
-		for _, tk := range e.evacBuf {
-			s.Attach(tk, up.Random(e.churnRand))
-			e.res.Rehomed++
-			e.wRehomed++
-		}
+	// 6. Bounce deliveries that landed on down resources — the same
+	// sharded evacuation path as 1b (per-resource re-home streams, the
+	// down list is only scanned to see whether anything is stranded).
+	if up.DownN() > 0 && e.evacPending() {
+		e.evacuate()
 	}
 
 	// 7. Metrics. Down resources are always empty here (bounced above)
@@ -312,6 +347,71 @@ func (e *engine) round(t int) error {
 	return nil
 }
 
+// applyChurn runs round t's churn selection on the sequential churn
+// stream: all failures first (scripted events, then the stochastic
+// leave), then all rejoins. A rejoin draw CAN resurrect a resource
+// that failed earlier in the same round — its tasks simply stay put,
+// since evacuation below only touches resources still down — so Downs
+// and Ups both count the event even though no re-homing happened.
+// Reports whether any resource went down.
+func (e *engine) applyChurn(t int) bool {
+	up, c := e.up, &e.cfg.Churn
+	downs := 0
+	for _, ev := range c.Events {
+		if !ev.fires(t) {
+			continue
+		}
+		for k := 0; k < ev.Down && up.N() > e.minUp; k++ {
+			up.Down(up.Random(e.churnRand))
+			e.res.Downs++
+			downs++
+		}
+	}
+	if c.LeaveProb > 0 && up.N() > e.minUp && e.churnRand.Bool(c.LeaveProb) {
+		up.Down(up.Random(e.churnRand))
+		e.res.Downs++
+		downs++
+	}
+	for _, ev := range c.Events {
+		if !ev.fires(t) {
+			continue
+		}
+		for k := 0; k < ev.Up && up.DownN() > 0; k++ {
+			up.Up(up.RandomDown(e.churnRand))
+			e.res.Ups++
+		}
+	}
+	if c.JoinProb > 0 && up.DownN() > 0 && e.churnRand.Bool(c.JoinProb) {
+		up.Up(up.RandomDown(e.churnRand))
+		e.res.Ups++
+	}
+	return downs > 0
+}
+
+// evacPending reports whether any down resource still holds tasks — a
+// cheap scan of the down list.
+func (e *engine) evacPending() bool {
+	for i := 0; i < e.up.DownN(); i++ {
+		if e.s.Count(e.up.DownAt(i)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// evacuate re-homes every task stranded on a down resource through the
+// exchange: a sharded pop-and-route phase, a barrier, and a sharded
+// per-destination delivery phase. Identical for every worker count —
+// each lost resource's destinations come from its own stream, and
+// delivery merges in canonical (destination, task ID) order.
+func (e *engine) evacuate() {
+	e.pool.Run(len(e.shards), e.evacFn)
+	e.pool.Run(len(e.shards), e.deliverFn)
+	st := e.exch.Finish(e.s, false)
+	e.res.Rehomed += int64(st.Migrations)
+	e.wRehomed += int64(st.Migrations)
+}
+
 // setRemaining records a new task's service work, growing the ID-indexed
 // vector only when the task set extends its ID space.
 func (e *engine) setRemaining(id int, w float64) {
@@ -325,6 +425,7 @@ func (e *engine) setRemaining(id int, w float64) {
 // resources, popping departures into the shard buffer in ascending
 // resource order.
 func (e *engine) serviceShard(i int) {
+	start := e.phaseStart()
 	sh := &e.shards[i]
 	s, svc := e.s, e.cfg.Service
 	for r := sh.lo; r < sh.hi; r++ {
@@ -337,13 +438,111 @@ func (e *engine) serviceShard(i int) {
 		}
 		sh.departed = s.RemoveForDeparture(r, sh.depIdx, sh.departed)
 	}
+	e.phaseDone(i, start)
 }
 
-// proposeShard runs the protocol's propose phase over shard i.
+// proposeShard runs the protocol's propose phase over shard i and
+// routes the accepted moves into the exchange's per-destination lanes.
 func (e *engine) proposeShard(i int) {
+	start := e.phaseStart()
 	sh := &e.shards[i]
 	sh.sc.Moves = sh.sc.Moves[:0]
 	e.proto.ProposeRange(e.s, sh.lo, sh.hi, &sh.sc)
+	e.exch.Route(i, sh.sc.Moves)
+	e.phaseDone(i, start)
+}
+
+// deliverShard merges and applies destination shard i's inbound
+// exchange lanes.
+func (e *engine) deliverShard(i int) {
+	start := e.phaseStart()
+	e.exch.DeliverShard(e.s, i)
+	e.phaseDone(i, start)
+}
+
+// evacShard pops every task off shard i's non-empty down resources and
+// routes them to uniformly random up resources, each lost resource
+// drawing from its own re-home stream (its per-resource RNG), so the
+// move set is independent of the shard partition.
+func (e *engine) evacShard(i int) {
+	start := e.phaseStart()
+	sh := &e.shards[i]
+	s, up := e.s, e.up
+	sh.evacMoves = sh.evacMoves[:0]
+	for k := 0; k < up.DownN(); k++ {
+		r := up.DownAt(k)
+		if r < sh.lo || r >= sh.hi || s.Count(r) == 0 {
+			continue
+		}
+		sh.evacTasks = s.EvacuateAppend(r, sh.evacTasks[:0])
+		rr := s.Rand(r)
+		for _, tk := range sh.evacTasks {
+			sh.evacMoves = append(sh.evacMoves,
+				core.Migration{Task: tk, Dest: int32(up.Random(rr))})
+		}
+	}
+	e.exch.Route(i, sh.evacMoves)
+	e.phaseDone(i, start)
+}
+
+// phaseStart/phaseDone time one shard's slice of a parallel phase for
+// measured-cost sizing. Each shard index is handled by exactly one
+// worker per phase and the pool barrier orders the writes, so the
+// plain int64 accumulation is race-free.
+func (e *engine) phaseStart() time.Time {
+	if e.shardNanos == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (e *engine) phaseDone(i int, start time.Time) {
+	if e.shardNanos == nil {
+		return
+	}
+	e.shardNanos[i] += int64(time.Since(start))
+}
+
+// rebalance re-cuts the shard partition so measured per-shard phase
+// cost equalises: each resource is charged its old shard's average
+// cost, and par.Balance places the new boundaries. Runs every
+// rebalanceEvery rounds; results are unaffected (every phase is
+// partition-invariant), only the work split moves.
+func (e *engine) rebalance(round int) {
+	if e.cfg.OnRebalance != nil {
+		e.statsBuf = e.statsBuf[:0]
+		for i := range e.shards {
+			e.statsBuf = append(e.statsBuf, ShardStat{
+				Lo: e.shards[i].lo, Hi: e.shards[i].hi, Nanos: e.shardNanos[i],
+			})
+		}
+		e.cfg.OnRebalance(round, e.statsBuf)
+	}
+	total := int64(0)
+	for _, ns := range e.shardNanos {
+		total += ns
+	}
+	if total > 0 {
+		if e.costBuf == nil {
+			e.costBuf = make([]float64, e.n)
+		}
+		for i := range e.shards {
+			sh := &e.shards[i]
+			avg := float64(e.shardNanos[i]) / float64(sh.hi-sh.lo)
+			for r := sh.lo; r < sh.hi; r++ {
+				e.costBuf[r] = avg
+			}
+		}
+		e.boundsBuf = par.Balance(e.costBuf, len(e.shards), e.boundsBuf)
+		copy(e.bounds, e.boundsBuf)
+		for i := range e.shards {
+			e.shards[i].lo, e.shards[i].hi = e.bounds[i], e.bounds[i+1]
+		}
+		e.exch.SetBounds(e.bounds)
+	}
+	for i := range e.shardNanos {
+		e.shardNanos[i] = 0
+	}
 }
 
 // flush closes the metrics window ending at round `end`.

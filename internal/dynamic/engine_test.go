@@ -193,3 +193,146 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 		}
 	}
 }
+
+// TestMassFailureDeterminism is the mass-churn golden test: a scripted
+// ChurnEvent kills 1000 of 2000 resources in a single round (and later
+// rejoins them), so thousands of tasks evacuate through the parallel
+// exchange at once. For seeds {1, 2, 3} and workers {1, 2, 4, 8} the
+// Result must be byte-identical — the sharded evacuation path, like
+// every other phase, may not leak the partition into the outcome.
+func TestMassFailureDeterminism(t *testing.T) {
+	g := graph.RandomRegular(2000, 8, rng.NewSeeded(21))
+	build := func(seed uint64, workers int) Config {
+		cfg := goldenConfig(2000, core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+			g, Churn{
+				MinUp: 500,
+				Events: []ChurnEvent{
+					{Round: 60, Down: 1000},
+					{Round: 150, Up: 1000},
+				},
+			}, seed, workers)
+		cfg.Arrivals = Poisson{Rate: 0.8 * 2000 / paretoMean, Weights: task.Pareto{Alpha: 2, Cap: 20}}
+		return cfg
+	}
+	for _, seed := range []uint64{1, 2, 3} {
+		var ref Result
+		for _, workers := range []int{1, 2, 4, 8} {
+			cfg := build(seed, workers)
+			cfg.CheckInvariants = workers == 1
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if workers == 1 {
+				ref = res
+				if res.Downs != 1000 || res.Ups != 1000 {
+					t.Fatalf("seed %d: mass events did not fire: downs=%d ups=%d", seed, res.Downs, res.Ups)
+				}
+				if res.Rehomed < 1000 {
+					t.Fatalf("seed %d: mass failure re-homed only %d tasks", seed, res.Rehomed)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(res, ref) {
+				t.Fatalf("seed %d: workers=%d diverges from sequential mass-failure run\ngot  %+v\nwant %+v",
+					seed, workers, res, ref)
+			}
+		}
+	}
+}
+
+// TestChurnEventsRespectMinUp pins the event guard rails: a Down burst
+// larger than the headroom stops at MinUp, repeating events fire on
+// their period, and weight is conserved throughout (CheckInvariants).
+func TestChurnEventsRespectMinUp(t *testing.T) {
+	g := graph.Complete(100)
+	cfg := Config{
+		Graph:    g,
+		Protocol: core.UserControlled{Alpha: 1},
+		Arrivals: Poisson{Rate: 0.7 * 100 / paretoMean, Weights: task.Pareto{Alpha: 2, Cap: 20}},
+		Service:  WeightProportional{Rate: 1},
+		Tuner:    &OracleTuner{Eps: 0.5},
+		Churn: Churn{
+			MinUp: 80,
+			Events: []ChurnEvent{
+				{Round: 10, Every: 40, Down: 1000}, // wants far more than the headroom
+				{Round: 30, Every: 40, Up: 1000},   // rejoins everything that is down
+			},
+		},
+		Rounds:          120,
+		Window:          30,
+		Seed:            4,
+		Workers:         4,
+		CheckInvariants: true,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each Down burst can only take up to MinUp: 3 bursts × 20.
+	if res.Downs != 60 || res.Ups != 60 {
+		t.Fatalf("event bursts wrong: downs=%d ups=%d (want 60 each)", res.Downs, res.Ups)
+	}
+	if res.Rehomed == 0 {
+		t.Fatal("mass failures re-homed nothing")
+	}
+}
+
+// TestMeasuredCostRebalance drives the measured-cost shard sizing with
+// a deliberately skewed workload (hotspot ingress) and checks the
+// observability contract: OnRebalance fires on the configured period
+// with a valid, cost-annotated partition — and the run still matches
+// the equal-partition run bit for bit, because boundary placement can
+// never leak into results.
+func TestMeasuredCostRebalance(t *testing.T) {
+	g := graph.Complete(200)
+	build := func(every int, hook func(int, []ShardStat)) Config {
+		return Config{
+			Graph:          g,
+			Protocol:       core.UserControlled{Alpha: 1},
+			Arrivals:       Poisson{Rate: 0.8 * 200 / paretoMean, Weights: task.Pareto{Alpha: 2, Cap: 20}},
+			Service:        WeightProportional{Rate: 1},
+			Dispatch:       HotspotDispatch{Resource: 7},
+			Tuner:          &OracleTuner{Eps: 0.5},
+			Rounds:         200,
+			Window:         50,
+			Seed:           12,
+			Workers:        4,
+			RebalanceEvery: every,
+			OnRebalance:    hook,
+		}
+	}
+	calls := 0
+	ref, err := Run(build(-1, nil)) // pinned equal partition
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(build(25, func(round int, sts []ShardStat) {
+		calls++
+		if round%25 != 0 {
+			t.Fatalf("rebalance at round %d with period 25", round)
+		}
+		if len(sts) != 4 {
+			t.Fatalf("rebalance saw %d shards", len(sts))
+		}
+		prev := 0
+		for _, st := range sts {
+			if st.Lo != prev || st.Hi <= st.Lo {
+				t.Fatalf("invalid shard partition %+v", sts)
+			}
+			prev = st.Hi
+		}
+		if prev != 200 {
+			t.Fatalf("partition does not cover the range: %+v", sts)
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 8 {
+		t.Fatalf("OnRebalance fired %d times over 200 rounds at period 25", calls)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("measured-cost boundaries changed the run:\ngot  %+v\nwant %+v", got, ref)
+	}
+}

@@ -43,6 +43,7 @@ type Set struct {
 	removed []bool // lazily allocated; nil in static runs
 	free    []int  // recycled IDs, LIFO
 	live    int
+	liveTop int     // 1 + highest live ID (0 when no task is live)
 	total   float64 // live weight only
 	wmax    float64 // high-watermark over every task ever added
 	wmin    float64 // low-watermark likewise
@@ -73,6 +74,7 @@ func NewSet(weights []float64) *Set {
 		}
 	}
 	s.live = len(weights)
+	s.liveTop = len(weights)
 	return s
 }
 
@@ -104,6 +106,9 @@ func (s *Set) Add(w float64) Task {
 		}
 	}
 	s.live++
+	if t.ID >= s.liveTop {
+		s.liveTop = t.ID + 1
+	}
 	s.total += w
 	if s.wmax == 0 || w > s.wmax {
 		s.wmax = w
@@ -119,6 +124,11 @@ func (s *Set) Add(w float64) Task {
 // reuse. Callers that follow individual tasks across time must
 // therefore treat (ID, liveness interval) as the identity, not the ID
 // alone. It panics on an unknown or already-removed id.
+//
+// When a drain leaves the live population far below the ID-space
+// high-watermark (a burst peak long past), Remove compacts the set —
+// see shrink — so bursty traces release capacity instead of holding
+// peak-sized arrays forever.
 func (s *Set) Remove(id int) {
 	if id < 0 || id >= len(s.tasks) {
 		panic(fmt.Sprintf("task: Remove of unknown task %d", id))
@@ -133,6 +143,47 @@ func (s *Set) Remove(id int) {
 	s.free = append(s.free, id)
 	s.live--
 	s.total -= s.tasks[id].Weight
+	// Keep the live-top watermark tight. The scan is amortised O(1):
+	// each step permanently lowers the watermark, and it only rises
+	// again when an Add claims an ID at or above it.
+	if id == s.liveTop-1 {
+		for s.liveTop > 0 && s.removed[s.liveTop-1] {
+			s.liveTop--
+		}
+	}
+	if len(s.tasks) >= shrinkMinLen && s.live*4 <= len(s.tasks) && 2*s.liveTop <= len(s.tasks) {
+		s.shrink()
+	}
+}
+
+// shrinkMinLen is the ID-space size below which compaction is never
+// attempted: small sets cost nothing to keep and shrinking them would
+// only churn allocations.
+const shrinkMinLen = 1024
+
+// shrink is the long-trace compaction: it truncates the all-removed
+// tail of the ID space above the live-top watermark, drops the
+// truncated IDs from the free list (preserving the LIFO order of the
+// survivors, so ID assignment stays a pure function of the operation
+// sequence), and re-allocates the backing arrays so the burst-peak
+// capacity is actually released to the collector. Only the tail can
+// go — live IDs are pinned by every ID-indexed structure in the
+// callers (stacks, location maps, service state) — so a live task near
+// the top of the ID space blocks compaction (the watermark check in
+// Remove, which also gives hysteresis: shrink only fires when it at
+// least halves the arrays, so there is no shrink/grow thrash at the
+// trigger boundary and no repeated scanning while blocked).
+func (s *Set) shrink() {
+	k := s.liveTop
+	free := make([]int, 0, k)
+	for _, id := range s.free {
+		if id < k {
+			free = append(free, id)
+		}
+	}
+	s.free = free
+	s.tasks = append(make([]Task, 0, k), s.tasks[:k]...)
+	s.removed = append(make([]bool, 0, k), s.removed[:k]...)
 }
 
 // Removed reports whether task id has departed.

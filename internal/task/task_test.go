@@ -2,6 +2,7 @@ package task
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -342,5 +343,100 @@ func TestStaticSetUnaffectedByDynamicAPI(t *testing.T) {
 	s := NewSet([]float64{1, 2, 3})
 	if s.Live() != 3 || s.Removed(1) {
 		t.Fatalf("static set dynamic view: live=%d", s.Live())
+	}
+}
+
+// TestSetShrinkOnDrain pins the long-trace compaction: after a burst
+// whose peak in-flight population dwarfs the survivors, draining the
+// set must shrink the ID space and actually release the backing
+// capacity, while keeping the live tasks, the watermarks, and the
+// accounting intact.
+func TestSetShrinkOnDrain(t *testing.T) {
+	s := NewEmptySet()
+	const burst = 8192
+	for i := 0; i < burst; i++ {
+		s.Add(1 + float64(i%7))
+	}
+	peakCap := cap(s.Tasks())
+	// Drain the burst top-down, keeping the bottom 100 IDs live.
+	for id := burst - 1; id >= 100; id-- {
+		s.Remove(id)
+	}
+	if s.Live() != 100 {
+		t.Fatalf("live %d after drain", s.Live())
+	}
+	if s.M() >= burst/4 {
+		t.Fatalf("ID space %d did not shrink (peak %d)", s.M(), burst)
+	}
+	if got := cap(s.Tasks()); got >= peakCap {
+		t.Fatalf("capacity %d not released (peak %d)", got, peakCap)
+	}
+	// Survivors and accounting intact.
+	want := 0.0
+	for id := 0; id < 100; id++ {
+		if s.Removed(id) {
+			t.Fatalf("live task %d marked removed", id)
+		}
+		want += 1 + float64(id%7)
+	}
+	if s.W() != want {
+		t.Fatalf("W %v after shrink, want %v", s.W(), want)
+	}
+	// The shrunk set keeps working: Adds extend the compact ID space.
+	tk := s.Add(3)
+	if tk.ID < 0 || tk.ID > s.M() {
+		t.Fatalf("post-shrink Add gave ID %d with M %d", tk.ID, s.M())
+	}
+}
+
+// TestSetShrinkPinnedByLiveTail checks the safety property: a live
+// task at the top of the ID space pins everything below it — shrink
+// must never renumber or drop live IDs, only truncate an all-removed
+// tail.
+func TestSetShrinkPinnedByLiveTail(t *testing.T) {
+	s := NewEmptySet()
+	const n = 4096
+	for i := 0; i < n; i++ {
+		s.Add(2)
+	}
+	// Remove everything except the topmost ID: the tail is live, so the
+	// ID space must stay at n even though live*4 <= M.
+	for id := 0; id < n-1; id++ {
+		s.Remove(id)
+	}
+	if s.M() != n || s.Live() != 1 || s.Removed(n-1) {
+		t.Fatalf("pinned set: m=%d live=%d", s.M(), s.Live())
+	}
+	// Removing the pin clears the whole tail in one compaction.
+	s.Remove(n - 1)
+	if s.M() != 0 || s.Live() != 0 {
+		t.Fatalf("fully drained set: m=%d live=%d", s.M(), s.Live())
+	}
+	if tk := s.Add(5); tk.ID != 0 {
+		t.Fatalf("post-drain Add gave ID %d, want 0", tk.ID)
+	}
+}
+
+// TestSetShrinkDeterministicIDs pins that compaction keeps ID
+// assignment a pure function of the operation sequence: two sets fed
+// the same Adds/Removes hand out identical IDs through a shrink.
+func TestSetShrinkDeterministicIDs(t *testing.T) {
+	runOps := func() []int {
+		s := NewEmptySet()
+		var ids []int
+		for i := 0; i < 3000; i++ {
+			s.Add(1)
+		}
+		for id := 2999; id >= 50; id-- {
+			s.Remove(id)
+		}
+		for i := 0; i < 200; i++ {
+			ids = append(ids, s.Add(1).ID)
+		}
+		return ids
+	}
+	a, b := runOps(), runOps()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("ID assignment diverged across identical op sequences:\n%v\nvs\n%v", a, b)
 	}
 }
