@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-quick bench-check fmt vet
+.PHONY: build test race fuzz bench bench-quick bench-check fmt vet
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,13 @@ test:
 # phases, so the detector sees the concurrent paths).
 race:
 	$(GO) test -race ./internal/core ./internal/dynamic ./internal/par ./internal/sim ./internal/stack ./internal/task
+
+# Coverage-guided fuzz of the trace/speed-profile parsers (mirrors the
+# CI smoke job; go accepts one -fuzz target per invocation).
+fuzz:
+	for target in FuzzReadTraceCSV FuzzReadTraceJSONL FuzzReadSpeedsCSV FuzzReadSpeedsJSONL; do \
+		$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime 30s ./internal/dynamic || exit 1; \
+	done
 
 fmt:
 	gofmt -l .

@@ -205,6 +205,44 @@ func BenchmarkDynamicRound10kSeq(b *testing.B) {
 	benchDynamicRound(b, g, core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(g))}, 1)
 }
 
+// BenchmarkDynamicRoundHetero: steady-state rounds on a heterogeneous
+// 10000-resource fleet with a 10:1 speed spread (classes 1/2/4/10
+// interleaved): speed-scaled weight-proportional service, the
+// speed-mass self-tuner converging to the proportional
+// (W/S_up)·s_r targets, and speed-weighted ingress, under ρ = 0.8 of
+// the fleet's TOTAL capacity — 4.25× the homogeneous arrival volume on
+// the same machine count. One op is one simulated round.
+func BenchmarkDynamicRoundHetero(b *testing.B) {
+	const n = 10_000
+	g := graph.RandomRegular(n, 16, newBenchRand())
+	speeds := make([]float64, n)
+	totalSpeed := 0.0
+	for r := range speeds {
+		speeds[r] = []float64{1, 2, 4, 10}[r%4]
+		totalSpeed += speeds[r]
+	}
+	cfg := dynamic.Config{
+		Graph:    g,
+		Speeds:   speeds,
+		Protocol: core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+		Arrivals: dynamic.Poisson{Rate: 0.8 * totalSpeed / 1.95,
+			Weights: task.Pareto{Alpha: 2, Cap: 20}},
+		Service:  dynamic.WeightProportional{Rate: 1},
+		Dispatch: &dynamic.SpeedWeighted{},
+		Tuner: &dynamic.SelfTuner{Eps: 0.5, Steps: 2,
+			Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+		Rounds:  b.N,
+		Window:  1 << 30,
+		Seed:    0x9e3779b97f4a7c15,
+		Workers: runtime.GOMAXPROCS(0),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := dynamic.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkDynamicRound100k: the n = 10⁵ regime of Goldsztajn et al.
 // that the sequential engine could not reach practically — a 16-regular
 // expander with 100000 resources, ~41000 arrivals per round, sharded

@@ -11,11 +11,19 @@
 //	lbdyn -graph complete -n 200 -arrivals burst -burst-every 50 -burst-size 200
 //	lbdyn -graph expander -n 100000 -k 16 -proto resource -workers 8 -rounds 2000
 //	lbdyn -graph complete -n 1000 -trace ingress.csv -rounds 5000
+//	lbdyn -graph expander -n 1000 -k 8 -proto resource -speedspread 10 -dispatch speed
+//	lbdyn -graph complete -n 500 -speeds fleet.csv -dispatch power2 -rho 0.85
 //
 // -workers shards the round pipeline across a persistent worker pool;
 // results are bit-identical for every worker count (0 = GOMAXPROCS).
 // -trace replays a recorded arrival log (.csv round,weight records or
 // .jsonl {"round":r,"weight":w} lines) instead of a synthetic process.
+// -speeds loads a heterogeneous speed profile (.csv resource,speed
+// records or .jsonl {"resource":r,"speed":s} lines; unlisted resources
+// run at speed 1) and -speedspread S generates a linear 1→S ramp;
+// either one makes service, thresholds and load-aware dispatch
+// speed-proportional, and the per-window p99 column switches to
+// load-per-speed (the quantity the proportional thresholds equalise).
 package main
 
 import (
@@ -60,8 +68,11 @@ func main() {
 		svcRate = flag.Float64("svcrate", 1, "weight-units served per resource per round")
 		geomP   = flag.Float64("geomp", 0.05, "geometric per-round departure probability")
 
-		dispatch = flag.String("dispatch", "uniform", "uniform|hotspot|power2")
+		dispatch = flag.String("dispatch", "uniform", "uniform|hotspot|power2|speed")
 		hotspot  = flag.Int("hotspot", 0, "hotspot ingress resource")
+
+		speedsPath  = flag.String("speeds", "", "heterogeneous speed profile (.csv resource,speed or .jsonl; unlisted resources get speed 1)")
+		speedSpread = flag.Float64("speedspread", 0, "generate a linear speed ramp 1..S across the resources (0 = homogeneous)")
 
 		churn      = flag.Float64("churn", 0, "per-round leave/join probability (0 = no churn)")
 		minUp      = flag.Int("minup", 0, "floor on up resources (0 = n/2 when churn > 0)")
@@ -74,6 +85,38 @@ func main() {
 	g, err := cli.GraphSpec{Kind: *graphKind, N: *n, K: *k, P: *p, Seed: *seed}.Build()
 	if err != nil {
 		fail(err)
+	}
+
+	// Heterogeneous speed profile: a file, or a generated linear ramp.
+	// totalSpeed is the fleet's service capacity in unit-resource
+	// equivalents — the n of the rho → rate conversion.
+	var speeds []float64
+	switch {
+	case *speedsPath != "" && *speedSpread > 0:
+		fail(fmt.Errorf("-speeds and -speedspread are mutually exclusive"))
+	case *speedsPath != "":
+		if speeds, err = lb.LoadSpeeds(*speedsPath, g.N()); err != nil {
+			fail(err)
+		}
+	case *speedSpread > 0:
+		if *speedSpread < 1 {
+			fail(fmt.Errorf("-speedspread %g must be >= 1", *speedSpread))
+		}
+		speeds = make([]float64, g.N())
+		for r := range speeds {
+			frac := 0.0
+			if g.N() > 1 {
+				frac = float64(r) / float64(g.N()-1)
+			}
+			speeds[r] = 1 + (*speedSpread-1)*frac
+		}
+	}
+	totalSpeed := float64(g.N())
+	if speeds != nil {
+		totalSpeed = 0
+		for _, s := range speeds {
+			totalSpeed += s
+		}
 	}
 
 	var dist lb.WeightDist
@@ -114,7 +157,7 @@ func main() {
 			fail(err)
 		}
 	case *arrivals == "poisson":
-		arr = lb.PoissonArrivals(*rho*float64(g.N())**svcRate/meanW, dist)
+		arr = lb.PoissonArrivals(*rho*totalSpeed**svcRate/meanW, dist)
 	case *arrivals == "burst":
 		arr = lb.BurstArrivals(*burstEvery, *burstSize, dist)
 	default:
@@ -139,6 +182,8 @@ func main() {
 		disp = lb.HotspotDispatch(*hotspot)
 	case "power2":
 		disp = lb.PowerOfDDispatch(2)
+	case "speed":
+		disp = lb.SpeedWeightedDispatch()
 	default:
 		fail(fmt.Errorf("unknown dispatch %q", *dispatch))
 	}
@@ -162,13 +207,27 @@ func main() {
 	}
 
 	fmt.Printf("graph:     %s (n=%d)\n", g.Name(), g.N())
+	if speeds != nil {
+		minS, maxS := speeds[0], speeds[0]
+		for _, s := range speeds {
+			minS = math.Min(minS, s)
+			maxS = math.Max(maxS, s)
+		}
+		fmt.Printf("speeds:    heterogeneous (min=%g max=%g total=%g) — p99 column is load/speed\n",
+			minS, maxS, totalSpeed)
+	}
 	fmt.Printf("protocol:  %s (eps=%g alpha=%g lazy=%v oracle=%v workers=%d)\n", kind, *eps, *alpha, *lazy, *oracle, nWorkers)
 	fmt.Printf("arrivals:  %s  service: %s  dispatch: %s  churn: %g\n", arr.Name(), svc.Name(), disp.Name(), *churn)
+	p99Label := "p99load"
+	if speeds != nil {
+		p99Label = "p99 x/s"
+	}
 	fmt.Printf("%8s %10s %10s %10s %10s %10s %10s %6s\n",
-		"rounds", "overload%", "mig/round", "arr/round", "dep/round", "p99load", "W-inflight", "up")
+		"rounds", "overload%", "mig/round", "arr/round", "dep/round", p99Label, "W-inflight", "up")
 
 	sc := lb.DynamicScenario{
 		Graph:            g,
+		Speeds:           speeds,
 		Protocol:         kind,
 		Alpha:            *alpha,
 		Epsilon:          *eps,
@@ -184,9 +243,13 @@ func main() {
 		Churn:            spec,
 		CheckInvariants:  *check,
 		OnWindow: func(w lb.WindowStats) {
+			p99 := w.P99Load
+			if speeds != nil {
+				p99 = w.P99LoadPerSpeed
+			}
 			fmt.Printf("%4d-%-4d %9.2f%% %10.2f %10.2f %10.2f %10.2f %10.0f %6d\n",
 				w.Start, w.End, 100*w.OverloadFrac, w.MigrationRate, w.ArrivalRate,
-				w.DepartureRate, w.P99Load, w.InFlightWeight, w.UpResources)
+				w.DepartureRate, p99, w.InFlightWeight, w.UpResources)
 		},
 	}
 	if *shardDebug {

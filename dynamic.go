@@ -118,7 +118,27 @@ func HotspotDispatch(resource int) Dispatch { return dynamic.HotspotDispatch{Res
 
 // PowerOfDDispatch samples d random up resources per arrival and
 // routes to the least loaded (d = 2 is the classic two-choice rule).
+// On heterogeneous fleets (DynamicScenario.Speeds) the samples are
+// compared by load-per-speed, the quantity the speed-proportional
+// thresholds equalise.
 func PowerOfDDispatch(d int) Dispatch { return dynamic.PowerOfD{D: d} }
+
+// SpeedWeightedDispatch routes each arrival to an up resource drawn
+// with probability proportional to its speed — faster machines take
+// proportionally more ingress. On homogeneous fleets it equals
+// UniformDispatch.
+func SpeedWeightedDispatch() Dispatch { return &dynamic.SpeedWeighted{} }
+
+// LoadSpeeds reads an n-resource speed profile for heterogeneous
+// fleets: .csv holds resource,speed records (optional header, '#'
+// comments), .jsonl/.ndjson/.json holds one {"resource":r,"speed":s}
+// object per line. Resources the file does not mention default to
+// speed 1; speeds must be positive and finite, indices must lie in
+// [0, n), duplicates are an error, and errors carry line numbers. The
+// result plugs into DynamicScenario.Speeds.
+func LoadSpeeds(path string, n int) ([]float64, error) {
+	return dynamic.LoadSpeedsFile(path, n)
+}
 
 // DynamicScenario describes one open-system simulation: tasks arrive
 // via Arrivals, are routed by Dispatch, receive service and depart per
@@ -129,6 +149,15 @@ func PowerOfDDispatch(d int) Dispatch { return dynamic.PowerOfD{D: d} }
 type DynamicScenario struct {
 	// Graph is the resource topology (required).
 	Graph *Graph
+	// Speeds is the per-resource speed profile of a heterogeneous
+	// fleet (nil = homogeneous): resource r serves work at s_r times
+	// the unit rate, the online tuner targets the speed-proportional
+	// thresholds (1+ε)·(W/S_up)·s_r + wmax, and load-aware dispatch
+	// compares load-per-speed. Length must equal the resource count;
+	// all speeds must be positive and finite. See LoadSpeeds for the
+	// file formats and SpeedWeightedDispatch for speed-proportional
+	// ingress.
+	Speeds []float64
 	// Protocol selects the migration rule (same kinds as Scenario).
 	Protocol ProtocolKind
 	// Alpha is the user-protocol migration constant; 0 means 1.
@@ -279,6 +308,7 @@ func (sc DynamicScenario) Run() (DynamicResult, error) {
 
 	return dynamic.Run(dynamic.Config{
 		Graph:            sc.Graph,
+		Speeds:           sc.Speeds,
 		Protocol:         proto,
 		Arrivals:         sc.Arrivals,
 		Service:          sc.Service,

@@ -628,12 +628,45 @@ func TestProportionalThresholds(t *testing.T) {
 	}
 }
 
+// TestProportionalShareInto pins the allocation-free open-system form
+// of the proportional thresholds: caller-supplied W/wmax/total (so the
+// vector can target the UP capacity only) written into a reused
+// buffer, agreeing with Values on the static all-up case.
+func TestProportionalShareInto(t *testing.T) {
+	ts := unitTasks(100)
+	p := Proportional{Speeds: []float64{1, 3}, Eps: 0.2}
+	dst := make([]float64, 2)
+	p.ShareInto(dst, ts.W(), ts.WMax(), SpeedSum(p.Speeds))
+	want := p.Values(ts, 2)
+	for i := range want {
+		if math.Abs(dst[i]-want[i]) > 1e-12 {
+			t.Fatalf("ShareInto=%v, Values=%v", dst, want)
+		}
+	}
+	// Restricted capacity: resource 1 down leaves S_up = 1, so resource
+	// 0's target is the whole (1+eps)·W plus wmax.
+	p.ShareInto(dst, 100, 1, 1)
+	if math.Abs(dst[0]-(1.2*100+1)) > 1e-12 {
+		t.Fatalf("up-restricted share = %v", dst[0])
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		p.ShareInto(dst, 100, 1, 4)
+	}); allocs != 0 {
+		t.Fatalf("ShareInto allocates %v times per call", allocs)
+	}
+}
+
 func TestProportionalPanics(t *testing.T) {
 	ts := unitTasks(10)
 	for name, f := range map[string]func(){
 		"wrong length": func() { Proportional{Speeds: []float64{1}, Eps: 0.2}.Values(ts, 2) },
 		"zero speed":   func() { Proportional{Speeds: []float64{1, 0}, Eps: 0.2}.Values(ts, 2) },
 		"zero eps":     func() { Proportional{Speeds: []float64{1, 1}, Eps: 0}.Values(ts, 2) },
+		"short dst":    func() { Proportional{Speeds: []float64{1, 1}, Eps: 0.2}.ShareInto(make([]float64, 1), 10, 1, 2) },
+		"zero total":   func() { Proportional{Speeds: []float64{1, 1}, Eps: 0.2}.ShareInto(make([]float64, 2), 10, 1, 0) },
+		"shareinto eps": func() {
+			Proportional{Speeds: []float64{1, 1}}.ShareInto(make([]float64, 2), 10, 1, 2)
+		},
 	} {
 		func() {
 			defer func() {

@@ -178,3 +178,40 @@ func (p Proportional) Values(ts *task.Set, n int) []float64 {
 
 // Name identifies the policy.
 func (p Proportional) Name() string { return fmt.Sprintf("proportional(eps=%g)", p.Eps) }
+
+// SpeedSum returns Σ s_r over the speed vector — the S in the
+// proportional share W·s_r/S.
+func SpeedSum(speeds []float64) float64 {
+	total := 0.0
+	for _, s := range speeds {
+		total += s
+	}
+	return total
+}
+
+// ShareInto writes the speed-proportional thresholds
+//
+//	dst[r] = (1+ε)·W·s_r/total + wmax
+//
+// into dst without allocating — the open-system form of Values, where
+// the caller supplies the live aggregates (W and wmax track the
+// in-flight population, and total is Σ s_r over the UP resources only,
+// so thresholds target each live resource's fair share W·s_r/S_up of
+// the current weight). dst must have length len(Speeds). This is the
+// hook the dynamic tuners use to re-target heterogeneous fleets every
+// refresh on the allocation-free round path.
+func (p Proportional) ShareInto(dst []float64, w, wmax, total float64) {
+	if len(dst) != len(p.Speeds) {
+		panic(fmt.Sprintf("core: ShareInto dst has %d entries for %d speeds", len(dst), len(p.Speeds)))
+	}
+	if p.Eps <= 0 {
+		panic("core: Proportional requires eps > 0")
+	}
+	if total <= 0 {
+		panic("core: Proportional requires a positive total speed")
+	}
+	perSpeed := (1 + p.Eps) * w / total
+	for i, s := range p.Speeds {
+		dst[i] = perSpeed*s + wmax
+	}
+}

@@ -89,8 +89,11 @@ func (u *UpSet) Up(r int) {
 // Dispatch routes an arriving task to one of the up resources.
 type Dispatch interface {
 	// Pick returns the destination resource for an arriving task of
-	// weight w. Only up resources may be returned.
-	Pick(s *core.State, up *UpSet, w float64, r *rng.Rand) int
+	// weight w. speeds is the per-resource speed profile (nil on
+	// homogeneous fleets) — load-aware policies should compare
+	// load-per-speed, not raw load, so a fast machine's longer queue is
+	// not mistaken for congestion. Only up resources may be returned.
+	Pick(s *core.State, up *UpSet, speeds []float64, w float64, r *rng.Rand) int
 	// Name identifies the policy in reports.
 	Name() string
 }
@@ -100,7 +103,7 @@ type Dispatch interface {
 type UniformDispatch struct{}
 
 // Pick implements Dispatch.
-func (UniformDispatch) Pick(s *core.State, up *UpSet, w float64, r *rng.Rand) int {
+func (UniformDispatch) Pick(s *core.State, up *UpSet, speeds []float64, w float64, r *rng.Rand) int {
 	return up.Random(r)
 }
 
@@ -116,7 +119,7 @@ type HotspotDispatch struct {
 }
 
 // Pick implements Dispatch.
-func (h HotspotDispatch) Pick(s *core.State, up *UpSet, w float64, r *rng.Rand) int {
+func (h HotspotDispatch) Pick(s *core.State, up *UpSet, speeds []float64, w float64, r *rng.Rand) int {
 	if up.Contains(h.Resource) {
 		return h.Resource
 	}
@@ -129,20 +132,32 @@ func (h HotspotDispatch) Name() string { return fmt.Sprintf("hotspot(r=%d)", h.R
 // PowerOfD samples D up resources uniformly and routes to the least
 // loaded — the classic two-choice dispatcher (D = 2), included so the
 // dynamic experiments can separate what the dispatcher contributes
-// from what threshold migration contributes.
+// from what threshold migration contributes. On heterogeneous fleets
+// the samples are compared by load-per-speed (x_c/s_c), the quantity
+// the speed-proportional thresholds equalise, so the dispatcher and
+// the balancer pull toward the same fixed point.
 type PowerOfD struct {
 	D int // samples per arrival, ≥ 1
 }
 
 // Pick implements Dispatch.
-func (p PowerOfD) Pick(s *core.State, up *UpSet, w float64, r *rng.Rand) int {
+func (p PowerOfD) Pick(s *core.State, up *UpSet, speeds []float64, w float64, r *rng.Rand) int {
 	if p.D < 1 {
 		panic("dynamic: PowerOfD.D must be >= 1")
 	}
 	best := up.Random(r)
+	if speeds == nil {
+		for i := 1; i < p.D; i++ {
+			c := up.Random(r)
+			if s.Load(c) < s.Load(best) {
+				best = c
+			}
+		}
+		return best
+	}
 	for i := 1; i < p.D; i++ {
 		c := up.Random(r)
-		if s.Load(c) < s.Load(best) {
+		if s.Load(c)/speeds[c] < s.Load(best)/speeds[best] {
 			best = c
 		}
 	}
@@ -159,3 +174,72 @@ func (p PowerOfD) Validate() error {
 
 // Name identifies the policy.
 func (p PowerOfD) Name() string { return fmt.Sprintf("power-of-%d", p.D) }
+
+// SpeedWeighted routes each arrival to an up resource drawn with
+// probability proportional to its speed — the "faster machines take
+// proportionally more ingress" baseline for heterogeneous fleets,
+// which hands the dispatcher exactly the speed-proportional split the
+// thresholds target. On a homogeneous fleet (nil speeds) it degrades
+// to the uniform pick.
+//
+// Implemented by exact rejection sampling against the fleet-wide
+// maximum speed: expected draws per arrival are s_max·n_up/S_up — a
+// property of the profile, independent of n, and a small constant for
+// realistic spreads. The worst case is s_max/s_min draws (an extreme
+// spread whose fast class is down, or one fast machine in a sea of
+// slow ones); the sampler stays exact rather than capping the loop,
+// because a silent fallback would skew ingress away from the
+// speed-proportional split precisely on the skewed profiles that need
+// it most.
+//
+// A SpeedWeighted value is stateful (it caches the fleet max speed,
+// primed by the engine at run start): like tuners, use a fresh value
+// per concurrent run — sharing one across simultaneous runs is a data
+// race.
+type SpeedWeighted struct {
+	// The cached fleet max is keyed by the profile's identity, not
+	// computed just once, so a value reused across sequential runs with
+	// different speed profiles re-scans instead of skewing the
+	// acceptance ratio with a stale bound.
+	maxSpeed float64
+	profile  *float64 // first element of the cached profile
+	n        int
+}
+
+// Prime computes and caches the fleet max for the given profile. The
+// engine calls it once at run start so the hot path never writes the
+// cache; calling it is optional for direct library use (Pick primes
+// lazily).
+func (sw *SpeedWeighted) Prime(speeds []float64) {
+	sw.maxSpeed = 0
+	for _, sp := range speeds {
+		if sp > sw.maxSpeed {
+			sw.maxSpeed = sp
+		}
+	}
+	if len(speeds) > 0 {
+		sw.profile = &speeds[0]
+	} else {
+		sw.profile = nil
+	}
+	sw.n = len(speeds)
+}
+
+// Pick implements Dispatch.
+func (sw *SpeedWeighted) Pick(s *core.State, up *UpSet, speeds []float64, w float64, r *rng.Rand) int {
+	if len(speeds) == 0 {
+		return up.Random(r)
+	}
+	if sw.profile != &speeds[0] || sw.n != len(speeds) {
+		sw.Prime(speeds)
+	}
+	for {
+		c := up.Random(r)
+		if speeds[c] == sw.maxSpeed || r.Float64()*sw.maxSpeed < speeds[c] {
+			return c
+		}
+	}
+}
+
+// Name identifies the policy.
+func (*SpeedWeighted) Name() string { return "speed-weighted" }

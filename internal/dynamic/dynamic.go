@@ -77,6 +77,17 @@ func (c Churn) enabled() bool {
 type Config struct {
 	// Graph is the resource topology (required).
 	Graph *graph.Graph
+	// Speeds is the per-resource speed profile of a heterogeneous
+	// fleet: resource r serves work at s_r times the unit rate, its
+	// self-tuned threshold converges to the speed-proportional target
+	// (1+ε)·(W/S_up)·s_r + wmax (core.Proportional restricted to the
+	// up capacity), and load-aware dispatch compares load-per-speed.
+	// All speeds must be positive and finite, and the slice length must
+	// equal the resource count. nil means a homogeneous fleet (all 1),
+	// which replays bit-identically to the pre-speed engine. Resources
+	// keep their speed across churn — a rejoining machine comes back at
+	// its own capacity, so S_up moves with the churn.
+	Speeds []float64
 	// Protocol is the per-round migration rule (required).
 	Protocol core.Protocol
 	// Arrivals is the arrival process (required).
@@ -133,18 +144,19 @@ type Config struct {
 // Rates are per-round time averages over the window; load figures are
 // a snapshot over up resources at the window's last round.
 type WindowStats struct {
-	Start, End     int     // round range [Start, End)
-	OverloadFrac   float64 // time-averaged fraction of up resources over threshold
-	MigrationRate  float64 // protocol migrations per round
-	RehomeRate     float64 // churn re-homes + bounced deliveries per round
-	ArrivalRate    float64 // arriving tasks per round
-	DepartureRate  float64 // departing tasks per round
-	MeanLoad       float64 // snapshot mean load over up resources
-	MaxLoad        float64 // snapshot max load
-	P99Load        float64 // snapshot 99th-percentile load
-	InFlight       int     // live tasks at window end
-	InFlightWeight float64 // live weight at window end
-	UpResources    int     // up resources at window end
+	Start, End      int     // round range [Start, End)
+	OverloadFrac    float64 // time-averaged fraction of up resources over threshold
+	MigrationRate   float64 // protocol migrations per round
+	RehomeRate      float64 // churn re-homes + bounced deliveries per round
+	ArrivalRate     float64 // arriving tasks per round
+	DepartureRate   float64 // departing tasks per round
+	MeanLoad        float64 // snapshot mean load over up resources
+	MaxLoad         float64 // snapshot max load
+	P99Load         float64 // snapshot 99th-percentile load
+	P99LoadPerSpeed float64 // snapshot p99 of load/speed (= P99Load when homogeneous)
+	InFlight        int     // live tasks at window end
+	InFlightWeight  float64 // live weight at window end
+	UpResources     int     // up resources at window end
 }
 
 // ShardStat reports one shard's resource range and the wall-clock
@@ -235,6 +247,17 @@ func validate(cfg Config) error {
 		return errors.New("dynamic: churn probabilities must be in [0,1]")
 	case cfg.Churn.MinUp > cfg.Graph.N():
 		return errors.New("dynamic: Churn.MinUp exceeds the number of resources")
+	}
+	if cfg.Speeds != nil {
+		if len(cfg.Speeds) != cfg.Graph.N() {
+			return fmt.Errorf("dynamic: Config.Speeds has %d entries for %d resources",
+				len(cfg.Speeds), cfg.Graph.N())
+		}
+		for r, s := range cfg.Speeds {
+			if !ValidSpeed(s) {
+				return fmt.Errorf("dynamic: speed %v of resource %d must be positive and finite", s, r)
+			}
+		}
 	}
 	for i, ev := range cfg.Churn.Events {
 		if ev.Round < 0 || ev.Every < 0 || ev.Down < 0 || ev.Up < 0 {

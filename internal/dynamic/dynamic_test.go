@@ -253,12 +253,54 @@ func TestPowerOfDDispatch(t *testing.T) {
 	// almost surely over repeated picks.
 	hits := 0
 	for i := 0; i < 50; i++ {
-		if (PowerOfD{D: 4}).Pick(s, up, 1, r) == 3 {
+		if (PowerOfD{D: 4}).Pick(s, up, nil, 1, r) == 3 {
 			hits++
 		}
 	}
 	if hits < 25 {
 		t.Fatalf("power-of-4 picked the empty resource only %d/50 times", hits)
+	}
+	// Heterogeneous: resource 2 has load 10 but speed 100, so its
+	// load-per-speed (0.1) undercuts the empty-but-slow resource 3 only
+	// when 3 is sampled — both should dominate the loaded slow ones.
+	speeds := []float64{1, 1, 100, 1}
+	fast := 0
+	for i := 0; i < 50; i++ {
+		if c := (PowerOfD{D: 4}).Pick(s, up, speeds, 1, r); c == 2 || c == 3 {
+			fast++
+		}
+	}
+	if fast < 25 {
+		t.Fatalf("load-per-speed sampling ignored the fast/empty resources: %d/50", fast)
+	}
+}
+
+// TestSpeedWeightedDispatch checks the speed-proportional router: a
+// 10× machine should take ≈ 10/13 of the arrivals, and the
+// homogeneous (nil-speeds) path must degrade to the uniform pick.
+func TestSpeedWeightedDispatch(t *testing.T) {
+	g := graph.Complete(4)
+	ts := task.NewSet([]float64{1})
+	s := core.NewState(g, ts, []int{0}, core.FixedVector{V: make([]float64, 4)}, 1)
+	up := NewUpSet(4)
+	r := rng.NewSeeded(7)
+	speeds := []float64{1, 1, 1, 10}
+	sw := &SpeedWeighted{}
+	hits := 0
+	const draws = 2000
+	for i := 0; i < draws; i++ {
+		if sw.Pick(s, up, speeds, 1, r) == 3 {
+			hits++
+		}
+	}
+	want := float64(draws) * 10 / 13
+	if math.Abs(float64(hits)-want) > 0.15*want {
+		t.Fatalf("speed-weighted picked the 10x resource %d/%d times, want ≈ %.0f", hits, draws, want)
+	}
+	for i := 0; i < 100; i++ {
+		if c := (&SpeedWeighted{}).Pick(s, up, nil, 1, r); c < 0 || c > 3 {
+			t.Fatalf("nil-speeds pick out of range: %d", c)
+		}
 	}
 }
 
@@ -337,6 +379,10 @@ func TestConfigValidation(t *testing.T) {
 		{func(c *Config) { c.Arrivals = Burst{Every: 0, Size: 5, Weights: task.Uniform{W: 1}} }, "Burst.Every"},
 		{func(c *Config) { c.Arrivals = Trace{Rounds: [][]float64{{0.5}}} }, "below 1"},
 		{func(c *Config) { c.Dispatch = PowerOfD{D: 0} }, "PowerOfD.D"},
+		{func(c *Config) { c.Speeds = []float64{1, 2} }, "Speeds has 2 entries"},
+		{func(c *Config) { c.Speeds = []float64{1, 1, 0, 1} }, "must be positive"},
+		{func(c *Config) { c.Speeds = []float64{1, 1, math.NaN(), 1} }, "must be positive"},
+		{func(c *Config) { c.Speeds = []float64{1, 1, math.Inf(1), 1} }, "must be positive"},
 		{func(c *Config) { c.Tuner = &SelfTuner{Eps: 0.5} }, "Kernel is required"},
 		{func(c *Config) { c.Tuner = &OracleTuner{Eps: 0} }, "OracleTuner.Eps"},
 	}
@@ -358,7 +404,7 @@ func TestServiceDisciplines(t *testing.T) {
 	rem := []float64{2, 3, 4}
 	r := rng.NewSeeded(1)
 	// Rate 4 finishes the weight-2 bottom task and eats 2 of the next.
-	got := WeightProportional{Rate: 4}.Departures(s.Stack(0), rem, r, nil)
+	got := WeightProportional{Rate: 4}.Departures(s.Stack(0), rem, 1, r, nil)
 	if len(got) != 1 || got[0] != 0 {
 		t.Fatalf("departures %v, want [0]", got)
 	}
@@ -370,13 +416,58 @@ func TestServiceDisciplines(t *testing.T) {
 	// already gone in a real run, but the model only looks at rem —
 	// remove it first like the engine would.
 	s.RemoveTaskAt(0, 0)
-	got = WeightProportional{Rate: 4}.Departures(s.Stack(0), rem, r, got[:0])
+	got = WeightProportional{Rate: 4}.Departures(s.Stack(0), rem, 1, r, got[:0])
 	if len(got) != 1 || got[0] != 0 || rem[2] != 1 {
 		t.Fatalf("second round: departures %v rem %v", got, rem)
 	}
 	// Geometric with P = 1 departs everything.
-	got = Geometric{P: 1}.Departures(s.Stack(0), rem, r, got[:0])
+	got = Geometric{P: 1}.Departures(s.Stack(0), rem, 1, r, got[:0])
 	if len(got) != s.Stack(0).Len() {
 		t.Fatalf("geometric(1) kept tasks: %v", got)
+	}
+}
+
+// TestServiceSpeedScaling pins the heterogeneous service arithmetic: a
+// speed-s resource serves Rate·s weight-units per round, and the
+// geometric discipline departs with probability 1 − (1−P)^s.
+func TestServiceSpeedScaling(t *testing.T) {
+	ts := task.NewSet([]float64{2, 3, 4})
+	g := graph.Complete(2)
+	s := core.NewState(g, ts, []int{0, 0, 0}, core.FixedVector{V: []float64{100, 100}}, 1)
+	rem := []float64{2, 3, 4}
+	r := rng.NewSeeded(1)
+	// Speed 2 at rate 2 gives budget 4: task 0 departs, task 1 keeps 1.
+	got := WeightProportional{Rate: 2}.Departures(s.Stack(0), rem, 2, r, nil)
+	if len(got) != 1 || got[0] != 0 || rem[1] != 1 {
+		t.Fatalf("speed-2 departures %v rem %v", got, rem)
+	}
+	// Speed 3 finishes everything left (1 + 4 ≤ 2·3).
+	s.RemoveTaskAt(0, 0)
+	got = WeightProportional{Rate: 2}.Departures(s.Stack(0), rem, 3, r, got[:0])
+	if len(got) != 2 {
+		t.Fatalf("speed-3 departures %v rem %v", got, rem)
+	}
+	// powCompl: exact on integer exponents, math.Pow otherwise.
+	if v := powCompl(0.5, 2); v != 0.25 {
+		t.Fatalf("powCompl(0.5,2) = %v", v)
+	}
+	if v := powCompl(0.9, 10); math.Abs(v-math.Pow(0.9, 10)) > 1e-15 {
+		t.Fatalf("powCompl(0.9,10) = %v, want %v", v, math.Pow(0.9, 10))
+	}
+	if v := powCompl(0.5, 2.5); v != math.Pow(0.5, 2.5) {
+		t.Fatalf("powCompl(0.5,2.5) = %v", v)
+	}
+	// Geometric: P = 0.5 at speed 2 → departure probability 0.75.
+	const trials = 4000
+	ts2 := task.NewSet([]float64{1})
+	s2 := core.NewState(g, ts2, []int{0}, core.FixedVector{V: []float64{100, 100}}, 1)
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if len(Geometric{P: 0.5}.Departures(s2.Stack(0), rem, 2, r, nil)) == 1 {
+			hits++
+		}
+	}
+	if math.Abs(float64(hits)/trials-0.75) > 0.03 {
+		t.Fatalf("geometric speed-2 departure rate %v, want ≈ 0.75", float64(hits)/trials)
 	}
 }

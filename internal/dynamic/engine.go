@@ -86,6 +86,7 @@ type engine struct {
 	n        int
 	window   int
 	minUp    int
+	speeds   []float64 // per-resource speeds; nil = homogeneous
 	dispatch Dispatch
 	proto    core.RangeProposer // nil → sequential Protocol.Step fallback
 	ptuner   PooledTuner        // nil → sequential Tuner.Refresh
@@ -123,7 +124,7 @@ type engine struct {
 	wOverload                                     float64
 	wMigrations, wRehomed, wArrivals, wDepartures int64
 	windowStart                                   int
-	loadBuf, sortBuf                              []float64
+	loadBuf, sortBuf, normBuf                     []float64
 
 	// Phase closures, bound once so pool dispatch allocates nothing.
 	serviceFn, proposeFn, deliverFn, evacFn func(int)
@@ -139,6 +140,19 @@ func newEngine(cfg Config) *engine {
 	e.dispatch = cfg.Dispatch
 	if e.dispatch == nil {
 		e.dispatch = UniformDispatch{}
+	}
+	// The speed profile is copied so a caller mutating its slice cannot
+	// desynchronise the engine, the tuner and the dispatcher mid-run.
+	if cfg.Speeds != nil {
+		e.speeds = append([]float64(nil), cfg.Speeds...)
+		if sat, ok := cfg.Tuner.(SpeedAwareTuner); ok {
+			sat.SetSpeeds(e.speeds)
+		}
+		// Prime speed-caching dispatchers up front so the round hot path
+		// only ever reads their cache.
+		if sw, ok := e.dispatch.(interface{ Prime([]float64) }); ok {
+			sw.Prime(e.speeds)
+		}
 	}
 	e.minUp = cfg.Churn.MinUp
 	if e.minUp <= 0 {
@@ -205,6 +219,9 @@ func newEngine(cfg Config) *engine {
 	}
 	e.loadBuf = make([]float64, 0, n)
 	e.sortBuf = make([]float64, 0, n)
+	if e.speeds != nil {
+		e.normBuf = make([]float64, 0, n)
+	}
 	e.serviceFn = e.serviceShard
 	e.proposeFn = e.proposeShard
 	e.deliverFn = e.deliverShard
@@ -265,7 +282,7 @@ func (e *engine) round(t int) error {
 	// far below the O(n) sweeps the shards absorb.
 	e.weightsBuf = appendNext(e.cfg.Arrivals, t, e.arrRand, e.weightsBuf[:0])
 	for _, w := range e.weightsBuf {
-		dest := e.dispatch.Pick(s, up, w, e.dispRand)
+		dest := e.dispatch.Pick(s, up, e.speeds, w, e.dispRand)
 		tk := s.InsertTask(w, dest)
 		e.setRemaining(tk.ID, w)
 		e.res.Arrived++
@@ -421,9 +438,19 @@ func (e *engine) setRemaining(id int, w float64) {
 	e.remaining[id] = w
 }
 
+// speedOf returns resource r's service speed (1 on homogeneous
+// fleets).
+func (e *engine) speedOf(r int) float64 {
+	if e.speeds == nil {
+		return 1
+	}
+	return e.speeds[r]
+}
+
 // serviceShard runs the service discipline over shard i's up
 // resources, popping departures into the shard buffer in ascending
-// resource order.
+// resource order. Each resource's service capacity scales with its
+// speed.
 func (e *engine) serviceShard(i int) {
 	start := e.phaseStart()
 	sh := &e.shards[i]
@@ -432,7 +459,7 @@ func (e *engine) serviceShard(i int) {
 		if !e.up.Contains(r) || s.Count(r) == 0 {
 			continue
 		}
-		sh.depIdx = svc.Departures(s.Stack(r), e.remaining, s.Rand(r), sh.depIdx[:0])
+		sh.depIdx = svc.Departures(s.Stack(r), e.remaining, e.speedOf(r), s.Rand(r), sh.depIdx[:0])
 		if len(sh.depIdx) == 0 {
 			continue
 		}
@@ -572,6 +599,17 @@ func (e *engine) flush(end int) {
 		InFlight:       e.ts.Live(),
 		InFlightWeight: s.InFlightWeight(),
 		UpResources:    up.N(),
+	}
+	if e.speeds == nil {
+		ws.P99LoadPerSpeed = ws.P99Load
+	} else {
+		e.normBuf = e.normBuf[:0]
+		for i := 0; i < up.N(); i++ {
+			r := up.At(i)
+			e.normBuf = append(e.normBuf, s.Load(r)/e.speeds[r])
+		}
+		sort.Float64s(e.normBuf)
+		ws.P99LoadPerSpeed = stats.QuantileSorted(e.normBuf, 0.99)
 	}
 	e.res.Windows = append(e.res.Windows, ws)
 	if e.cfg.OnWindow != nil {

@@ -1,6 +1,7 @@
 package dynamic
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
@@ -167,29 +168,55 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("calibrating benchmark runs take ~1s each")
 	}
+	if raceEnabled {
+		t.Skip("race instrumentation shrinks the calibrated iteration count, so one-time construction no longer amortises below 1 alloc/op")
+	}
 	g := graph.RandomRegular(256, 8, rng.NewSeeded(3))
-	for _, workers := range []int{1, 2} {
-		res := testing.Benchmark(func(b *testing.B) {
-			cfg := Config{
-				Graph:    g,
-				Protocol: core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
-				Arrivals: Poisson{Rate: 0.8 * 256 / paretoMean, Weights: task.Pareto{Alpha: 2, Cap: 20}},
-				Service:  WeightProportional{Rate: 1},
-				Tuner: &SelfTuner{Eps: 0.5, Steps: 2,
-					Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
-				Rounds:  b.N,
-				Window:  1 << 30,
-				Seed:    0x5eed,
-				Workers: workers,
+	// The heterogeneous variant exercises every speed path — scaled
+	// service, the speed-mass tuner companion, speed-weighted dispatch
+	// — under the same zero-allocation budget.
+	speeds := speedProfile(256)
+	totalSpeed := 0.0
+	for _, s := range speeds {
+		totalSpeed += s
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"homogeneous", func(cfg *Config) {}},
+		{"heterogeneous", func(cfg *Config) {
+			cfg.Speeds = speeds
+			cfg.Arrivals = Poisson{Rate: 0.8 * totalSpeed / paretoMean,
+				Weights: task.Pareto{Alpha: 2, Cap: 20}}
+			cfg.Dispatch = &SpeedWeighted{}
+		}},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 2} {
+			res := testing.Benchmark(func(b *testing.B) {
+				cfg := Config{
+					Graph:    g,
+					Protocol: core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+					Arrivals: Poisson{Rate: 0.8 * 256 / paretoMean, Weights: task.Pareto{Alpha: 2, Cap: 20}},
+					Service:  WeightProportional{Rate: 1},
+					Tuner: &SelfTuner{Eps: 0.5, Steps: 2,
+						Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+					Rounds:  b.N,
+					Window:  1 << 30,
+					Seed:    0x5eed,
+					Workers: workers,
+				}
+				tc.mutate(&cfg)
+				b.ReportAllocs()
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			})
+			if allocs := res.AllocsPerOp(); allocs != 0 {
+				t.Fatalf("%s workers=%d: steady-state round allocates %d times/op (%d B/op), want 0",
+					tc.name, workers, allocs, res.AllocedBytesPerOp())
 			}
-			b.ReportAllocs()
-			if _, err := Run(cfg); err != nil {
-				b.Fatal(err)
-			}
-		})
-		if allocs := res.AllocsPerOp(); allocs != 0 {
-			t.Fatalf("workers=%d: steady-state round allocates %d times/op (%d B/op), want 0",
-				workers, allocs, res.AllocedBytesPerOp())
 		}
 	}
 }
@@ -238,6 +265,178 @@ func TestMassFailureDeterminism(t *testing.T) {
 					seed, workers, res, ref)
 			}
 		}
+	}
+}
+
+// speedProfile builds the heterogeneous test fleet: four speed classes
+// {1, 2, 4, 10} interleaved across the resource range — a 10:1 spread
+// with every shard holding a mix of classes.
+func speedProfile(n int) []float64 {
+	speeds := make([]float64, n)
+	for r := range speeds {
+		speeds[r] = []float64{1, 2, 4, 10}[r%4]
+	}
+	return speeds
+}
+
+// TestHeterogeneousMassFailureDeterminism is the heterogeneous golden
+// test: a 10:1 speed-spread fleet under speed-scaled service,
+// speed-aware self-tuned thresholds and load-per-speed power-of-two
+// dispatch, hit by a mass failure (half the fleet dies in one round,
+// rejoins later). For seeds {1, 2, 3} and workers {1, 2, 4, 8} the
+// Result must be byte-identical — the speed plumbing, like every other
+// engine feature, may not leak the partition into the outcome.
+func TestHeterogeneousMassFailureDeterminism(t *testing.T) {
+	const n = 800
+	g := graph.RandomRegular(n, 8, rng.NewSeeded(31))
+	speeds := speedProfile(n)
+	totalSpeed := 0.0
+	for _, s := range speeds {
+		totalSpeed += s
+	}
+	build := func(seed uint64, workers int) Config {
+		return Config{
+			Graph:  g,
+			Speeds: speeds,
+			Protocol: core.ResourceControlled{
+				Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+			Arrivals: Poisson{Rate: 0.8 * totalSpeed / paretoMean,
+				Weights: task.Pareto{Alpha: 2, Cap: 20}},
+			Service:  WeightProportional{Rate: 1},
+			Dispatch: PowerOfD{D: 2},
+			Tuner: &SelfTuner{Eps: 0.5, Decay: 0.8, Every: 10, Steps: 2,
+				Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+			Churn: Churn{
+				MinUp: 200,
+				Events: []ChurnEvent{
+					{Round: 60, Down: 400},
+					{Round: 150, Up: 400},
+				},
+			},
+			Rounds:  250,
+			Window:  50,
+			Seed:    seed,
+			Workers: workers,
+		}
+	}
+	for _, seed := range []uint64{1, 2, 3} {
+		var ref Result
+		for _, workers := range []int{1, 2, 4, 8} {
+			cfg := build(seed, workers)
+			cfg.CheckInvariants = workers == 1
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if workers == 1 {
+				ref = res
+				if res.Downs != 400 || res.Ups != 400 {
+					t.Fatalf("seed %d: mass events did not fire: downs=%d ups=%d", seed, res.Downs, res.Ups)
+				}
+				if res.Rehomed < 400 {
+					t.Fatalf("seed %d: mass failure re-homed only %d tasks", seed, res.Rehomed)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(res, ref) {
+				t.Fatalf("seed %d: workers=%d diverges from sequential heterogeneous run\ngot  %+v\nwant %+v",
+					seed, workers, res, ref)
+			}
+		}
+	}
+}
+
+// TestHeterogeneousSteadyState drives the speed-aware engine end to
+// end and checks the physics. The fleet is 10:1 heterogeneous and the
+// Poisson stream runs at ρ = 0.8 of its TOTAL capacity but is
+// dispatched UNIFORMLY — every slow machine is offered ~4.25× what it
+// can serve, so the system is stable only if migration keeps shedding
+// the slow machines' excess to the fast ones. With speed-proportional
+// thresholds the run must reach a steady state whose live thresholds
+// track the analytic (1+ε)·(W/S)·s_r + wmax targets; with no
+// balancing at all the same stream must visibly diverge — the control
+// that proves the speed-aware balancer, not the dispatcher, carries
+// the workload class.
+func TestHeterogeneousSteadyState(t *testing.T) {
+	const n, eps = 400, 0.5
+	g := graph.Complete(n)
+	speeds := speedProfile(n)
+	totalSpeed := 0.0
+	for _, s := range speeds {
+		totalSpeed += s
+	}
+	var lastState *core.State
+	// Light-tailed weights (mean 1.5, wmax 2) keep the +wmax threshold
+	// floor small, so the standing queue level is governed by the
+	// proportional W·s_r/S shares the test is about, not by the slack.
+	// Tuners are stateful — each run gets a fresh one.
+	base := func() Config {
+		return Config{
+			Graph:  g,
+			Speeds: speeds,
+			Arrivals: Poisson{Rate: 0.8 * totalSpeed / 1.5,
+				Weights: task.UniformRange{Lo: 1, Hi: 2}},
+			Service: WeightProportional{Rate: 1},
+			Tuner: &SelfTuner{Eps: eps, Decay: 0.8, Every: 10, Steps: 4,
+				Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+			Rounds:          600,
+			Window:          100,
+			Seed:            17,
+			Workers:         2,
+			CheckInvariants: true,
+		}
+	}
+	balanced := base()
+	balanced.Protocol = core.UserControlled{Alpha: 1}
+	balanced.OnRound = func(round int, s *core.State) {
+		if round == 599 {
+			lastState = s
+		}
+	}
+	res, err := Run(balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations == 0 {
+		t.Fatal("heterogeneous run produced no migrations")
+	}
+	if lastState == nil {
+		t.Fatal("OnRound never saw the final round")
+	}
+	// Stability: the in-flight weight stays a small multiple of the
+	// fleet's per-round capacity instead of accumulating the slow
+	// machines' structural deficit.
+	last := res.Windows[len(res.Windows)-1]
+	if last.InFlightWeight > 5*totalSpeed {
+		t.Fatalf("in-flight weight %v not draining (capacity %v/round)", last.InFlightWeight, totalSpeed)
+	}
+	// Live thresholds vs the analytic proportional targets, using the
+	// final in-flight weight. W fluctuates round to round while the
+	// EWMA averages it, so the live band is wider than the static
+	// 5% regression in TestSelfTunerProportionalTargets.
+	w, wmax := res.FinalWeight, lastState.LiveWMax()
+	for _, r := range []int{0, 1, 2, 3, n - 4, n - 3, n - 2, n - 1} {
+		want := (1+eps)*(w/totalSpeed)*speeds[r] + wmax
+		if got := lastState.Threshold(r); math.Abs(got-want) > 0.25*want {
+			t.Fatalf("resource %d (speed %g): live threshold %v, want ≈ %v (±25%%)",
+				r, speeds[r], got, want)
+		}
+	}
+	// The control: no balancing. The 1× and 2× classes are each offered
+	// 0.8·S/n = 3.4 weight-units per round against capacities 1 and 2,
+	// so without migration their structural deficit (~380 weight/round
+	// fleet-wide) accumulates and the unbalanced in-flight weight must
+	// dwarf the balanced one.
+	unbalanced := base()
+	unbalanced.Protocol = nullProtocol{}
+	resNull, err := Run(unbalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastNull := resNull.Windows[len(resNull.Windows)-1]
+	if lastNull.InFlightWeight < 10*last.InFlightWeight {
+		t.Fatalf("no-balancing control did not diverge: %v vs balanced %v",
+			lastNull.InFlightWeight, last.InFlightWeight)
 	}
 }
 

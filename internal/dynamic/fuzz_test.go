@@ -1,0 +1,127 @@
+package dynamic
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/task"
+)
+
+// Fuzz harnesses for the file-format parsers: the CSV/JSONL arrival
+// trace loaders and the speed-column (resource,speed) profile loaders.
+// The contract under fuzzing is uniform — malformed input must return
+// an error, never panic, and anything accepted must satisfy the
+// loaders' validation guarantees (weights ≥ 1, speeds positive and
+// finite, in-range unique resources) — so replayed production logs and
+// fleet inventories can never smuggle invalid state into a run. Seed
+// corpora live in testdata/fuzz/<FuzzName>/ alongside the f.Add seeds
+// below; run with
+//
+//	go test -run '^$' -fuzz FuzzReadTraceCSV -fuzztime 30s ./internal/dynamic
+//
+// (one target per invocation; CI smoke-runs all four).
+
+func FuzzReadTraceCSV(f *testing.F) {
+	f.Add([]byte("round,weight\n0,1\n1,2.5\n"))
+	f.Add([]byte("# comment\n3,1\n0,20\n3,1.25\n"))
+	f.Add([]byte("0,0.5\n"))
+	f.Add([]byte("-1,2\n"))
+	f.Add([]byte("x,y\n"))
+	f.Add([]byte("0,1,2\n"))
+	f.Add([]byte(",\n"))
+	f.Add([]byte("9999999,1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTraceCSV(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		for round, ws := range tr.Rounds {
+			for _, w := range ws {
+				if !task.ValidWeight(w) {
+					t.Fatalf("accepted invalid weight %v in round %d", w, round)
+				}
+			}
+		}
+	})
+}
+
+func FuzzReadTraceJSONL(f *testing.F) {
+	f.Add([]byte(`{"round":0,"weight":1}`))
+	f.Add([]byte("{\"round\":2,\"weight\":3.5}\n# c\n\n{\"round\":0,\"weight\":1}\n"))
+	f.Add([]byte(`{"round":-1,"weight":1}`))
+	f.Add([]byte(`{"round":0,"weight":0.1}`))
+	f.Add([]byte(`{"round":0,"weight":1e308}`))
+	f.Add([]byte(`{"round":0,"weight":1,"extra":2}`))
+	f.Add([]byte("{"))
+	f.Add([]byte("null"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTraceJSONL(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		for round, ws := range tr.Rounds {
+			for _, w := range ws {
+				if !task.ValidWeight(w) {
+					t.Fatalf("accepted invalid weight %v in round %d", w, round)
+				}
+			}
+		}
+	})
+}
+
+// checkFuzzedSpeeds validates the acceptance guarantees shared by both
+// speed parsers.
+func checkFuzzedSpeeds(t *testing.T, speeds []float64, n int) {
+	t.Helper()
+	if len(speeds) != n {
+		t.Fatalf("accepted profile has %d entries for n=%d", len(speeds), n)
+	}
+	for r, s := range speeds {
+		if !ValidSpeed(s) {
+			t.Fatalf("accepted invalid speed %v for resource %d", s, r)
+		}
+	}
+}
+
+func FuzzReadSpeedsCSV(f *testing.F) {
+	f.Add([]byte("resource,speed\n0,10\n2,2.5\n"), 8)
+	f.Add([]byte("# fleet\n1,1\n"), 4)
+	f.Add([]byte("0,0\n"), 4)
+	f.Add([]byte("-1,1\n"), 4)
+	f.Add([]byte("0,1\n0,2\n"), 4)
+	f.Add([]byte("0,NaN\n"), 4)
+	f.Add([]byte("0,+Inf\n"), 4)
+	f.Add([]byte("7,1\n"), 4)
+	f.Add([]byte("a,b\n"), 0)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 0 || n > 1<<12 {
+			n = 16 // keep the dense output small; size is not the target
+		}
+		speeds, err := ReadSpeedsCSV(bytes.NewReader(data), n)
+		if err != nil {
+			return
+		}
+		checkFuzzedSpeeds(t, speeds, n)
+	})
+}
+
+func FuzzReadSpeedsJSONL(f *testing.F) {
+	f.Add([]byte(`{"resource":0,"speed":2}`), 4)
+	f.Add([]byte("{\"resource\":1,\"speed\":0.5}\n# c\n{\"resource\":0,\"speed\":10}\n"), 4)
+	f.Add([]byte(`{"resource":-1,"speed":1}`), 4)
+	f.Add([]byte(`{"resource":0,"speed":-2}`), 4)
+	f.Add([]byte(`{"resource":0,"speed":null}`), 4)
+	f.Add([]byte(`{"resource":9,"speed":1}`), 4)
+	f.Add([]byte(`{"resource":0,"pace":1}`), 4)
+	f.Add([]byte("{"), 4)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 0 || n > 1<<12 {
+			n = 16
+		}
+		speeds, err := ReadSpeedsJSONL(bytes.NewReader(data), n)
+		if err != nil {
+			return
+		}
+		checkFuzzedSpeeds(t, speeds, n)
+	})
+}

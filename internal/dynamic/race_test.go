@@ -1,0 +1,11 @@
+//go:build race
+
+package dynamic
+
+// raceEnabled reports that this test binary runs under the race
+// detector: allocation budgets are skipped there — the instrumented
+// runtime slows rounds ~10×, so calibrated benchmark iteration counts
+// drop and one-time engine construction stops amortizing below one
+// alloc/op. The budgets are enforced by the regular CI test job and
+// the benchrec allocs gate.
+const raceEnabled = true

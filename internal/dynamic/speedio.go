@@ -1,0 +1,183 @@
+package dynamic
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Speed-profile ingestion: heterogeneous fleets are described by
+// (resource, speed) records, mirroring the arrival-trace formats —
+//
+//	CSV:   resource,speed      (optional "resource,speed" header,
+//	                            '#' comment lines allowed)
+//	JSONL: {"resource":3,"speed":2.5}   one object per line
+//
+// The loader densifies the records into a length-n speed vector;
+// resources the file does not mention default to speed 1, so a profile
+// only has to list the machines that differ from the unit baseline.
+// Speeds must be positive and finite, resource indices must lie in
+// [0, n), and duplicates are an error — malformed profiles fail at
+// load time with line numbers, never mid-run.
+
+// ValidSpeed reports whether s is a usable resource speed: positive
+// and finite. s > 0 is false for NaN, so NaN needs no separate test.
+func ValidSpeed(s float64) bool { return s > 0 && !math.IsInf(s, 0) }
+
+// speedVec densifies parsed (resource, speed) records, validating
+// range, value and uniqueness. seen doubles as the duplicate tracker.
+type speedVec struct {
+	v    []float64
+	seen []bool
+}
+
+func newSpeedVec(n int) *speedVec {
+	sv := &speedVec{v: make([]float64, n), seen: make([]bool, n)}
+	for i := range sv.v {
+		sv.v[i] = 1
+	}
+	return sv
+}
+
+func (sv *speedVec) set(resource int, speed float64) error {
+	if resource < 0 || resource >= len(sv.v) {
+		return fmt.Errorf("resource %d out of range [0, %d)", resource, len(sv.v))
+	}
+	if !ValidSpeed(speed) {
+		return fmt.Errorf("speed %v of resource %d must be positive and finite", speed, resource)
+	}
+	if sv.seen[resource] {
+		return fmt.Errorf("duplicate record for resource %d", resource)
+	}
+	sv.seen[resource] = true
+	sv.v[resource] = speed
+	return nil
+}
+
+// ReadSpeedsCSV parses resource,speed records from r into a length-n
+// speed vector (unlisted resources get speed 1).
+func ReadSpeedsCSV(r io.Reader, n int) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dynamic: speeds csv: need a positive resource count, got %d", n)
+	}
+	cr := csv.NewReader(r)
+	cr.Comment = '#'
+	cr.FieldsPerRecord = 2
+	cr.TrimLeadingSpace = true
+	sv := newSpeedVec(n)
+	first := true
+	for {
+		fields, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: speeds csv: %w", err)
+		}
+		if first {
+			first = false
+			if strings.EqualFold(strings.TrimSpace(fields[0]), "resource") {
+				continue // header row
+			}
+		}
+		line, _ := cr.FieldPos(0)
+		resource, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: speeds csv line %d: bad resource %q", line, fields[0])
+		}
+		speed, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: speeds csv line %d: bad speed %q", line, fields[1])
+		}
+		if err := sv.set(resource, speed); err != nil {
+			return nil, fmt.Errorf("dynamic: speeds csv line %d: %w", line, err)
+		}
+	}
+	return sv.v, nil
+}
+
+// speedRecord is one parsed (resource, speed) entry. The fields are
+// pointers so a record that omits a key fails loudly instead of
+// silently re-speeding resource 0 (the int zero value).
+type speedRecord struct {
+	Resource *int     `json:"resource"`
+	Speed    *float64 `json:"speed"`
+}
+
+// ReadSpeedsJSONL parses one {"resource":r,"speed":s} object per line
+// into a length-n speed vector (unlisted resources get speed 1).
+func ReadSpeedsJSONL(r io.Reader, n int) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dynamic: speeds jsonl: need a positive resource count, got %d", n)
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sv := newSpeedVec(n)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var rec speedRecord
+		dec := json.NewDecoder(strings.NewReader(text))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("dynamic: speeds jsonl line %d: %w", line, err)
+		}
+		if err := oneValuePerLine(dec); err != nil {
+			return nil, fmt.Errorf("dynamic: speeds jsonl line %d: %w", line, err)
+		}
+		if rec.Resource == nil || rec.Speed == nil {
+			return nil, fmt.Errorf("dynamic: speeds jsonl line %d: record must carry both \"resource\" and \"speed\"", line)
+		}
+		if err := sv.set(*rec.Resource, *rec.Speed); err != nil {
+			return nil, fmt.Errorf("dynamic: speeds jsonl line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dynamic: speeds jsonl: %w", err)
+	}
+	return sv.v, nil
+}
+
+// oneValuePerLine errors when a decoded JSONL line carries trailing
+// data after its first value (e.g. two concatenated objects): silently
+// dropping the remainder would load a truncated profile.
+func oneValuePerLine(dec *json.Decoder) error {
+	tok, err := dec.Token()
+	switch {
+	case err == io.EOF:
+		return nil
+	case err != nil:
+		return fmt.Errorf("trailing data after the record: %w", err)
+	default:
+		return fmt.Errorf("trailing data %v after the record", tok)
+	}
+}
+
+// LoadSpeedsFile reads an n-resource speed profile from path, picking
+// the format by extension: .csv → CSV, .jsonl/.ndjson/.json → JSONL.
+func LoadSpeedsFile(path string, n int) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dynamic: speeds: %w", err)
+	}
+	defer f.Close()
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".csv":
+		return ReadSpeedsCSV(f, n)
+	case ".jsonl", ".ndjson", ".json":
+		return ReadSpeedsJSONL(f, n)
+	default:
+		return nil, fmt.Errorf("dynamic: speeds %s: unknown extension %q (want .csv, .jsonl, .ndjson or .json)", path, ext)
+	}
+}

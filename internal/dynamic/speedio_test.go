@@ -1,0 +1,120 @@
+package dynamic
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadSpeedsCSV(t *testing.T) {
+	in := `resource,speed
+# the fast half
+0, 10
+2,2.5
+3,1
+`
+	got, err := ReadSpeedsCSV(strings.NewReader(in), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 1, 2.5, 1, 1} // unlisted resources default to 1
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("speeds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReadSpeedsJSONL(t *testing.T) {
+	in := `{"resource":1,"speed":4}
+# comment
+
+{"resource":3,"speed":0.5}
+`
+	got, err := ReadSpeedsJSONL(strings.NewReader(in), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 4, 1, 0.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("speeds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReadSpeedsErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+		jsonl    bool
+		want     string
+	}{
+		{"bad resource", "x,2\n", false, "bad resource"},
+		{"bad speed", "0,fast\n", false, "bad speed"},
+		{"out of range", "9,2\n", false, "out of range"},
+		{"negative resource", "-1,2\n", false, "out of range"},
+		{"zero speed", "0,0\n", false, "must be positive"},
+		{"negative speed", "0,-2\n", false, "must be positive"},
+		{"nan speed", `{"resource":0,"speed":null}`, true, "must carry both"},
+		{"inf speed", "0,+Inf\n", false, "must be positive"},
+		{"duplicate", "0,2\n0,3\n", false, "duplicate"},
+		{"wrong fields", "0,2,3\n", false, "wrong number of fields"},
+		{"jsonl bad resource", `{"resource":4,"speed":1}`, true, "out of range"},
+		{"jsonl duplicate", "{\"resource\":1,\"speed\":2}\n{\"resource\":1,\"speed\":2}", true, "duplicate"},
+		{"jsonl unknown field", `{"resource":1,"pace":2}`, true, "unknown field"},
+		{"jsonl garbage", "{", true, "unexpected EOF"},
+		{"jsonl missing resource", `{"speed":2.5}`, true, "must carry both"},
+		{"jsonl missing speed", `{"resource":1}`, true, "must carry both"},
+		{"jsonl concatenated records", `{"resource":1,"speed":2}{"resource":3,"speed":9}`, true, "trailing data"},
+	}
+	for _, tc := range cases {
+		var err error
+		if tc.jsonl {
+			_, err = ReadSpeedsJSONL(strings.NewReader(tc.in), 4)
+		} else {
+			_, err = ReadSpeedsCSV(strings.NewReader(tc.in), 4)
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: want error containing %q, got %v", tc.name, tc.want, err)
+		}
+	}
+	if _, err := ReadSpeedsCSV(strings.NewReader("0,1\n"), 0); err == nil {
+		t.Fatal("n = 0 accepted")
+	}
+	if _, err := ReadSpeedsJSONL(strings.NewReader(""), -3); err == nil {
+		t.Fatal("negative n accepted")
+	}
+}
+
+func TestLoadSpeedsFile(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "fleet.csv")
+	if err := os.WriteFile(csvPath, []byte("0,3\n5,10\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSpeedsFile(csvPath, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 || got[5] != 10 || got[3] != 1 {
+		t.Fatalf("csv speeds = %v", got)
+	}
+	jsonlPath := filepath.Join(dir, "fleet.jsonl")
+	if err := os.WriteFile(jsonlPath, []byte(`{"resource":2,"speed":7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadSpeedsFile(jsonlPath, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[2] != 7 || got[0] != 1 {
+		t.Fatalf("jsonl speeds = %v", got)
+	}
+	if _, err := LoadSpeedsFile(filepath.Join(dir, "fleet.txt"), 3); err == nil {
+		t.Fatal("unknown extension accepted")
+	}
+	if _, err := LoadSpeedsFile(filepath.Join(dir, "missing.csv"), 3); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

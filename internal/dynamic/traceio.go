@@ -28,8 +28,8 @@ import (
 
 // traceRecord is one parsed (round, weight) entry.
 type traceRecord struct {
-	Round  int     `json:"round"`
-	Weight float64 `json:"weight"`
+	Round  int
+	Weight float64
 }
 
 // ReadTraceCSV parses round,weight records from r into a Trace.
@@ -83,16 +83,27 @@ func ReadTraceJSONL(r io.Reader, label string) (Trace, error) {
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
-		var rec traceRecord
+		// Pointer fields so a record that omits a key fails loudly
+		// instead of silently landing in round 0.
+		var rec struct {
+			Round  *int     `json:"round"`
+			Weight *float64 `json:"weight"`
+		}
 		dec := json.NewDecoder(strings.NewReader(text))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&rec); err != nil {
 			return Trace{}, fmt.Errorf("dynamic: trace jsonl line %d: %w", line, err)
 		}
-		if err := checkTraceRecord(rec.Round, rec.Weight); err != nil {
+		if err := oneValuePerLine(dec); err != nil {
 			return Trace{}, fmt.Errorf("dynamic: trace jsonl line %d: %w", line, err)
 		}
-		recs = append(recs, rec)
+		if rec.Round == nil || rec.Weight == nil {
+			return Trace{}, fmt.Errorf("dynamic: trace jsonl line %d: record must carry both \"round\" and \"weight\"", line)
+		}
+		if err := checkTraceRecord(*rec.Round, *rec.Weight); err != nil {
+			return Trace{}, fmt.Errorf("dynamic: trace jsonl line %d: %w", line, err)
+		}
+		recs = append(recs, traceRecord{Round: *rec.Round, Weight: *rec.Weight})
 	}
 	if err := sc.Err(); err != nil {
 		return Trace{}, fmt.Errorf("dynamic: trace jsonl: %w", err)

@@ -101,6 +101,17 @@ func TestReadTraceJSONL(t *testing.T) {
 	if _, err := ReadTraceJSONL(strings.NewReader(`{"round":0,"w":2}`), ""); err == nil {
 		t.Fatal("unknown field accepted")
 	}
+	// A record missing a key must error, not land in round 0 with the
+	// zero value; so must trailing data after the line's first object.
+	if _, err := ReadTraceJSONL(strings.NewReader(`{"weight":2}`), ""); err == nil || !strings.Contains(err.Error(), "must carry both") {
+		t.Fatalf("missing round accepted: %v", err)
+	}
+	if _, err := ReadTraceJSONL(strings.NewReader(`{"round":1}`), ""); err == nil || !strings.Contains(err.Error(), "must carry both") {
+		t.Fatalf("missing weight accepted: %v", err)
+	}
+	if _, err := ReadTraceJSONL(strings.NewReader(`{"round":1,"weight":2}{"round":2,"weight":3}`), ""); err == nil || !strings.Contains(err.Error(), "trailing data") {
+		t.Fatalf("concatenated records accepted: %v", err)
+	}
 }
 
 func TestLoadTraceFileAndReplay(t *testing.T) {

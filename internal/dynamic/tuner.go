@@ -34,14 +34,36 @@ type PooledTuner interface {
 	RefreshPooled(round int, s *core.State, up *UpSet, pool *par.Pool) []float64
 }
 
-// OracleTuner recomputes T = (1+Eps)·W(t)/n_up + wmax every Every
-// rounds from the exact in-flight weight — centralised knowledge, the
-// upper baseline the decentralised tuner is measured against.
-type OracleTuner struct {
-	Eps   float64 // threshold slack, > 0
-	Every int     // refresh period in rounds; 0 means every round
-	thr   []float64
+// SpeedAwareTuner is implemented by tuners that generalise their
+// estimates to heterogeneous fleets. The engine calls SetSpeeds with
+// the validated per-resource speed profile before the first round
+// (only when Config.Speeds is set), and the tuner must thereafter
+// target the speed-proportional thresholds
+//
+//	T_r = (1+ε)·(W/S_up)·s_r + wmax,  S_up = Σ_{up} s_r
+//
+// — the core.Proportional shape restricted to the live capacity —
+// instead of the uniform (1+ε)·W/n_up + wmax.
+type SpeedAwareTuner interface {
+	Tuner
+	SetSpeeds(speeds []float64)
 }
+
+// OracleTuner recomputes the thresholds every Every rounds from the
+// exact in-flight weight — centralised knowledge, the upper baseline
+// the decentralised tuner is measured against. Homogeneous fleets get
+// the uniform T = (1+Eps)·W(t)/n_up + wmax; with a speed profile set
+// the vector is core.Proportional restricted to the up capacity,
+// T_r = (1+Eps)·W(t)·s_r/S_up + wmax.
+type OracleTuner struct {
+	Eps    float64 // threshold slack, > 0
+	Every  int     // refresh period in rounds; 0 means every round
+	speeds []float64
+	thr    []float64
+}
+
+// SetSpeeds implements SpeedAwareTuner.
+func (o *OracleTuner) SetSpeeds(speeds []float64) { o.speeds = speeds }
 
 // Refresh implements Tuner.
 func (o *OracleTuner) Refresh(round int, s *core.State, up *UpSet) []float64 {
@@ -58,6 +80,18 @@ func (o *OracleTuner) Refresh(round int, s *core.State, up *UpSet) []float64 {
 	n := s.N()
 	if o.thr == nil {
 		o.thr = make([]float64, n)
+	}
+	if o.speeds != nil {
+		if len(o.speeds) != n {
+			panic(fmt.Sprintf("dynamic: OracleTuner has %d speeds for %d resources", len(o.speeds), n))
+		}
+		sUp := 0.0
+		for i := 0; i < up.N(); i++ {
+			sUp += o.speeds[up.At(i)]
+		}
+		prop := core.Proportional{Speeds: o.speeds, Eps: o.Eps}
+		prop.ShareInto(o.thr, s.InFlightWeight(), s.LiveWMax(), sUp)
+		return o.thr
 	}
 	t := (1+o.Eps)*s.InFlightWeight()/float64(up.N()) + s.LiveWMax()
 	for r := range o.thr {
@@ -105,12 +139,28 @@ func (o *OracleTuner) Name() string { return fmt.Sprintf("oracle(eps=%g)", o.Eps
 // the decaying averages, and the slack Eps covers the estimation
 // error, exactly as it covers the static estimation error in the
 // paper.
+//
+// Heterogeneous fleets (SetSpeeds) generalise the companion vector
+// from up-mass to SPEED-mass: each resource decays
+//
+//	upw_r ← Decay·upw_r + (1−Decay)·s_r·1{r up},
+//
+// so the diffused ratio converges to (Σ est)/(Σ s·1{up}) ≈ W/S_up —
+// the per-unit-speed fair share — and resource r sets
+// T_r = (1+Eps)·(W/S_up)·s_r + wmax, the core.Proportional target
+// restricted to the live capacity (Adolphs–Berenbrink's
+// speed-proportional thresholds, learned online). The speed-mass
+// diffusion always runs in this mode (even churnless, since the load
+// average alone diffuses to W/n, not W/S); with no speed profile the
+// homogeneous code path is untouched bit for bit.
 type SelfTuner struct {
 	Eps    float64     // threshold slack, > 0
 	Decay  float64     // EWMA decay in (0,1); 0 means the default 0.8
 	Every  int         // rounds between diffusion refreshes; default 10
 	Steps  int         // diffusion steps per refresh; default 8
 	Kernel walk.Kernel // diffusion kernel; required
+
+	speeds []float64 // per-resource speeds; nil = homogeneous
 
 	est []float64
 	upw []float64
@@ -119,7 +169,9 @@ type SelfTuner struct {
 	zEst, zEstNext []float64
 	zUp, zUpNext   []float64
 	// churned latches once any resource has been observed down; only
-	// then is the up-mass diffusion and division paid for.
+	// then is the up-mass diffusion and division paid for. A speed
+	// profile latches it from the start — the speed-mass companion is
+	// what turns the diffused load average into a per-unit-speed share.
 	churned bool
 
 	// Pooled-sweep wiring: the phase closures are bound once and read
@@ -139,6 +191,16 @@ type SelfTuner struct {
 // (Decay 0.8, Every 10, Steps 8).
 func NewSelfTuner(k walk.Kernel, eps float64) *SelfTuner {
 	return &SelfTuner{Eps: eps, Decay: 0.8, Every: 10, Steps: 8, Kernel: k}
+}
+
+// SetSpeeds implements SpeedAwareTuner: thresholds thereafter converge
+// to the speed-proportional (1+Eps)·(W/S_up)·s_r + wmax targets. Must
+// be called before the first Refresh.
+func (st *SelfTuner) SetSpeeds(speeds []float64) {
+	if st.est != nil {
+		panic("dynamic: SelfTuner.SetSpeeds after the first Refresh")
+	}
+	st.speeds = speeds
 }
 
 // Refresh implements Tuner (the single-worker sweep).
@@ -168,10 +230,15 @@ func (st *SelfTuner) RefreshPooled(round int, s *core.State, up *UpSet, pool *pa
 	}
 	n := s.N()
 	if st.est == nil {
+		if st.speeds != nil && len(st.speeds) != n {
+			panic(fmt.Sprintf("dynamic: SelfTuner has %d speeds for %d resources", len(st.speeds), n))
+		}
 		st.est = make([]float64, n)
 		st.upw = make([]float64, n)
 		for r := range st.upw {
-			st.upw[r] = 1
+			// The companion starts at its all-up steady value: up-mass 1
+			// on homogeneous fleets, speed-mass s_r on heterogeneous ones.
+			st.upw[r] = st.speedOf(r)
 		}
 		st.thr = make([]float64, n)
 		st.zEst = make([]float64, n)
@@ -179,6 +246,9 @@ func (st *SelfTuner) RefreshPooled(round int, s *core.State, up *UpSet, pool *pa
 		st.decayFn = st.decayShard
 		st.diffuseFn = st.diffuseShard
 		st.thrFn = st.thresholdShard
+		// Speed-mass must diffuse from round one: the load average alone
+		// concentrates around W/n, not the per-unit-speed share W/S.
+		st.churned = st.churned || st.speeds != nil
 	}
 	if up.DownN() > 0 {
 		st.churned = true
@@ -235,6 +305,14 @@ func (st *SelfTuner) shardRange(i int) (int, int) {
 	return st.pool.Shard(len(st.est), i)
 }
 
+// speedOf returns resource r's speed (1 on homogeneous fleets).
+func (st *SelfTuner) speedOf(r int) float64 {
+	if st.speeds == nil {
+		return 1
+	}
+	return st.speeds[r]
+}
+
 func (st *SelfTuner) decayShard(i int) {
 	lo, hi := st.shardRange(i)
 	decay := st.Decay
@@ -250,7 +328,7 @@ func (st *SelfTuner) decayShard(i int) {
 	for r := lo; r < hi; r++ {
 		m := 0.0
 		if st.up.Contains(r) {
-			m = 1
+			m = st.speedOf(r)
 		}
 		st.upw[r] = decay*st.upw[r] + (1-decay)*m
 	}
@@ -270,6 +348,18 @@ func (st *SelfTuner) thresholdShard(i int) {
 	if !st.diffuseUp {
 		for r := lo; r < hi; r++ {
 			st.thr[r] = (1+st.Eps)*st.zEst[r] + wmax
+		}
+		return
+	}
+	if st.speeds != nil {
+		// zEst/mass ≈ W/S_up, the per-unit-speed share; resource r's
+		// threshold is its Proportional target (W/S_up)·s_r plus slack.
+		for r := lo; r < hi; r++ {
+			mass := st.zUp[r]
+			if mass < 1e-12 {
+				mass = 1e-12 // a resource diffusively isolated from all live mass
+			}
+			st.thr[r] = (1+st.Eps)*st.zEst[r]/mass*st.speeds[r] + wmax
 		}
 		return
 	}

@@ -440,3 +440,83 @@ func TestSetShrinkDeterministicIDs(t *testing.T) {
 		t.Fatalf("ID assignment diverged across identical op sequences:\n%v\nvs\n%v", a, b)
 	}
 }
+
+// TestPropertyFreeListNeverDoubleIssues drives long random Add/Remove
+// sequences — including drain phases that trigger shrink compaction —
+// against an oracle model, asserting the free-list contract: Add never
+// returns an ID that is currently live, Remove retires exactly the
+// requested live ID, and the Live/W aggregates always match the model.
+// A double-issued ID would corrupt every ID-indexed structure in the
+// open-system engine (locations, remaining-work, stacks), so this is
+// the task layer's load-bearing property.
+func TestPropertyFreeListNeverDoubleIssues(t *testing.T) {
+	r := rng.NewSeeded(0xf4ee)
+	for trial := 0; trial < 6; trial++ {
+		s := NewEmptySet()
+		live := map[int]float64{} // oracle: ID → weight
+		var liveIDs []int         // for uniform removal picks
+		wantW := 0.0
+		ops := 4000 + r.Intn(4000)
+		for op := 0; op < ops; op++ {
+			// Phase-dependent add probability: grow, then drain hard so
+			// shrink fires, then churn around the boundary.
+			pAdd := 0.7
+			switch {
+			case op > ops/2 && op < 3*ops/4:
+				pAdd = 0.05 // drain phase
+			case op >= 3*ops/4:
+				pAdd = 0.5
+			}
+			if len(liveIDs) == 0 || r.Bool(pAdd) {
+				w := 1 + 9*r.Float64()
+				tk := s.Add(w)
+				if _, ok := live[tk.ID]; ok {
+					t.Fatalf("trial %d op %d: Add double-issued live ID %d", trial, op, tk.ID)
+				}
+				if tk.Weight != w {
+					t.Fatalf("trial %d op %d: Add returned weight %v, want %v", trial, op, tk.Weight, w)
+				}
+				live[tk.ID] = w
+				liveIDs = append(liveIDs, tk.ID)
+				wantW += w
+			} else {
+				i := r.Intn(len(liveIDs))
+				id := liveIDs[i]
+				liveIDs[i] = liveIDs[len(liveIDs)-1]
+				liveIDs = liveIDs[:len(liveIDs)-1]
+				if s.Removed(id) {
+					t.Fatalf("trial %d op %d: model thinks %d is live, set says removed", trial, op, id)
+				}
+				wantW -= live[id]
+				delete(live, id)
+				s.Remove(id)
+				// Retired means flagged removed — or gone entirely when
+				// the removal triggered shrink and the ID sat in the
+				// truncated all-removed tail.
+				if !s.Removed(id) && id < s.M() {
+					t.Fatalf("trial %d op %d: Remove(%d) did not retire the ID", trial, op, id)
+				}
+			}
+			if s.Live() != len(live) {
+				t.Fatalf("trial %d op %d: Live() = %d, model has %d", trial, op, s.Live(), len(live))
+			}
+			if math.Abs(s.W()-wantW) > 1e-6*(1+wantW) {
+				t.Fatalf("trial %d op %d: W() = %v, model %v", trial, op, s.W(), wantW)
+			}
+		}
+		// Every live ID must still resolve to its model weight, and no
+		// removed ID may report live — across every compaction that
+		// happened along the way.
+		for id, w := range live {
+			if s.Removed(id) || s.Weight(id) != w {
+				t.Fatalf("trial %d: live task %d lost or mutated (removed=%v w=%v want %v)",
+					trial, id, s.Removed(id), s.Weight(id), w)
+			}
+		}
+		for id := 0; id < s.M(); id++ {
+			if _, ok := live[id]; !ok && !s.Removed(id) {
+				t.Fatalf("trial %d: ID %d reports live but the model removed it", trial, id)
+			}
+		}
+	}
+}
