@@ -19,6 +19,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/par"
+	"repro/internal/recovery"
 	"repro/internal/rng"
 	"repro/internal/task"
 	"repro/internal/walk"
@@ -335,6 +336,72 @@ func BenchmarkMassChurn10k(b *testing.B) {
 	b.ResetTimer()
 	if _, err := dynamic.Run(cfg); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkRackLossRecover measures topology-aware mass-failure
+// recovery end to end, one sub-benchmark per re-home policy: a
+// 10000-resource fleet laid out as 8 racks (speed classes 1/2/4/10
+// interleaved, so every rack mixes all classes) under steady ρ = 0.8
+// traffic loses whole rack 0 — 1250 machines, ~1/8 of the fleet —
+// every 40th round and gets it back 20 rounds later. One op is one
+// simulated round, ~1/40 of which carry the rack-loss evacuation
+// routed by the policy under test (uniform, load-aware power-of-2,
+// topology-aware locality, speed-weighted).
+func BenchmarkRackLossRecover(b *testing.B) {
+	const n = 10_000
+	topo, err := recovery.Synth(n, 8, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := graph.RandomRegular(n, 16, newBenchRand())
+	speeds := make([]float64, n)
+	totalSpeed := 0.0
+	for r := range speeds {
+		speeds[r] = []float64{1, 2, 4, 10}[r%4]
+		totalSpeed += speeds[r]
+	}
+	rack0 := topo.RackList(0, nil)
+	policies := []struct {
+		name string
+		mk   func() dynamic.RehomePolicy
+	}{
+		{"uniform", func() dynamic.RehomePolicy { return dynamic.UniformRehome{} }},
+		{"power2", func() dynamic.RehomePolicy { return dynamic.PowerOfDRehome{D: 2} }},
+		{"locality", func() dynamic.RehomePolicy { return &recovery.Locality{Topo: topo} }},
+		{"speed", func() dynamic.RehomePolicy { return &dynamic.SpeedWeightedRehome{} }},
+	}
+	for _, pol := range policies {
+		b.Run(pol.name, func(b *testing.B) {
+			cfg := dynamic.Config{
+				Graph:    g,
+				Speeds:   speeds,
+				Protocol: core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+				Arrivals: dynamic.Poisson{Rate: 0.8 * totalSpeed / 1.95,
+					Weights: task.Pareto{Alpha: 2, Cap: 20}},
+				Service:  dynamic.WeightProportional{Rate: 1},
+				Dispatch: dynamic.PowerOfD{D: 2},
+				Rehome:   pol.mk(),
+				Tuner: &dynamic.SelfTuner{Eps: 0.5, Steps: 2,
+					Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+				Churn: dynamic.Churn{
+					MinUp: n / 4,
+					Events: []dynamic.ChurnEvent{
+						{Round: 10, Every: 40, DownList: rack0},
+						{Round: 30, Every: 40, UpList: rack0},
+					},
+				},
+				Rounds:  b.N,
+				Window:  1 << 30,
+				Seed:    0x9e3779b97f4a7c15,
+				Workers: runtime.GOMAXPROCS(0),
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := dynamic.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }
 

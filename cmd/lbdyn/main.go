@@ -78,7 +78,15 @@ func main() {
 		minUp      = flag.Int("minup", 0, "floor on up resources (0 = n/2 when churn > 0)")
 		oracle     = flag.Bool("oracle", false, "exact-average thresholds instead of self-tuned diffusion estimates")
 		check      = flag.Bool("check", false, "validate weight conservation every round (slow)")
-		shardDebug = flag.Bool("sharddebug", false, "print per-shard measured round-cost stats at every rebalance (workers > 1)")
+		shardDebug = flag.Bool("sharddebug", false, "print per-shard measured round-cost stats and exchange lane occupancy at every rebalance (workers > 1)")
+
+		topoPath   = flag.String("topology", "", "failure-domain inventory (.csv resource,rack,zone or .jsonl; enables rack-aware failures and locality re-homing)")
+		synthRacks = flag.Int("synthracks", 0, "synthesise a topology with this many contiguous racks (mutually exclusive with -topology)")
+		synthZones = flag.Int("synthzones", 1, "zones for the synthesised topology")
+		rehome     = flag.String("rehome", "uniform", "evacuation re-home policy: uniform|power2|locality|speed")
+		eventsPath = flag.String("events", "", "scripted churn-event schedule (.csv round,every,down,up or .jsonl with down_list/up_list)")
+		rackMTBF   = flag.Float64("rackmtbf", 0, "mean rounds between whole-rack failures (compiled failure model; needs a topology)")
+		rackMTTR   = flag.Float64("rackmttr", 0, "mean rounds to repair a failed rack")
 	)
 	flag.Parse()
 
@@ -192,6 +200,40 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+
+	// Failure-domain topology: a fleet inventory file, or a synthetic
+	// contiguous-rack layout.
+	var topo *lb.Topology
+	switch {
+	case *topoPath != "" && *synthRacks > 0:
+		fail(fmt.Errorf("-topology and -synthracks are mutually exclusive"))
+	case *topoPath != "":
+		if topo, err = lb.LoadTopology(*topoPath, g.N()); err != nil {
+			fail(err)
+		}
+	case *synthRacks > 0:
+		if topo, err = lb.SynthTopology(g.N(), *synthRacks, *synthZones); err != nil {
+			fail(err)
+		}
+	}
+
+	var rehomer lb.RehomePolicy
+	switch *rehome {
+	case "uniform":
+		rehomer = lb.UniformRehome()
+	case "power2":
+		rehomer = lb.PowerOfDRehome(2)
+	case "locality":
+		if topo == nil {
+			fail(fmt.Errorf("-rehome locality needs -topology or -synthracks"))
+		}
+		rehomer = lb.LocalityRehome(topo)
+	case "speed":
+		rehomer = lb.SpeedWeightedRehome()
+	default:
+		fail(fmt.Errorf("unknown re-home policy %q", *rehome))
+	}
+
 	var spec lb.ChurnSpec
 	if *churn > 0 {
 		up := *minUp
@@ -199,6 +241,25 @@ func main() {
 			up = g.N() / 2
 		}
 		spec = lb.ChurnSpec{LeaveProb: *churn, JoinProb: *churn, MinUp: up}
+	} else if *minUp > 0 {
+		spec.MinUp = *minUp
+	}
+	if *eventsPath != "" {
+		if spec.Events, err = lb.LoadChurnEvents(*eventsPath, g.N()); err != nil {
+			fail(err)
+		}
+	}
+	if *rackMTBF > 0 || *rackMTTR > 0 {
+		if len(spec.Events) > 0 {
+			fail(fmt.Errorf("-events and -rackmtbf/-rackmttr are mutually exclusive (the compiled schedule could contradict the scripted one)"))
+		}
+		if topo == nil {
+			fail(fmt.Errorf("-rackmtbf/-rackmttr need -topology or -synthracks"))
+		}
+		model := lb.FailureModel{Topo: topo, RackMTBF: *rackMTBF, RackMTTR: *rackMTTR}
+		if spec.Events, err = model.Compile(*rounds, *seed); err != nil {
+			fail(err)
+		}
 	}
 
 	nWorkers := *workers
@@ -218,6 +279,12 @@ func main() {
 	}
 	fmt.Printf("protocol:  %s (eps=%g alpha=%g lazy=%v oracle=%v workers=%d)\n", kind, *eps, *alpha, *lazy, *oracle, nWorkers)
 	fmt.Printf("arrivals:  %s  service: %s  dispatch: %s  churn: %g\n", arr.Name(), svc.Name(), disp.Name(), *churn)
+	if topo != nil {
+		fmt.Printf("topology:  %d racks in %d zones  rehome: %s  events: %d\n",
+			topo.Racks(), topo.Zones(), rehomer.Name(), len(spec.Events))
+	} else if len(spec.Events) > 0 || *rehome != "uniform" {
+		fmt.Printf("rehome:    %s  events: %d\n", rehomer.Name(), len(spec.Events))
+	}
 	p99Label := "p99load"
 	if speeds != nil {
 		p99Label = "p99 x/s"
@@ -239,6 +306,7 @@ func main() {
 		Arrivals:         arr,
 		Service:          svc,
 		Dispatch:         disp,
+		Rehome:           rehomer,
 		OracleThresholds: *oracle,
 		Churn:            spec,
 		CheckInvariants:  *check,
@@ -253,6 +321,19 @@ func main() {
 		},
 	}
 	if *shardDebug {
+		sc.OnLanes = func(round, workers int, counts []int64) {
+			// Per-destination inbound totals make the serialise-the-merge
+			// skew (all lanes targeting one shard) obvious at a glance.
+			fmt.Printf("[lanes] round %d inbound/dest:", round)
+			for j := 0; j < workers; j++ {
+				var tot int64
+				for i := 0; i < workers; i++ {
+					tot += counts[i*workers+j]
+				}
+				fmt.Printf(" %d:%d", j, tot)
+			}
+			fmt.Println()
+		}
 		sc.OnRebalance = func(round int, stats []lb.ShardStat) {
 			total := int64(0)
 			for _, st := range stats {
@@ -278,7 +359,22 @@ func main() {
 	fmt.Printf("in flight:  %d tasks (weight %.0f)\n", res.FinalInFlight, res.FinalWeight)
 	fmt.Printf("migrations: %d (weight %.0f)\n", res.Migrations, res.MovedWeight)
 	if res.Rehomed > 0 || res.Downs > 0 {
-		fmt.Printf("churn:      %d downs, %d ups, %d tasks re-homed\n", res.Downs, res.Ups, res.Rehomed)
+		fmt.Printf("churn:      %d downs, %d ups, %d tasks re-homed (weight %.0f)\n",
+			res.Downs, res.Ups, res.Rehomed, res.RehomedWeight)
+	}
+	if len(res.Recoveries) > 0 {
+		drained := 0
+		for _, rs := range res.Recoveries {
+			if rs.Drained() {
+				drained++
+			}
+		}
+		fmt.Printf("recovery:   %d episodes (%d drained), peak post-failure overload %.2f%%",
+			len(res.Recoveries), drained, 100*res.PeakPostFailureOverload())
+		if mean := res.MeanDrainRounds(); !math.IsNaN(mean) {
+			fmt.Printf(", mean drain %.1f rounds", mean)
+		}
+		fmt.Println()
 	}
 	if frac := res.TailOverloadFrac(2); !math.IsNaN(frac) {
 		fmt.Printf("steady overload (skip 2 windows): %.3f%%\n", 100*frac)

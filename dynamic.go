@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dynamic"
+	"repro/internal/recovery"
 	"repro/internal/task"
 	"repro/internal/walk"
 )
@@ -43,7 +44,83 @@ type ChurnSpec = dynamic.Churn
 // ChurnEvent scripts one mass join/leave burst (e.g. a rack loss:
 // thousands of simultaneous failures in one round, evacuated through
 // the engine's sharded exchange); add events to ChurnSpec.Events.
+// DownList/UpList name specific resources — the form FailureModel
+// compiles to — and list schedules are validated at config time
+// (killing an already-down resource or reviving an already-up one is
+// rejected before the run).
 type ChurnEvent = dynamic.ChurnEvent
+
+// RecoveryStat reports one failure-recovery episode of a dynamic run:
+// the failure round, how many resources died, the evacuation migration
+// load, and the overload transient (pre-failure baseline, peak, and
+// time-to-drain back to the baseline). See DynamicResult.Recoveries.
+type RecoveryStat = dynamic.RecoveryStat
+
+// RehomePolicy decides where each task evacuated off a failed resource
+// lands (see UniformRehome, PowerOfDRehome, LocalityRehome,
+// SpeedWeightedRehome). Every policy draws only from the failed
+// resource's deterministic stream, so runs stay bit-identical for any
+// worker count.
+type RehomePolicy = dynamic.RehomePolicy
+
+// Topology is a resource → rack → zone failure-domain hierarchy: the
+// blast-radius model for correlated failures (FailureModel) and the
+// locality structure for topology-aware re-homing (LocalityRehome).
+// Build one with SynthTopology or LoadTopology.
+type Topology = recovery.Topology
+
+// FailureModel describes correlated stochastic failure/repair
+// processes over a Topology — whole-rack losses (RackMTBF/RackMTTR),
+// independent machine churn (ResourceMTBF/ResourceMTTR), and flapping
+// machines (FlapResources, FlapMTBF/FlapMTTR). Compile(rounds, seed)
+// turns it into the one-shot ChurnEvent schedule a DynamicScenario
+// replays deterministically.
+type FailureModel = recovery.FailureModel
+
+// SynthTopology builds a synthetic fleet: n resources in `racks`
+// contiguous equal-ish racks, grouped into `zones` zones.
+func SynthTopology(n, racks, zones int) (*Topology, error) {
+	return recovery.Synth(n, racks, zones)
+}
+
+// LoadTopology reads an n-resource failure-domain inventory: .csv
+// holds resource,rack,zone rows, .jsonl/.ndjson/.json holds rack
+// definitions {"rack":"r1","zone":"z1"} and assignments
+// {"resource":0,"rack":"r1"} one per line. Every resource must be
+// assigned exactly once, racks live in exactly one zone, the
+// rack/zone namespaces must be disjoint (cycle-free hierarchy), and
+// errors carry line numbers.
+func LoadTopology(path string, n int) (*Topology, error) {
+	return recovery.LoadTopologyFile(path, n)
+}
+
+// LoadChurnEvents reads a scripted churn-event schedule for an
+// n-resource system: .csv holds round,every,down,up rows,
+// .jsonl/.ndjson/.json holds one event object per line with optional
+// down_list/up_list resource arrays. The full schedule validation runs
+// at load time with line-numbered errors.
+func LoadChurnEvents(path string, n int) ([]ChurnEvent, error) {
+	return dynamic.LoadEventsFile(path, n)
+}
+
+// UniformRehome re-homes each evacuated task to a uniformly random up
+// resource — the engine's default (and original) evacuation rule.
+func UniformRehome() RehomePolicy { return dynamic.UniformRehome{} }
+
+// PowerOfDRehome samples d up resources per evacuated task and lands
+// it on the least loaded (by load-per-speed on heterogeneous fleets) —
+// load-aware failure recovery.
+func PowerOfDRehome(d int) RehomePolicy { return dynamic.PowerOfDRehome{D: d} }
+
+// LocalityRehome re-homes evacuees topology-aware: same rack first,
+// then same zone, then anywhere up. Use a fresh value per concurrent
+// run (the policy tracks the up set incrementally).
+func LocalityRehome(topo *Topology) RehomePolicy { return &recovery.Locality{Topo: topo} }
+
+// SpeedWeightedRehome re-homes each evacuee to an up resource drawn
+// with probability proportional to its speed — fast machines absorb
+// more of a dead rack. Equals UniformRehome on homogeneous fleets.
+func SpeedWeightedRehome() RehomePolicy { return &dynamic.SpeedWeightedRehome{} }
 
 // ShardStat reports one worker shard's resource range and measured
 // phase cost — the observability surface of measured-cost shard sizing
@@ -184,6 +261,13 @@ type DynamicScenario struct {
 	// every rebalance point (Workers > 1 only); the slice is reused
 	// across calls.
 	OnRebalance func(round int, stats []ShardStat)
+	// OnLanes, if non-nil, receives the delivery exchange's per-lane
+	// move counts (row-major source×destination shard matrix,
+	// accumulated since the previous report) on the OnRebalance
+	// cadence — the backpressure telemetry that makes skewed migration
+	// patterns visible before they serialise the merge. Workers > 1
+	// only; the slice is reused across calls.
+	OnLanes func(round int, workers int, counts []int64)
 	// Rounds is the number of simulated rounds (required).
 	Rounds int
 	// Window is the metrics window length; 0 means 100 rounds.
@@ -194,6 +278,9 @@ type DynamicScenario struct {
 	Service Service
 	// Dispatch routes arrivals; nil means UniformDispatch.
 	Dispatch Dispatch
+	// Rehome picks where tasks evacuated off failed resources land;
+	// nil means UniformRehome (bit-identical to the pre-policy engine).
+	Rehome RehomePolicy
 	// OracleThresholds uses the exact in-flight average W(t)/n_up
 	// instead of the decentralised diffusion estimate.
 	OracleThresholds bool
@@ -313,6 +400,7 @@ func (sc DynamicScenario) Run() (DynamicResult, error) {
 		Arrivals:         sc.Arrivals,
 		Service:          sc.Service,
 		Dispatch:         sc.Dispatch,
+		Rehome:           sc.Rehome,
 		Tuner:            tuner,
 		Churn:            sc.Churn,
 		Rounds:           sc.Rounds,
@@ -321,6 +409,7 @@ func (sc DynamicScenario) Run() (DynamicResult, error) {
 		Workers:          sc.Workers,
 		RebalanceEvery:   sc.RebalanceEvery,
 		OnRebalance:      sc.OnRebalance,
+		OnLanes:          sc.OnLanes,
 		InitialWeights:   sc.InitialWeights,
 		InitialPlacement: sc.InitialPlacement,
 		CheckInvariants:  sc.CheckInvariants,

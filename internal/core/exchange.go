@@ -67,6 +67,14 @@ type Exchange struct {
 	bounds []int // shard boundaries: shard j owns resources [bounds[j], bounds[j+1])
 	srcs   []exSource
 	dsts   []exDest
+
+	// Optional backpressure telemetry: lanes[i*w+j] accumulates the
+	// moves source shard i routed into destination shard j's lane,
+	// recorded at Route time — before the destination merge runs — so a
+	// skewed migration pattern (everything targeting one shard) is
+	// visible before it serialises the merge. Row i is written only by
+	// source shard i's Route call, so concurrent Routes stay race-free.
+	lanes []int64 // nil until EnableLaneStats
 }
 
 // NewExchange builds an exchange over the given shard boundaries
@@ -128,6 +136,36 @@ func (x *Exchange) Route(i int, moves []Migration) {
 			idx++
 		}
 		src.cuts[j] = idx
+	}
+	if x.lanes != nil {
+		w := len(x.srcs)
+		for j := 0; j < w; j++ {
+			x.lanes[i*w+j] += int64(src.cuts[j+1] - src.cuts[j])
+		}
+	}
+}
+
+// EnableLaneStats turns on per-lane move counting (see LaneCounts).
+// Call before the first batch; counting costs one add per lane per
+// Route call.
+func (x *Exchange) EnableLaneStats() {
+	if x.lanes == nil {
+		w := len(x.srcs)
+		x.lanes = make([]int64, w*w)
+	}
+}
+
+// LaneCounts returns the accumulated per-lane move counts since the
+// last reset, as a row-major workers×workers matrix: entry [i*w+j] is
+// the number of moves source shard i routed to destination shard j.
+// Nil unless EnableLaneStats was called; the slice is owned by the
+// exchange (read-only use expected, reset with ResetLaneCounts).
+func (x *Exchange) LaneCounts() []int64 { return x.lanes }
+
+// ResetLaneCounts zeroes the accumulated lane counters.
+func (x *Exchange) ResetLaneCounts() {
+	for i := range x.lanes {
+		x.lanes[i] = 0
 	}
 }
 

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/task"
+)
+
+// TestExchangeLaneCounts pins the backpressure telemetry: lane counts
+// accumulate at Route time as a source×destination matrix, survive
+// multiple batches, and reset on demand — and enabling them does not
+// disturb delivery.
+func TestExchangeLaneCounts(t *testing.T) {
+	const n = 8
+	g := graph.Complete(n)
+	ts := task.NewSet([]float64{2, 3, 4, 5})
+	s := NewState(g, ts, []int{0, 0, 4, 4}, AboveAverage{Eps: 0.5}, 1)
+
+	x := NewExchange([]int{0, 4, 8}) // two shards: [0,4) and [4,8)
+	if x.LaneCounts() != nil {
+		t.Fatal("lane counts non-nil before EnableLaneStats")
+	}
+	x.EnableLaneStats()
+
+	// Shard 0 evacuates resource 0's two tasks: one stays in shard 0
+	// (dest 1), one crosses to shard 1 (dest 6). Shard 1 evacuates
+	// resource 4's two tasks, both to shard 1 (dest 5).
+	m0 := s.EvacuateAppend(0, nil)
+	m1 := s.EvacuateAppend(4, nil)
+	x.Route(0, []Migration{{Task: m0[0], Dest: 1}, {Task: m0[1], Dest: 6}})
+	x.Route(1, []Migration{{Task: m1[0], Dest: 5}, {Task: m1[1], Dest: 5}})
+	x.DeliverShard(s, 0)
+	x.DeliverShard(s, 1)
+	st := x.Finish(s, false)
+	if st.Migrations != 4 {
+		t.Fatalf("delivered %d of 4", st.Migrations)
+	}
+	want := []int64{1, 1, 0, 2} // [src0→dst0, src0→dst1, src1→dst0, src1→dst1]
+	got := x.LaneCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lane counts %v, want %v", got, want)
+		}
+	}
+
+	// A second batch accumulates on top.
+	m2 := s.EvacuateAppend(1, nil)
+	moves := make([]Migration, 0, len(m2))
+	for _, tk := range m2 {
+		moves = append(moves, Migration{Task: tk, Dest: 7})
+	}
+	x.Route(0, moves)
+	x.Route(1, nil)
+	x.DeliverShard(s, 0)
+	x.DeliverShard(s, 1)
+	x.Finish(s, false)
+	if got := x.LaneCounts(); got[1] != 1+int64(len(m2)) {
+		t.Fatalf("second batch did not accumulate: %v", got)
+	}
+
+	x.ResetLaneCounts()
+	for i, c := range x.LaneCounts() {
+		if c != 0 {
+			t.Fatalf("lane %d not reset: %v", i, x.LaneCounts())
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -49,16 +50,29 @@ type Churn struct {
 }
 
 // ChurnEvent is one scripted churn burst: at round Round (and, when
-// Every > 0, every Every rounds after it) Down uniformly random up
-// resources fail simultaneously and Up uniformly random down resources
-// rejoin. Failures respect Churn.MinUp; rejoins are capped by the down
-// population. Mass failures (Down in the thousands) exercise the
-// engine's parallel evacuation path.
+// Every > 0, every Every rounds after it) the resources named in
+// DownList plus Down uniformly random up resources fail simultaneously,
+// and the resources named in UpList plus Up uniformly random down
+// resources rejoin. Failures respect Churn.MinUp; rejoins are capped by
+// the down population. Mass failures (thousands of departures in one
+// round) exercise the engine's parallel evacuation path.
+//
+// The lists are how correlated, topology-aware failures enter the
+// engine: recovery.FailureModel compiles per-rack MTBF/MTTR processes
+// down to one-shot events whose DownList is a whole rack. Listed
+// transitions are validated at config time (see ValidateEvents): a
+// schedule that kills an already-down resource or revives an already-up
+// one is rejected before the run starts. At run time a listed
+// transition that has become moot — the stochastic churn already took
+// the machine down, or MinUp leaves no headroom — is skipped rather
+// than counted.
 type ChurnEvent struct {
-	Round int // first round at which the event fires (0-based)
-	Every int // repeat period in rounds; 0 fires exactly once
-	Down  int // up resources failing together
-	Up    int // down resources rejoining together
+	Round    int   // first round at which the event fires (0-based)
+	Every    int   // repeat period in rounds; 0 fires exactly once
+	Down     int   // up resources failing together, chosen uniformly
+	Up       int   // down resources rejoining together, chosen uniformly
+	DownList []int // specific resources failing together
+	UpList   []int // specific resources rejoining together
 }
 
 // fires reports whether the event is due at round t.
@@ -67,6 +81,139 @@ func (ev ChurnEvent) fires(t int) bool {
 		return t == ev.Round
 	}
 	return t >= ev.Round && (t-ev.Round)%ev.Every == 0
+}
+
+// EventError locates a churn-schedule inconsistency: Event indexes the
+// offending entry of ChurnSpec.Events, Round is the firing at which the
+// schedule contradicts itself. The event loader translates Event back
+// into a source line number.
+type EventError struct {
+	Event int // index into the events slice
+	Round int // firing round of the conflict
+	Msg   string
+}
+
+func (e *EventError) Error() string {
+	return fmt.Sprintf("dynamic: churn event %d: round %d: %s", e.Event, e.Round, e.Msg)
+}
+
+// maxValidateFirings bounds the timeline simulation of ValidateEvents:
+// one-shot schedules (the recovery compiler's output) are always
+// checked exactly; a repeating listed schedule is checked over its
+// first maxValidateFirings firings, which covers many full periods of
+// any realistic configuration.
+const maxValidateFirings = 10_000
+
+// ValidateEvents checks a scripted churn schedule for internal
+// consistency: list entries must lie in [0, n), no list may repeat a
+// resource, no event may both kill and revive the same resource, and —
+// simulating the firings in engine order (all kills of a round, then
+// all rejoins) over the first `rounds` rounds — no firing may kill a
+// resource the schedule has already downed or revive one it has not.
+// Stochastic churn cannot be foreseen here, so the simulation assumes
+// only scripted transitions; the engine absorbs runtime conflicts that
+// arise from mixing lists with LeaveProb/JoinProb. Returns an
+// *EventError naming the offending event and round.
+func ValidateEvents(events []ChurnEvent, n, rounds int) error {
+	listed := false
+	for i, ev := range events {
+		if ev.Round < 0 || ev.Every < 0 || ev.Down < 0 || ev.Up < 0 {
+			return &EventError{Event: i, Round: ev.Round,
+				Msg: fmt.Sprintf("negative fields: %+v", ev)}
+		}
+		if len(ev.DownList) == 0 && len(ev.UpList) == 0 {
+			continue
+		}
+		listed = true
+		seen := make(map[int]int8, len(ev.DownList)+len(ev.UpList))
+		for _, r := range ev.DownList {
+			if r < 0 || r >= n {
+				return &EventError{Event: i, Round: ev.Round,
+					Msg: fmt.Sprintf("down-list resource %d out of range [0, %d)", r, n)}
+			}
+			if seen[r] != 0 {
+				return &EventError{Event: i, Round: ev.Round,
+					Msg: fmt.Sprintf("down list repeats resource %d", r)}
+			}
+			seen[r] = 1
+		}
+		for _, r := range ev.UpList {
+			if r < 0 || r >= n {
+				return &EventError{Event: i, Round: ev.Round,
+					Msg: fmt.Sprintf("up-list resource %d out of range [0, %d)", r, n)}
+			}
+			switch seen[r] {
+			case 1:
+				return &EventError{Event: i, Round: ev.Round,
+					Msg: fmt.Sprintf("resource %d appears in both the down and the up list", r)}
+			case 2:
+				return &EventError{Event: i, Round: ev.Round,
+					Msg: fmt.Sprintf("up list repeats resource %d", r)}
+			}
+			seen[r] = 2
+		}
+	}
+	if !listed {
+		return nil // purely random schedules cannot self-conflict
+	}
+
+	// Timeline simulation over the listed resources: collect the firing
+	// rounds of listed events (capped per event), walk them in ascending
+	// order, and within a round apply every event's kills (slice order),
+	// then every event's rejoins — the engine's order.
+	firingSet := make(map[int]struct{})
+	for _, ev := range events {
+		if len(ev.DownList) == 0 && len(ev.UpList) == 0 {
+			continue
+		}
+		if ev.Every <= 0 {
+			if ev.Round < rounds {
+				firingSet[ev.Round] = struct{}{}
+			}
+			continue
+		}
+		cnt := 0
+		for t := ev.Round; t < rounds && cnt < maxValidateFirings; t += ev.Every {
+			firingSet[t] = struct{}{}
+			cnt++
+			if t > rounds-ev.Every {
+				break // the next firing would overflow past the horizon
+			}
+		}
+	}
+	firings := make([]int, 0, len(firingSet))
+	for t := range firingSet {
+		firings = append(firings, t)
+	}
+	sort.Ints(firings)
+	down := make(map[int]bool)
+	for _, t := range firings {
+		for i, ev := range events {
+			if !ev.fires(t) {
+				continue
+			}
+			for _, r := range ev.DownList {
+				if down[r] {
+					return &EventError{Event: i, Round: t,
+						Msg: fmt.Sprintf("kills resource %d, which the schedule already downed", r)}
+				}
+				down[r] = true
+			}
+		}
+		for i, ev := range events {
+			if !ev.fires(t) {
+				continue
+			}
+			for _, r := range ev.UpList {
+				if !down[r] {
+					return &EventError{Event: i, Round: t,
+						Msg: fmt.Sprintf("revives resource %d, which the schedule never downed", r)}
+				}
+				delete(down, r)
+			}
+		}
+	}
+	return nil
 }
 
 func (c Churn) enabled() bool {
@@ -96,6 +243,12 @@ type Config struct {
 	Service Service
 	// Dispatch routes arrivals; nil means UniformDispatch.
 	Dispatch Dispatch
+	// Rehome picks the destination of every task evacuated off a failed
+	// resource; nil means UniformRehome (the original engine behaviour,
+	// bit-identical draws included). Policies draw only from the failed
+	// resource's per-resource stream, so every policy keeps the
+	// cross-worker determinism guarantee.
+	Rehome RehomePolicy
 	// Tuner refreshes thresholds online (required).
 	Tuner Tuner
 	// Churn enables resource join/leave; the zero value disables it.
@@ -126,6 +279,15 @@ type Config struct {
 	// every rebalance point (the -sharddebug hook). The stats slice is
 	// reused across calls. Only fires with Workers > 1.
 	OnRebalance func(round int, stats []ShardStat)
+	// OnLanes, if non-nil, receives the exchange's per-lane move counts
+	// — counts[i*workers+j] moves were routed from source shard i to
+	// destination shard j since the previous report — at the same
+	// RebalanceEvery cadence as OnRebalance. Lane counts are known at
+	// Route time, before the destination merge runs, so an
+	// all-targets-one-shard skew (a locality-policy failure mode under
+	// rack loss) is visible before it serialises the merge. The counts
+	// slice is reused across calls. Only fires with Workers > 1.
+	OnLanes func(round int, workers int, counts []int64)
 	// InitialWeights optionally pre-populates the system; paired with
 	// InitialPlacement (task → resource; nil places all on resource 0).
 	InitialWeights   []float64
@@ -168,6 +330,33 @@ type ShardStat struct {
 	Nanos  int64 // accumulated phase nanos over the window
 }
 
+// RecoveryStat reports one failure-recovery episode: a round in which
+// a SCRIPTED ChurnEvent took resources down opens an episode, and the
+// episode closes when the overload fraction first returns to its
+// pre-failure baseline (drained) or when the next failure round or the
+// run's end cuts it short (censored). Per-round stochastic churn
+// (Churn.LeaveProb) never opens episodes — under continuous churn
+// every round would, flooding Recoveries with censored one-machine
+// noise and growing it without bound on long runs. All fields derive
+// from partition-invariant quantities, so episodes are bit-identical
+// for every worker count.
+type RecoveryStat struct {
+	Round            int     // round the failure hit
+	Downs            int     // resources lost in that round
+	EvacTasks        int64   // tasks re-homed by the failure round's evacuations
+	EvacWeight       float64 // weight of those re-homes (evacuation migration load)
+	BaselineOverload float64 // overload fraction of the round before the failure
+	PeakOverload     float64 // max per-round overload fraction during the episode
+	// DrainRounds counts rounds from the failure until the overload
+	// fraction first returned to the baseline (0 = drained within the
+	// failure round itself); −1 marks a censored episode.
+	DrainRounds int
+}
+
+// Drained reports whether the episode closed by returning to its
+// pre-failure overload baseline (rather than being cut short).
+func (rs RecoveryStat) Drained() bool { return rs.DrainRounds >= 0 }
+
 // Result reports a completed open-system run.
 type Result struct {
 	Rounds         int
@@ -178,10 +367,44 @@ type Result struct {
 	Migrations     int64   // protocol-driven moves
 	MovedWeight    float64 // weight of protocol-driven moves
 	Rehomed        int64   // churn evacuations + bounced deliveries
+	RehomedWeight  float64 // weight of churn evacuations + bounced deliveries
 	Downs, Ups     int     // churn events
+	Recoveries     []RecoveryStat
 	Windows        []WindowStats
 	FinalInFlight  int
 	FinalWeight    float64
+}
+
+// PeakPostFailureOverload returns the worst per-round overload
+// fraction observed across all recovery episodes — the headline
+// post-failure transient figure. NaN with no episodes.
+func (r Result) PeakPostFailureOverload() float64 {
+	if len(r.Recoveries) == 0 {
+		return math.NaN()
+	}
+	peak := 0.0
+	for _, rs := range r.Recoveries {
+		if rs.PeakOverload > peak {
+			peak = rs.PeakOverload
+		}
+	}
+	return peak
+}
+
+// MeanDrainRounds averages the time-to-drain-overload over the drained
+// (non-censored) recovery episodes. NaN with no drained episodes.
+func (r Result) MeanDrainRounds() float64 {
+	sum, n := 0.0, 0
+	for _, rs := range r.Recoveries {
+		if rs.Drained() {
+			sum += float64(rs.DrainRounds)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
 }
 
 // TailOverloadFrac averages the windowed overload fraction over the
@@ -259,10 +482,8 @@ func validate(cfg Config) error {
 			}
 		}
 	}
-	for i, ev := range cfg.Churn.Events {
-		if ev.Round < 0 || ev.Every < 0 || ev.Down < 0 || ev.Up < 0 {
-			return fmt.Errorf("dynamic: churn event %d has negative fields: %+v", i, ev)
-		}
+	if err := ValidateEvents(cfg.Churn.Events, cfg.Graph.N(), cfg.Rounds); err != nil {
+		return err
 	}
 	if cfg.InitialPlacement != nil && len(cfg.InitialPlacement) != len(cfg.InitialWeights) {
 		return fmt.Errorf("dynamic: initial placement has %d entries for %d tasks",
@@ -275,9 +496,17 @@ func validate(cfg Config) error {
 	}
 	// Pluggable components check their own parameters up front, so a bad
 	// rate or probability is a config error, not a mid-run panic.
-	for _, c := range []any{cfg.Arrivals, cfg.Service, cfg.Dispatch, cfg.Tuner} {
+	// ValidateFor additionally hands size-dependent components (a
+	// topology-backed re-home policy) the resource count they must
+	// cover.
+	for _, c := range []any{cfg.Arrivals, cfg.Service, cfg.Dispatch, cfg.Rehome, cfg.Tuner} {
 		if v, ok := c.(interface{ Validate() error }); ok {
 			if err := v.Validate(); err != nil {
+				return err
+			}
+		}
+		if v, ok := c.(interface{ ValidateFor(n int) error }); ok {
+			if err := v.ValidateFor(cfg.Graph.N()); err != nil {
 				return err
 			}
 		}

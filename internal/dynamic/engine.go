@@ -82,14 +82,16 @@ type shard struct {
 const rebalanceDefault = 64
 
 type engine struct {
-	cfg      Config
-	n        int
-	window   int
-	minUp    int
-	speeds   []float64 // per-resource speeds; nil = homogeneous
-	dispatch Dispatch
-	proto    core.RangeProposer // nil → sequential Protocol.Step fallback
-	ptuner   PooledTuner        // nil → sequential Tuner.Refresh
+	cfg       Config
+	n         int
+	window    int
+	minUp     int
+	speeds    []float64 // per-resource speeds; nil = homogeneous
+	dispatch  Dispatch
+	rehome    RehomePolicy       // never nil; UniformRehome{} by default
+	rehomeObs RehomeObserver     // non-nil when the policy tracks the up set
+	proto     core.RangeProposer // nil → sequential Protocol.Step fallback
+	ptuner    PooledTuner        // nil → sequential Tuner.Refresh
 
 	s  *core.State
 	ts *task.Set
@@ -120,6 +122,16 @@ type engine struct {
 	initialWeight float64
 	res           Result
 
+	// Recovery-episode tracker: a round that downs resources opens an
+	// episode; it closes when the overload fraction returns to the
+	// pre-failure baseline (drained) or when the next failure / run end
+	// cuts it short (censored). All inputs are partition-invariant.
+	prevOverload   float64 // overload fraction after the previous round
+	recOpen        bool
+	recCur         RecoveryStat
+	evacTasksRound int64   // this round's evacuation moves
+	evacWtRound    float64 // and their weight
+
 	// Per-window accumulators and pooled snapshot buffers.
 	wOverload                                     float64
 	wMigrations, wRehomed, wArrivals, wDepartures int64
@@ -141,6 +153,10 @@ func newEngine(cfg Config) *engine {
 	if e.dispatch == nil {
 		e.dispatch = UniformDispatch{}
 	}
+	e.rehome = cfg.Rehome
+	if e.rehome == nil {
+		e.rehome = UniformRehome{}
+	}
 	// The speed profile is copied so a caller mutating its slice cannot
 	// desynchronise the engine, the tuner and the dispatcher mid-run.
 	if cfg.Speeds != nil {
@@ -148,9 +164,13 @@ func newEngine(cfg Config) *engine {
 		if sat, ok := cfg.Tuner.(SpeedAwareTuner); ok {
 			sat.SetSpeeds(e.speeds)
 		}
-		// Prime speed-caching dispatchers up front so the round hot path
-		// only ever reads their cache.
+		// Prime speed-caching dispatchers and re-homers up front so the
+		// round hot path (and the PARALLEL evacuation phase) only ever
+		// reads their cache.
 		if sw, ok := e.dispatch.(interface{ Prime([]float64) }); ok {
+			sw.Prime(e.speeds)
+		}
+		if sw, ok := e.rehome.(interface{ Prime([]float64) }); ok {
 			sw.Prime(e.speeds)
 		}
 	}
@@ -186,6 +206,10 @@ func newEngine(cfg Config) *engine {
 	e.churnRand = rng.Stream(cfg.Seed, uint64(n)+3)
 
 	e.up = NewUpSet(n)
+	if obs, ok := e.rehome.(RehomeObserver); ok {
+		e.rehomeObs = obs
+		obs.ResetUp(n)
+	}
 	e.remaining = make([]float64, e.ts.M())
 	for i := 0; i < e.ts.M(); i++ {
 		e.remaining[i] = e.ts.Weight(i)
@@ -202,6 +226,9 @@ func newEngine(cfg Config) *engine {
 	}
 	e.bounds[workers] = n
 	e.exch = core.NewExchange(e.bounds)
+	if cfg.OnLanes != nil {
+		e.exch.EnableLaneStats()
+	}
 	e.rebalanceEvery = cfg.RebalanceEvery
 	if e.rebalanceEvery == 0 {
 		e.rebalanceEvery = rebalanceDefault
@@ -246,6 +273,10 @@ func (e *engine) run() (Result, error) {
 		}
 	}
 	e.flush(e.cfg.Rounds)
+	if e.recOpen {
+		e.res.Recoveries = append(e.res.Recoveries, e.recCur) // censored by run end
+		e.recOpen = false
+	}
 	e.res.Rounds = e.cfg.Rounds
 	e.res.FinalInFlight = e.ts.Live()
 	e.res.FinalWeight = e.s.InFlightWeight()
@@ -259,14 +290,20 @@ func (e *engine) run() (Result, error) {
 func (e *engine) round(t int) error {
 	s, up := e.s, e.up
 
+	// The pre-failure overload baseline for this round's potential
+	// recovery episode, and the per-round evacuation accumulators.
+	baseline := e.prevOverload
+	e.evacTasksRound, e.evacWtRound = 0, 0
+
 	// 1. Resource churn. Selecting WHICH resources leave or rejoin is
 	// sequential (one global stream, cheap O(events)); evacuating the
 	// failed resources' tasks — the expensive part of a mass failure —
 	// is sharded below.
-	downed := false
+	downsThis, eventDowns := 0, 0
 	if e.cfg.Churn.enabled() {
-		downed = e.applyChurn(t)
+		downsThis, eventDowns = e.applyChurn(t)
 	}
+	downed := downsThis > 0
 	// 1b. Parallel evacuation: every task stranded on a down resource
 	// is re-homed through the exchange, each lost resource drawing
 	// destinations from its own deterministic re-home stream.
@@ -352,7 +389,39 @@ func (e *engine) round(t int) error {
 	// 7. Metrics. Down resources are always empty here (bounced above)
 	// and thresholds are non-negative, so the incremental all-resource
 	// counter equals the overloaded count over up resources.
-	e.wOverload += float64(s.OverloadedCount()) / float64(up.N())
+	frac := float64(s.OverloadedCount()) / float64(up.N())
+	e.wOverload += frac
+
+	// 7b. Recovery-episode bookkeeping: a SCRIPTED failure round opens
+	// an episode (closing any still-open one as censored); an open
+	// episode tracks its peak and closes once the overload fraction is
+	// back at the pre-failure baseline. Per-round stochastic churn
+	// (LeaveProb) does not open episodes — under continuous churn every
+	// round would, drowning Recoveries in censored one-machine noise
+	// and growing it without bound on long runs.
+	if eventDowns > 0 {
+		if e.recOpen {
+			e.res.Recoveries = append(e.res.Recoveries, e.recCur)
+		}
+		e.recCur = RecoveryStat{
+			Round: t, Downs: downsThis,
+			EvacTasks: e.evacTasksRound, EvacWeight: e.evacWtRound,
+			BaselineOverload: baseline, DrainRounds: -1,
+		}
+		e.recOpen = true
+	}
+	if e.recOpen {
+		if frac > e.recCur.PeakOverload {
+			e.recCur.PeakOverload = frac
+		}
+		if frac <= e.recCur.BaselineOverload {
+			e.recCur.DrainRounds = t - e.recCur.Round
+			e.res.Recoveries = append(e.res.Recoveries, e.recCur)
+			e.recOpen = false
+		}
+	}
+	e.prevOverload = frac
+
 	if e.cfg.OnRound != nil {
 		e.cfg.OnRound(t, s)
 	}
@@ -360,49 +429,92 @@ func (e *engine) round(t int) error {
 		if err := checkConservation(s, e.initialWeight, e.res); err != nil {
 			return fmt.Errorf("dynamic: round %d: %w", t, err)
 		}
+		for i := 0; i < up.DownN(); i++ {
+			if r := up.DownAt(i); s.Count(r) > 0 {
+				return fmt.Errorf("dynamic: round %d: down resource %d holds %d tasks", t, r, s.Count(r))
+			}
+		}
 	}
 	return nil
 }
 
 // applyChurn runs round t's churn selection on the sequential churn
-// stream: all failures first (scripted events, then the stochastic
-// leave), then all rejoins. A rejoin draw CAN resurrect a resource
-// that failed earlier in the same round — its tasks simply stay put,
-// since evacuation below only touches resources still down — so Downs
-// and Ups both count the event even though no re-homing happened.
-// Reports whether any resource went down.
-func (e *engine) applyChurn(t int) bool {
+// stream: all failures first (each event's scripted DownList, then its
+// random Down picks, then the stochastic leave), then all rejoins in
+// the same order. A rejoin draw CAN resurrect a resource that failed
+// earlier in the same round — its tasks simply stay put, since
+// evacuation below only touches resources still down — so Downs and
+// Ups both count the event even though no re-homing happened. A listed
+// transition that has become moot at run time (the stochastic churn
+// already downed the machine, or MinUp leaves no headroom) is skipped
+// and NOT counted; ValidateEvents rejects schedules that conflict with
+// themselves before the run starts. Returns the number of resources
+// that went down, and how many of those a scripted event took (the
+// count that opens recovery episodes).
+func (e *engine) applyChurn(t int) (downs, eventDowns int) {
 	up, c := e.up, &e.cfg.Churn
-	downs := 0
 	for _, ev := range c.Events {
 		if !ev.fires(t) {
 			continue
 		}
-		for k := 0; k < ev.Down && up.N() > e.minUp; k++ {
-			up.Down(up.Random(e.churnRand))
-			e.res.Downs++
+		for _, r := range ev.DownList {
+			if up.N() <= e.minUp {
+				break
+			}
+			if !up.Contains(r) {
+				continue
+			}
+			e.downResource(r)
 			downs++
+			eventDowns++
+		}
+		for k := 0; k < ev.Down && up.N() > e.minUp; k++ {
+			e.downResource(up.Random(e.churnRand))
+			downs++
+			eventDowns++
 		}
 	}
 	if c.LeaveProb > 0 && up.N() > e.minUp && e.churnRand.Bool(c.LeaveProb) {
-		up.Down(up.Random(e.churnRand))
-		e.res.Downs++
+		e.downResource(up.Random(e.churnRand))
 		downs++
 	}
 	for _, ev := range c.Events {
 		if !ev.fires(t) {
 			continue
 		}
+		for _, r := range ev.UpList {
+			if up.Contains(r) {
+				continue
+			}
+			e.upResource(r)
+		}
 		for k := 0; k < ev.Up && up.DownN() > 0; k++ {
-			up.Up(up.RandomDown(e.churnRand))
-			e.res.Ups++
+			e.upResource(up.RandomDown(e.churnRand))
 		}
 	}
 	if c.JoinProb > 0 && up.DownN() > 0 && e.churnRand.Bool(c.JoinProb) {
-		up.Up(up.RandomDown(e.churnRand))
-		e.res.Ups++
+		e.upResource(up.RandomDown(e.churnRand))
 	}
-	return downs > 0
+	return downs, eventDowns
+}
+
+// downResource/upResource apply one churn transition, keeping the
+// re-home policy's incremental up-set view (if it has one) in sync.
+// Both run only in the sequential churn phase.
+func (e *engine) downResource(r int) {
+	e.up.Down(r)
+	if e.rehomeObs != nil {
+		e.rehomeObs.ResourceDown(r)
+	}
+	e.res.Downs++
+}
+
+func (e *engine) upResource(r int) {
+	e.up.Up(r)
+	if e.rehomeObs != nil {
+		e.rehomeObs.ResourceUp(r)
+	}
+	e.res.Ups++
 }
 
 // evacPending reports whether any down resource still holds tasks — a
@@ -426,7 +538,10 @@ func (e *engine) evacuate() {
 	e.pool.Run(len(e.shards), e.deliverFn)
 	st := e.exch.Finish(e.s, false)
 	e.res.Rehomed += int64(st.Migrations)
+	e.res.RehomedWeight += st.MovedWeight
 	e.wRehomed += int64(st.Migrations)
+	e.evacTasksRound += int64(st.Migrations)
+	e.evacWtRound += st.MovedWeight
 }
 
 // setRemaining records a new task's service work, growing the ID-indexed
@@ -488,9 +603,11 @@ func (e *engine) deliverShard(i int) {
 }
 
 // evacShard pops every task off shard i's non-empty down resources and
-// routes them to uniformly random up resources, each lost resource
-// drawing from its own re-home stream (its per-resource RNG), so the
-// move set is independent of the shard partition.
+// routes them to the destinations the re-home policy picks, each lost
+// resource drawing from its own re-home stream (its per-resource RNG),
+// so the move set is independent of the shard partition for every
+// policy. A policy that picks a down destination would strand the task
+// — that is a contract violation, caught here rather than absorbed.
 func (e *engine) evacShard(i int) {
 	start := e.phaseStart()
 	sh := &e.shards[i]
@@ -504,8 +621,13 @@ func (e *engine) evacShard(i int) {
 		sh.evacTasks = s.EvacuateAppend(r, sh.evacTasks[:0])
 		rr := s.Rand(r)
 		for _, tk := range sh.evacTasks {
+			dest := e.rehome.Pick(s, up, e.speeds, r, tk.Weight, rr)
+			if !up.Contains(dest) {
+				panic(fmt.Sprintf("dynamic: rehome policy %q picked non-up resource %d for a task off %d",
+					e.rehome.Name(), dest, r))
+			}
 			sh.evacMoves = append(sh.evacMoves,
-				core.Migration{Task: tk, Dest: int32(up.Random(rr))})
+				core.Migration{Task: tk, Dest: int32(dest)})
 		}
 	}
 	e.exch.Route(i, sh.evacMoves)
@@ -536,6 +658,10 @@ func (e *engine) phaseDone(i int, start time.Time) {
 // rebalanceEvery rounds; results are unaffected (every phase is
 // partition-invariant), only the work split moves.
 func (e *engine) rebalance(round int) {
+	if e.cfg.OnLanes != nil {
+		e.cfg.OnLanes(round, len(e.shards), e.exch.LaneCounts())
+		e.exch.ResetLaneCounts()
+	}
 	if e.cfg.OnRebalance != nil {
 		e.statsBuf = e.statsBuf[:0]
 		for i := range e.shards {

@@ -1,0 +1,164 @@
+package dynamic
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestValidateEvents pins the config-time schedule checker: list
+// hygiene (range, duplicates, kill+revive of one resource in one
+// event) and the timeline simulation that rejects killing an
+// already-down resource or reviving an already-up one.
+func TestValidateEvents(t *testing.T) {
+	cases := []struct {
+		name   string
+		events []ChurnEvent
+		rounds int
+		want   string // substring of the error; "" = valid
+	}{
+		{"empty", nil, 100, ""},
+		{"random-only", []ChurnEvent{{Round: 5, Down: 10}, {Round: 9, Up: 10}}, 100, ""},
+		{"negative", []ChurnEvent{{Round: -1, Down: 1}}, 100, "negative fields"},
+		{"out-of-range", []ChurnEvent{{Round: 0, DownList: []int{8}}}, 100, "out of range"},
+		{"dup-in-list", []ChurnEvent{{Round: 0, DownList: []int{1, 1}}}, 100, "repeats resource 1"},
+		{"both-lists", []ChurnEvent{{Round: 0, DownList: []int{1}, UpList: []int{1}}}, 100,
+			"both the down and the up list"},
+		{"kill-twice", []ChurnEvent{
+			{Round: 10, DownList: []int{3}},
+			{Round: 20, DownList: []int{3}},
+		}, 100, "kills resource 3, which the schedule already downed"},
+		{"revive-up", []ChurnEvent{{Round: 10, UpList: []int{2}}}, 100,
+			"revives resource 2, which the schedule never downed"},
+		{"kill-revive-kill", []ChurnEvent{
+			{Round: 10, DownList: []int{3}},
+			{Round: 20, UpList: []int{3}},
+			{Round: 30, DownList: []int{3}},
+		}, 100, ""},
+		{"same-round-order", []ChurnEvent{
+			// Kills apply before revives within a round, so downing 4 and
+			// reviving it in the same round is consistent...
+			{Round: 10, DownList: []int{4}},
+			{Round: 10, UpList: []int{4}},
+		}, 100, ""},
+		{"repeating-conflict", []ChurnEvent{
+			// ...but a kill repeating every 10 rounds with no revive
+			// conflicts with itself at its second firing.
+			{Round: 5, Every: 10, DownList: []int{0}},
+		}, 100, "kills resource 0"},
+		{"repeating-consistent", []ChurnEvent{
+			{Round: 5, Every: 10, DownList: []int{0}},
+			{Round: 9, Every: 10, UpList: []int{0}},
+		}, 1000, ""},
+		{"beyond-horizon", []ChurnEvent{
+			// The second kill never fires within the run.
+			{Round: 10, DownList: []int{3}},
+			{Round: 200, DownList: []int{3}},
+		}, 100, ""},
+	}
+	for _, tc := range cases {
+		err := ValidateEvents(tc.events, 8, tc.rounds)
+		switch {
+		case tc.want == "" && err != nil:
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+		case tc.want != "" && err == nil:
+			t.Errorf("%s: expected error containing %q, got nil", tc.name, tc.want)
+		case tc.want != "" && !strings.Contains(err.Error(), tc.want):
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestReadEventsCSV pins the CSV loader: happy path, header/comment
+// handling, and line-numbered parse errors.
+func TestReadEventsCSV(t *testing.T) {
+	got, err := ReadEventsCSV(strings.NewReader(
+		"round,every,down,up\n# rack drill\n10,0,100,0\n30,0,0,100\n5,50,3,3\n"), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ChurnEvent{
+		{Round: 10, Down: 100},
+		{Round: 30, Up: 100},
+		{Round: 5, Every: 50, Down: 3, Up: 3},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+	for _, tc := range []struct{ in, want string }{
+		{"x,0,1,0\n", "line 1"},
+		{"10,0,1\n", "record on line 1"},
+		{"-4,0,1,0\n", "negative fields"},
+		{"100,0,0,0\n", "fires nothing"},
+	} {
+		if _, err := ReadEventsCSV(strings.NewReader(tc.in), 10); err == nil ||
+			!strings.Contains(err.Error(), tc.want) {
+			t.Errorf("input %q: error %v does not contain %q", tc.in, err, tc.want)
+		}
+	}
+}
+
+// TestReadEventsJSONL pins the JSONL loader, including the
+// line-numbered schedule validation the satellite is about: a schedule
+// that kills an already-down resource must fail AT LOAD TIME with the
+// offending line.
+func TestReadEventsJSONL(t *testing.T) {
+	got, err := ReadEventsJSONL(strings.NewReader(
+		"# compiled rack drill\n"+
+			`{"round":40,"down_list":[0,1,2]}`+"\n"+
+			`{"round":80,"up_list":[0,1,2]}`+"\n"+
+			`{"round":5,"every":20,"down":2,"up":2}`+"\n"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ChurnEvent{
+		{Round: 40, DownList: []int{0, 1, 2}},
+		{Round: 80, UpList: []int{0, 1, 2}},
+		{Round: 5, Every: 20, Down: 2, Up: 2},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+
+	cases := []struct{ name, in, want string }{
+		{"no-round", `{"down_list":[1]}`, "line 1: record must carry \"round\""},
+		{"fires-nothing", `{"round":3}`, "fires nothing"},
+		{"unknown-key", `{"round":3,"kill":[1]}`, "unknown field"},
+		{"trailing", `{"round":3,"down":1}{"round":4,"down":1}`, "trailing data"},
+		{"double-kill", `{"round":10,"down_list":[7]}` + "\n" + `{"round":20,"down_list":[7]}`,
+			"line 2: round 20: kills resource 7"},
+		{"revive-up", "# hi\n" + `{"round":10,"up_list":[7]}`, "line 2: round 10: revives resource 7"},
+		{"out-of-range", `{"round":10,"down_list":[700]}`, "out of range"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadEventsJSONL(strings.NewReader(tc.in), 100); err == nil ||
+			!strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestLoadEventsFile pins extension routing.
+func TestLoadEventsFile(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := dir + "/ev.csv"
+	if err := os.WriteFile(csvPath, []byte("10,0,5,0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := LoadEventsFile(csvPath, 100)
+	if err != nil || len(evs) != 1 || evs[0].Down != 5 {
+		t.Fatalf("csv load: %v %+v", err, evs)
+	}
+	jsonPath := dir + "/ev.jsonl"
+	if err := os.WriteFile(jsonPath, []byte(`{"round":1,"down_list":[3]}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	evs, err = LoadEventsFile(jsonPath, 100)
+	if err != nil || len(evs) != 1 || len(evs[0].DownList) != 1 {
+		t.Fatalf("jsonl load: %v %+v", err, evs)
+	}
+	if _, err := LoadEventsFile(dir+"/ev.txt", 100); err == nil {
+		t.Fatal("unknown extension accepted")
+	}
+}

@@ -1,0 +1,161 @@
+package dynamic
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// Re-homing policies. When a resource leaves the system — one machine
+// stochastically, or a whole rack through a scripted or compiled
+// ChurnEvent — every task stranded on it is evacuated through the
+// sharded exchange, and a RehomePolicy decides WHERE each evacuee
+// lands. The ROADMAP's open question about post-failure overload
+// transients is exactly this choice: uniform re-homing (the original
+// engine behaviour) ignores both load and topology, while the policies
+// below spread by sampled load (PowerOfDRehome), by machine speed
+// (SpeedWeightedRehome), or by failure-domain proximity
+// (recovery.Locality, which lives with the Topology it needs).
+//
+// The determinism contract is inherited from the evacuation path: Pick
+// is called once per evacuated task, inside the failed resource's
+// shard phase, and may draw randomness ONLY from rr — the failed
+// resource's own per-resource stream — so the move set is independent
+// of the shard partition and the golden cross-worker tests extend to
+// every policy. Pick must return an UP resource; the engine treats a
+// down destination as a policy bug and panics rather than stranding
+// the task.
+type RehomePolicy interface {
+	// Pick returns the up resource that receives one task of weight w
+	// evacuating from the (now down) resource `from`. speeds is the
+	// per-resource speed profile (nil on homogeneous fleets). All
+	// randomness must come from rr.
+	Pick(s *core.State, up *UpSet, speeds []float64, from int, w float64, rr *rng.Rand) int
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// RehomeObserver is implemented by stateful policies that track the up
+// set incrementally (recovery.Locality's per-domain membership lists).
+// The engine calls ResetUp once at run start and ResourceDown/
+// ResourceUp for every churn transition, all from the sequential churn
+// phase — Pick only ever reads the state, so the sharded evacuation
+// needs no synchronisation.
+type RehomeObserver interface {
+	// ResetUp marks all n resources up — the run-start state.
+	ResetUp(n int)
+	// ResourceDown records that resource r left the system.
+	ResourceDown(r int)
+	// ResourceUp records that resource r rejoined.
+	ResourceUp(r int)
+}
+
+// UniformRehome sends each evacuated task to a uniformly random up
+// resource — the engine's original evacuation rule, extracted. A nil
+// Config.Rehome selects it, and its draw sequence is identical to the
+// pre-policy engine, so existing seeds replay bit for bit.
+type UniformRehome struct{}
+
+// Pick implements RehomePolicy.
+func (UniformRehome) Pick(s *core.State, up *UpSet, speeds []float64, from int, w float64, rr *rng.Rand) int {
+	return up.Random(rr)
+}
+
+// Name identifies the policy.
+func (UniformRehome) Name() string { return "uniform" }
+
+// PowerOfDRehome samples D up resources per evacuated task and lands
+// it on the least loaded — the power-of-d choice applied to failure
+// recovery, so a mass evacuation avoids piling displaced work onto
+// machines that are already near their thresholds. On heterogeneous
+// fleets samples compare by load-per-speed, the quantity the
+// speed-proportional thresholds equalise.
+type PowerOfDRehome struct {
+	D int // samples per task, ≥ 1
+}
+
+// Pick implements RehomePolicy.
+func (p PowerOfDRehome) Pick(s *core.State, up *UpSet, speeds []float64, from int, w float64, rr *rng.Rand) int {
+	best := up.Random(rr)
+	if speeds == nil {
+		for i := 1; i < p.D; i++ {
+			c := up.Random(rr)
+			if s.Load(c) < s.Load(best) {
+				best = c
+			}
+		}
+		return best
+	}
+	for i := 1; i < p.D; i++ {
+		c := up.Random(rr)
+		if s.Load(c)/speeds[c] < s.Load(best)/speeds[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Validate implements the optional config check.
+func (p PowerOfDRehome) Validate() error {
+	if p.D < 1 {
+		return fmt.Errorf("dynamic: PowerOfDRehome.D %d must be >= 1", p.D)
+	}
+	return nil
+}
+
+// Name identifies the policy.
+func (p PowerOfDRehome) Name() string { return fmt.Sprintf("power-of-%d", p.D) }
+
+// SpeedWeightedRehome lands each evacuated task on an up resource
+// drawn with probability proportional to its speed — fast machines
+// absorb proportionally more of a dead rack, matching the headroom the
+// speed-proportional thresholds give them. On a homogeneous fleet
+// (nil speeds) it degrades to the uniform pick.
+//
+// Like the SpeedWeighted dispatcher it rejection-samples exactly
+// against the fleet max speed and caches that bound keyed by the
+// profile's identity; use a fresh value per concurrent run.
+type SpeedWeightedRehome struct {
+	maxSpeed float64
+	profile  *float64
+	n        int
+}
+
+// Prime computes and caches the fleet max for the given profile. The
+// engine calls it once at run start so the evacuation hot path never
+// writes the cache; direct library use may skip it (Pick primes
+// lazily).
+func (sw *SpeedWeightedRehome) Prime(speeds []float64) {
+	sw.maxSpeed = 0
+	for _, sp := range speeds {
+		if sp > sw.maxSpeed {
+			sw.maxSpeed = sp
+		}
+	}
+	if len(speeds) > 0 {
+		sw.profile = &speeds[0]
+	} else {
+		sw.profile = nil
+	}
+	sw.n = len(speeds)
+}
+
+// Pick implements RehomePolicy.
+func (sw *SpeedWeightedRehome) Pick(s *core.State, up *UpSet, speeds []float64, from int, w float64, rr *rng.Rand) int {
+	if len(speeds) == 0 {
+		return up.Random(rr)
+	}
+	if sw.profile != &speeds[0] || sw.n != len(speeds) {
+		sw.Prime(speeds)
+	}
+	for {
+		c := up.Random(rr)
+		if speeds[c] == sw.maxSpeed || rr.Float64()*sw.maxSpeed < speeds[c] {
+			return c
+		}
+	}
+}
+
+// Name identifies the policy.
+func (*SpeedWeightedRehome) Name() string { return "speed-weighted" }

@@ -133,7 +133,7 @@ func ReadSpeedsJSONL(r io.Reader, n int) ([]float64, error) {
 		if err := dec.Decode(&rec); err != nil {
 			return nil, fmt.Errorf("dynamic: speeds jsonl line %d: %w", line, err)
 		}
-		if err := oneValuePerLine(dec); err != nil {
+		if err := OneValuePerLine(dec); err != nil {
 			return nil, fmt.Errorf("dynamic: speeds jsonl line %d: %w", line, err)
 		}
 		if rec.Resource == nil || rec.Speed == nil {
@@ -149,10 +149,11 @@ func ReadSpeedsJSONL(r io.Reader, n int) ([]float64, error) {
 	return sv.v, nil
 }
 
-// oneValuePerLine errors when a decoded JSONL line carries trailing
+// OneValuePerLine errors when a decoded JSONL line carries trailing
 // data after its first value (e.g. two concatenated objects): silently
-// dropping the remainder would load a truncated profile.
-func oneValuePerLine(dec *json.Decoder) error {
+// dropping the remainder would load a truncated file. Shared by every
+// JSONL loader in this package and in internal/recovery.
+func OneValuePerLine(dec *json.Decoder) error {
 	tok, err := dec.Token()
 	switch {
 	case err == io.EOF:

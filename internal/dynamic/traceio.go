@@ -94,7 +94,7 @@ func ReadTraceJSONL(r io.Reader, label string) (Trace, error) {
 		if err := dec.Decode(&rec); err != nil {
 			return Trace{}, fmt.Errorf("dynamic: trace jsonl line %d: %w", line, err)
 		}
-		if err := oneValuePerLine(dec); err != nil {
+		if err := OneValuePerLine(dec); err != nil {
 			return Trace{}, fmt.Errorf("dynamic: trace jsonl line %d: %w", line, err)
 		}
 		if rec.Round == nil || rec.Weight == nil {

@@ -126,6 +126,7 @@ var Registry = []struct {
 	{"dynrho", "Open system: arrival-rate sweep rho -> 1 with self-tuned thresholds", DynamicRho},
 	{"dynchurn", "Open system: resource churn sweep at rho=0.8 (weight conservation)", DynamicChurn},
 	{"dynscale", "Open system: sharded-engine worker scaling + determinism check", DynamicScale},
+	{"dynrecover", "Failure recovery: rack-loss re-home policies (uniform/power2/locality/speed)", DynamicRecover},
 }
 
 // Lookup returns the driver for id, or nil.

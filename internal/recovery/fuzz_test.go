@@ -1,0 +1,103 @@
+package recovery
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz harnesses for the topology loaders, riding the same CI smoke
+// job as the trace/speed parsers (30s per target). The contract is the
+// parser family's usual one — malformed input must error, never panic
+// — plus the topology-specific acceptance guarantees: every resource
+// in [0, n) assigned exactly once, every rack in exactly one zone, and
+// the rack/zone namespaces disjoint (the cycle-free check), so a
+// fuzzed inventory can never smuggle a broken failure-domain hierarchy
+// into a run. Seed corpora live in testdata/fuzz/<FuzzName>/ alongside
+// the f.Add seeds below; run with
+//
+//	go test -run '^$' -fuzz FuzzReadTopologyCSV -fuzztime 30s ./internal/recovery
+//
+// (one target per invocation; CI smoke-runs both).
+
+// checkFuzzedTopology validates the acceptance guarantees shared by
+// both parsers.
+func checkFuzzedTopology(t *testing.T, topo *Topology, n int) {
+	t.Helper()
+	if topo.N() != n {
+		t.Fatalf("accepted topology has %d resources for n=%d", topo.N(), n)
+	}
+	covered := 0
+	for k := 0; k < topo.Racks(); k++ {
+		z := topo.ZoneOfRack(k)
+		if z < 0 || z >= topo.Zones() {
+			t.Fatalf("rack %d in invalid zone %d", k, z)
+		}
+		if topo.RackName(k) == "" {
+			t.Fatalf("rack %d has an empty name", k)
+		}
+		for _, r := range topo.RackMembers(k) {
+			if topo.RackOf(int(r)) != k || topo.ZoneOf(int(r)) != z {
+				t.Fatalf("resource %d's membership is inconsistent", r)
+			}
+			covered++
+		}
+	}
+	if covered != n {
+		t.Fatalf("rack members cover %d of %d resources", covered, n)
+	}
+	for k := 0; k < topo.Racks(); k++ {
+		for z := 0; z < topo.Zones(); z++ {
+			if topo.RackName(k) == topo.ZoneName(z) {
+				t.Fatalf("name %q is both rack %d and zone %d", topo.RackName(k), k, z)
+			}
+		}
+	}
+}
+
+func clampFuzzN(n int) int {
+	if n <= 0 || n > 1<<12 {
+		return 16 // keep the dense output small; size is not the target
+	}
+	return n
+}
+
+func FuzzReadTopologyCSV(f *testing.F) {
+	f.Add([]byte("resource,rack,zone\n0,r0,za\n1,r1,zb\n"), 2)
+	f.Add([]byte("# fleet\n0,r0,za\n1,r0,za\n"), 2)
+	f.Add([]byte("0,r0,za\n0,r1,za\n"), 2) // duplicate resource
+	f.Add([]byte("5,r0,za\n"), 2)          // out of range
+	f.Add([]byte("0,r0,za\n1,r0,zb\n"), 2) // rack reassigned
+	f.Add([]byte("0,a,b\n1,b,a\n"), 2)     // rack/zone cycle
+	f.Add([]byte("0,a,a\n"), 1)            // self cycle
+	f.Add([]byte("0,r0,za\n"), 2)          // unassigned resource
+	f.Add([]byte("x,y\n"), 2)              // wrong arity
+	f.Add([]byte("0,,za\n"), 1)            // empty name
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		n = clampFuzzN(n)
+		topo, err := ReadTopologyCSV(bytes.NewReader(data), n)
+		if err != nil {
+			return
+		}
+		checkFuzzedTopology(t, topo, n)
+	})
+}
+
+func FuzzReadTopologyJSONL(f *testing.F) {
+	f.Add([]byte(`{"rack":"r0","zone":"za"}`+"\n"+`{"resource":0,"rack":"r0"}`), 1)
+	f.Add([]byte(`{"resource":0,"rack":"r0"}`+"\n"+`{"rack":"r0","zone":"za"}`), 1) // forward ref
+	f.Add([]byte(`{"resource":0,"rack":"ghost"}`), 1)                               // unknown rack
+	f.Add([]byte(`{"rack":"a","zone":"b"}`+"\n"+`{"rack":"b","zone":"a"}`), 1)      // cycle
+	f.Add([]byte(`{"resource":0,"rack":"r0","zone":"za"}`), 1)                      // ambiguous
+	f.Add([]byte(`{"rack":"r0","zone":"za"}`+"\n"+`{"resource":0,"rack":"r0"}`+"\n"+`{"resource":0,"rack":"r0"}`), 1)
+	f.Add([]byte(`{"resource":-1,"rack":"r0"}`), 1)
+	f.Add([]byte("{"), 1)
+	f.Add([]byte("null"), 1)
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		n = clampFuzzN(n)
+		topo, err := ReadTopologyJSONL(bytes.NewReader(data), n)
+		if err != nil {
+			return
+		}
+		checkFuzzedTopology(t, topo, n)
+	})
+}

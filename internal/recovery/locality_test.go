@@ -1,0 +1,165 @@
+package recovery
+
+import (
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/rng"
+)
+
+// TestLocalityBookkeeping drives a random churn sequence through the
+// observer callbacks and checks the incremental per-rack/per-zone up
+// lists against a from-scratch recount after every transition.
+func TestLocalityBookkeeping(t *testing.T) {
+	topo, err := Synth(60, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &Locality{Topo: topo}
+	l.ResetUp(60)
+	up := make([]bool, 60)
+	for i := range up {
+		up[i] = true
+	}
+	check := func(step int) {
+		for k := 0; k < topo.Racks(); k++ {
+			want := 0
+			for _, r := range topo.RackMembers(k) {
+				if up[r] {
+					want++
+				}
+			}
+			if got := len(l.rackUp[k]); got != want {
+				t.Fatalf("step %d: rack %d up list has %d entries, want %d", step, k, got, want)
+			}
+			for _, r := range l.rackUp[k] {
+				if !up[r] {
+					t.Fatalf("step %d: down resource %d in rack %d's up list", step, r, k)
+				}
+				if l.posRack[r] < 0 || l.rackUp[k][l.posRack[r]] != r {
+					t.Fatalf("step %d: posRack inconsistent for %d", step, r)
+				}
+			}
+		}
+		for z := 0; z < topo.Zones(); z++ {
+			want := 0
+			for _, r := range topo.ZoneMembers(z) {
+				if up[r] {
+					want++
+				}
+			}
+			if got := len(l.zoneUp[z]); got != want {
+				t.Fatalf("step %d: zone %d up list has %d entries, want %d", step, z, got, want)
+			}
+		}
+	}
+	r := rng.NewSeeded(99)
+	for step := 0; step < 2000; step++ {
+		res := r.Intn(60)
+		if up[res] {
+			l.ResourceDown(res)
+			up[res] = false
+		} else {
+			l.ResourceUp(res)
+			up[res] = true
+		}
+		check(step)
+	}
+	// ResetUp restores the all-up state, including after heavy churn.
+	l.ResetUp(60)
+	for i := range up {
+		up[i] = true
+	}
+	check(-1)
+}
+
+// TestLocalityPickTiers pins the three fallback tiers directly: with
+// rack-mates up the pick stays in the rack; with the rack dead it
+// stays in the zone; with the zone dead it goes anywhere up.
+func TestLocalityPickTiers(t *testing.T) {
+	topo, err := Synth(40, 4, 2) // racks of 10, zones of 2 racks
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &Locality{Topo: topo}
+	l.ResetUp(40)
+	up := dynamic.NewUpSet(40)
+	r := rng.NewSeeded(5)
+
+	down := func(res int) { up.Down(res); l.ResourceDown(res) }
+
+	// Tier 1: resource 0 fails; picks for its evacuees stay in rack 0.
+	down(0)
+	for i := 0; i < 200; i++ {
+		dest := l.Pick(nil, up, nil, 0, 1, r)
+		if topo.RackOf(dest) != 0 || dest == 0 {
+			t.Fatalf("rack-tier pick %d outside rack 0 (or the dead machine)", dest)
+		}
+	}
+	// Tier 2: the whole rack 0 dies; picks fall to zone 0 = racks {0,1}.
+	for res := 1; res < 10; res++ {
+		down(res)
+	}
+	for i := 0; i < 200; i++ {
+		dest := l.Pick(nil, up, nil, 0, 1, r)
+		if topo.ZoneOf(dest) != 0 || topo.RackOf(dest) == 0 {
+			t.Fatalf("zone-tier pick %d not in zone 0's surviving racks", dest)
+		}
+	}
+	// Tier 3: the whole zone 0 (racks 0 and 1) dies; picks go anywhere
+	// up, i.e. zone 1.
+	for res := 10; res < 20; res++ {
+		down(res)
+	}
+	for i := 0; i < 200; i++ {
+		dest := l.Pick(nil, up, nil, 0, 1, r)
+		if topo.ZoneOf(dest) != 1 {
+			t.Fatalf("fallback pick %d not in the surviving zone", dest)
+		}
+		if !up.Contains(dest) {
+			t.Fatalf("fallback pick %d is down", dest)
+		}
+	}
+}
+
+// TestLocalityResetMismatch pins the guard rails: a topology that does
+// not cover the run's resources must fail loudly.
+func TestLocalityResetMismatch(t *testing.T) {
+	topo, err := Synth(10, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &Locality{Topo: topo}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ResetUp accepted a mismatched resource count")
+		}
+	}()
+	l.ResetUp(12)
+}
+
+// TestLocalityValidate pins the config checks, including the
+// size-aware one the engine runs at validate() time: a mismatched
+// topology is a config error, not a mid-run panic.
+func TestLocalityValidate(t *testing.T) {
+	if err := (&Locality{}).Validate(); err == nil {
+		t.Fatal("Locality without a topology validated")
+	}
+	topo, _ := Synth(4, 2, 1)
+	if err := (&Locality{Topo: topo}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Locality{Topo: topo}).ValidateFor(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Locality{Topo: topo}).ValidateFor(6); err == nil {
+		t.Fatal("mismatched topology size validated")
+	}
+	// End to end: the engine rejects the mismatch before running.
+	events := []dynamic.ChurnEvent{{Round: 5, DownList: []int{0}}}
+	big, _ := Synth(8, 2, 1)
+	cfg := recoverConfig(big, events, 1, 1, &Locality{Topo: topo})
+	if _, err := dynamic.Run(cfg); err == nil {
+		t.Fatal("engine ran with a mismatched Locality topology")
+	}
+}

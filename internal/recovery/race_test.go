@@ -1,0 +1,9 @@
+//go:build race
+
+package recovery
+
+// raceEnabled reports that this test binary runs under the race
+// detector: allocation budgets are skipped there (see
+// internal/dynamic/race_test.go for the rationale); the budgets are
+// enforced by the regular CI test job and the benchrec allocs gate.
+const raceEnabled = true

@@ -1,0 +1,169 @@
+// Package recovery is the failure-domain and recovery-policy subsystem
+// of the open-system engine: it models WHERE failures happen and WHERE
+// displaced work should go.
+//
+// The paper's protocols are analysed on static resource sets, and the
+// engine's churn so far failed machines independently and re-homed
+// their tasks uniformly at random. Real fleets fail in correlated
+// units — a rack loses power, a zone loses network — and the recovery
+// literature (Hoefer–Sauerwald's network threshold games, Adolphs–
+// Berenbrink's speed-aware selfish balancing) says the post-failure
+// transient depends on where the displaced users can go. This package
+// supplies the three missing pieces:
+//
+//   - Topology: a resource → rack → zone hierarchy, synthesisable or
+//     loaded from CSV/JSONL fleet inventories,
+//   - FailureModel: stochastic per-domain failure/repair processes
+//     (rack MTBF/MTTR, machine-level churn, flapping) that COMPILE to
+//     the engine's scripted ChurnSpec.Events stream, so a correlated
+//     failure trace replays bit-for-bit for any worker count,
+//   - Locality: a topology-aware re-home policy (same rack, then same
+//     zone, then anywhere) that plugs into the engine's sharded
+//     evacuation path next to the load-aware and speed-aware policies
+//     in internal/dynamic.
+package recovery
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Topology is an immutable two-level failure-domain hierarchy over
+// resources 0..N−1: every resource belongs to exactly one rack, every
+// rack to exactly one zone. Build one with Synth or the CSV/JSONL
+// loaders.
+type Topology struct {
+	rackOf      []int32   // resource → rack
+	zoneOfRack  []int32   // rack → zone
+	rackMembers [][]int32 // rack → member resources, ascending
+	zoneMembers [][]int32 // zone → member resources, ascending
+	rackNames   []string
+	zoneNames   []string
+}
+
+// newTopology assembles the derived member lists from the primary
+// assignments. rackOf must be fully assigned and in range.
+func newTopology(rackOf, zoneOfRack []int32, rackNames, zoneNames []string) *Topology {
+	t := &Topology{
+		rackOf:      rackOf,
+		zoneOfRack:  zoneOfRack,
+		rackMembers: make([][]int32, len(zoneOfRack)),
+		zoneMembers: make([][]int32, len(zoneNames)),
+		rackNames:   rackNames,
+		zoneNames:   zoneNames,
+	}
+	for r, k := range rackOf {
+		t.rackMembers[k] = append(t.rackMembers[k], int32(r))
+		t.zoneMembers[zoneOfRack[k]] = append(t.zoneMembers[zoneOfRack[k]], int32(r))
+	}
+	return t
+}
+
+// Synth builds a synthetic topology: n resources split into `racks`
+// contiguous equal-ish blocks, and the racks split into `zones`
+// contiguous groups — the standard test-bed fleet (rack k is resources
+// [k·n/racks, (k+1)·n/racks)).
+func Synth(n, racks, zones int) (*Topology, error) {
+	switch {
+	case n <= 0:
+		return nil, fmt.Errorf("recovery: Synth needs n > 0, got %d", n)
+	case racks < 1 || racks > n:
+		return nil, fmt.Errorf("recovery: Synth needs 1 <= racks <= n, got racks=%d n=%d", racks, n)
+	case zones < 1 || zones > racks:
+		return nil, fmt.Errorf("recovery: Synth needs 1 <= zones <= racks, got zones=%d racks=%d", zones, racks)
+	}
+	rackOf := make([]int32, n)
+	for r := 0; r < n; r++ {
+		rackOf[r] = int32(r * racks / n)
+	}
+	zoneOfRack := make([]int32, racks)
+	rackNames := make([]string, racks)
+	for k := 0; k < racks; k++ {
+		zoneOfRack[k] = int32(k * zones / racks)
+		rackNames[k] = fmt.Sprintf("rack%d", k)
+	}
+	zoneNames := make([]string, zones)
+	for z := 0; z < zones; z++ {
+		zoneNames[z] = fmt.Sprintf("zone%d", z)
+	}
+	return newTopology(rackOf, zoneOfRack, rackNames, zoneNames), nil
+}
+
+// N returns the number of resources.
+func (t *Topology) N() int { return len(t.rackOf) }
+
+// Racks returns the number of racks.
+func (t *Topology) Racks() int { return len(t.zoneOfRack) }
+
+// Zones returns the number of zones.
+func (t *Topology) Zones() int { return len(t.zoneNames) }
+
+// RackOf returns the rack index of resource r.
+func (t *Topology) RackOf(r int) int { return int(t.rackOf[r]) }
+
+// ZoneOf returns the zone index of resource r.
+func (t *Topology) ZoneOf(r int) int { return int(t.zoneOfRack[t.rackOf[r]]) }
+
+// ZoneOfRack returns the zone index of rack k.
+func (t *Topology) ZoneOfRack(k int) int { return int(t.zoneOfRack[k]) }
+
+// RackMembers returns rack k's member resources in ascending order
+// (read-only use expected).
+func (t *Topology) RackMembers(k int) []int32 { return t.rackMembers[k] }
+
+// ZoneMembers returns zone z's member resources in ascending order
+// (read-only use expected).
+func (t *Topology) ZoneMembers(z int) []int32 { return t.zoneMembers[z] }
+
+// RackName returns rack k's human-readable name.
+func (t *Topology) RackName(k int) string { return t.rackNames[k] }
+
+// ZoneName returns zone z's human-readable name.
+func (t *Topology) ZoneName(z int) string { return t.zoneNames[z] }
+
+// RackList returns rack k's members as ints, appended to dst — the
+// form ChurnEvent.DownList wants, so "kill rack k at round T" is one
+// call.
+func (t *Topology) RackList(k int, dst []int) []int {
+	for _, r := range t.rackMembers[k] {
+		dst = append(dst, int(r))
+	}
+	return dst
+}
+
+// ClusterGraph builds a communication graph that mirrors the failure
+// domains, reusing the internal/graph generators' CSR machinery: every
+// resource links to up to intraDeg random rack-mates (dense local
+// connectivity) and interDeg random resources outside its rack (the
+// cross-rack backbone diffusion and the graph-restricted protocols
+// travel over). The construction retries until connected; it is a
+// deterministic function of (topology, degrees, seed).
+func (t *Topology) ClusterGraph(intraDeg, interDeg int, seed uint64) *graph.Graph {
+	n := t.N()
+	if intraDeg < 0 || interDeg < 0 {
+		panic("recovery: ClusterGraph degrees must be non-negative")
+	}
+	r := rng.NewSeeded(seed)
+	name := fmt.Sprintf("cluster(n=%d,racks=%d,intra=%d,inter=%d)", n, t.Racks(), intraDeg, interDeg)
+	return graph.GenerateConnected(100, func() *graph.Graph {
+		var edges [][2]int
+		for v := 0; v < n; v++ {
+			mates := t.rackMembers[t.rackOf[v]]
+			for d := 0; d < intraDeg && len(mates) > 1; d++ {
+				u := int(mates[r.Intn(len(mates))])
+				if u != v {
+					edges = append(edges, [2]int{v, u})
+				}
+			}
+			for d := 0; d < interDeg && len(mates) < n; d++ {
+				u := r.Intn(n)
+				if t.rackOf[u] != t.rackOf[v] {
+					edges = append(edges, [2]int{v, u})
+				}
+			}
+		}
+		return graph.Build(name, n, edges)
+	})
+}

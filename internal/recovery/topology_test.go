@@ -1,0 +1,171 @@
+package recovery
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestSynth pins the synthetic topology: full coverage, contiguous
+// equal-ish racks, rack→zone grouping, and member-list consistency.
+func TestSynth(t *testing.T) {
+	topo, err := Synth(100, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.N() != 100 || topo.Racks() != 8 || topo.Zones() != 2 {
+		t.Fatalf("shape: n=%d racks=%d zones=%d", topo.N(), topo.Racks(), topo.Zones())
+	}
+	seen := 0
+	for k := 0; k < topo.Racks(); k++ {
+		members := topo.RackMembers(k)
+		if len(members) < 100/8 || len(members) > 100/8+1 {
+			t.Fatalf("rack %d has %d members", k, len(members))
+		}
+		for _, r := range members {
+			if topo.RackOf(int(r)) != k {
+				t.Fatalf("resource %d in rack %d's member list but RackOf = %d", r, k, topo.RackOf(int(r)))
+			}
+			if topo.ZoneOf(int(r)) != topo.ZoneOfRack(k) {
+				t.Fatalf("resource %d zone mismatch", r)
+			}
+			seen++
+		}
+	}
+	if seen != 100 {
+		t.Fatalf("rack members cover %d of 100 resources", seen)
+	}
+	zoneTotal := 0
+	for z := 0; z < topo.Zones(); z++ {
+		zoneTotal += len(topo.ZoneMembers(z))
+	}
+	if zoneTotal != 100 {
+		t.Fatalf("zone members cover %d of 100 resources", zoneTotal)
+	}
+	if list := topo.RackList(3, nil); len(list) != len(topo.RackMembers(3)) {
+		t.Fatalf("RackList length %d != members %d", len(list), len(topo.RackMembers(3)))
+	}
+	for _, bad := range []struct{ n, racks, zones int }{
+		{0, 1, 1}, {10, 0, 1}, {10, 11, 1}, {10, 4, 0}, {10, 4, 5},
+	} {
+		if _, err := Synth(bad.n, bad.racks, bad.zones); err == nil {
+			t.Fatalf("Synth(%+v) accepted", bad)
+		}
+	}
+}
+
+// TestClusterGraph pins the topology-mirroring generator: connected,
+// right order, deterministic per seed.
+func TestClusterGraph(t *testing.T) {
+	topo, err := Synth(120, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := topo.ClusterGraph(4, 2, 7)
+	if g.N() != 120 {
+		t.Fatalf("cluster graph has %d vertices", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("cluster graph disconnected")
+	}
+	h := topo.ClusterGraph(4, 2, 7)
+	if g.M() != h.M() {
+		t.Fatalf("same seed, different graphs: %d vs %d edges", g.M(), h.M())
+	}
+}
+
+// TestReadTopologyCSV pins the CSV loader: happy path plus every
+// validation family — duplicate resource, out-of-range index, rack
+// reassigned across zones, rack/zone name collision (the cycle-free
+// check), unassigned resources — with line numbers.
+func TestReadTopologyCSV(t *testing.T) {
+	topo, err := ReadTopologyCSV(strings.NewReader(
+		"resource,rack,zone\n# inventory\n0,r0,za\n1,r0,za\n2,r1,za\n3,r2,zb\n"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Racks() != 3 || topo.Zones() != 2 {
+		t.Fatalf("shape: racks=%d zones=%d", topo.Racks(), topo.Zones())
+	}
+	if topo.RackOf(1) != topo.RackOf(0) || topo.ZoneOf(3) == topo.ZoneOf(0) {
+		t.Fatal("assignments wrong")
+	}
+	if topo.RackName(topo.RackOf(3)) != "r2" || topo.ZoneName(topo.ZoneOf(3)) != "zb" {
+		t.Fatal("names wrong")
+	}
+	cases := []struct{ name, in, want string }{
+		{"dup", "0,r0,za\n0,r1,za\n", "line 2: duplicate record for resource 0"},
+		{"range", "9,r0,za\n", "out of range"},
+		{"bad-int", "x,r0,za\n", "bad resource"},
+		{"reassigned", "0,r0,za\n1,r0,zb\n", `rack "r0" reassigned from zone "za" to "zb"`},
+		{"cycle", "0,a,b\n1,b,a\n", `name "b" used as both a rack and a zone`},
+		{"self-cycle", "0,a,a\n", `name "a" used as both a rack and a zone`},
+		{"unassigned", "0,r0,za\n", "resource 1 has no rack assignment"},
+		{"empty-name", "0,,za\n", "non-empty"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadTopologyCSV(strings.NewReader(tc.in), 2); err == nil ||
+			!strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestReadTopologyJSONL pins the JSONL loader's two record kinds,
+// forward references, and its extra error family: unknown rack,
+// ambiguous records, trailing data.
+func TestReadTopologyJSONL(t *testing.T) {
+	topo, err := ReadTopologyJSONL(strings.NewReader(
+		"# fleet\n"+
+			`{"resource":0,"rack":"r0"}`+"\n"+ // forward reference
+			`{"rack":"r0","zone":"za"}`+"\n"+
+			`{"rack":"r1","zone":"zb"}`+"\n"+
+			`{"resource":1,"rack":"r1"}`+"\n"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Racks() != 2 || topo.Zones() != 2 || topo.RackOf(0) == topo.RackOf(1) {
+		t.Fatal("jsonl topology wrong")
+	}
+	cases := []struct{ name, in, want string }{
+		{"unknown-rack", `{"rack":"r0","zone":"za"}` + "\n" + `{"resource":0,"rack":"ghost"}` + "\n" + `{"resource":1,"rack":"r0"}`,
+			`line 2: resource 0 assigned to unknown rack "ghost"`},
+		{"ambiguous", `{"resource":0,"rack":"r0","zone":"za"}`, "both \"resource\" and \"zone\""},
+		{"no-rack", `{"resource":0}`, "must carry \"rack\""},
+		{"bare-rack", `{"rack":"r0"}`, "must carry \"zone\""},
+		{"cycle", `{"rack":"a","zone":"b"}` + "\n" + `{"rack":"b","zone":"a"}`,
+			"used as both a rack and a zone"},
+		{"trailing", `{"rack":"a","zone":"b"}{"rack":"c","zone":"b"}`, "trailing data"},
+		{"garbage", "{", "unexpected EOF"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadTopologyJSONL(strings.NewReader(tc.in), 2); err == nil ||
+			!strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestLoadTopologyFile pins extension routing.
+func TestLoadTopologyFile(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := dir + "/fleet.csv"
+	if err := os.WriteFile(csvPath, []byte("0,r0,za\n1,r0,za\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := LoadTopologyFile(csvPath, 2)
+	if err != nil || topo.Racks() != 1 {
+		t.Fatalf("csv load: %v", err)
+	}
+	jsonPath := dir + "/fleet.jsonl"
+	body := `{"rack":"r0","zone":"za"}` + "\n" + `{"resource":0,"rack":"r0"}` + "\n" + `{"resource":1,"rack":"r0"}` + "\n"
+	if err := os.WriteFile(jsonPath, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTopologyFile(jsonPath, 2); err != nil {
+		t.Fatalf("jsonl load: %v", err)
+	}
+	if _, err := LoadTopologyFile(dir+"/fleet.txt", 2); err == nil {
+		t.Fatal("unknown extension accepted")
+	}
+}
