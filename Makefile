@@ -14,11 +14,11 @@ test:
 # race job: the exchange and evacuation tests run real multi-worker
 # phases, so the detector sees the concurrent paths).
 race:
-	$(GO) test -race ./internal/core ./internal/dynamic ./internal/par ./internal/recovery ./internal/sim ./internal/stack ./internal/task
+	$(GO) test -race ./internal/core ./internal/dynamic ./internal/obs ./internal/par ./internal/recovery ./internal/sim ./internal/stack ./internal/task
 
-# Coverage-guided fuzz of the trace/speed-profile/topology parsers
-# (mirrors the CI smoke job; go accepts one -fuzz target per
-# invocation).
+# Coverage-guided fuzz of the trace/speed-profile/topology parsers and
+# the JSONL event-sink reader (mirrors the CI smoke job; go accepts one
+# -fuzz target per invocation).
 fuzz:
 	for target in FuzzReadTraceCSV FuzzReadTraceJSONL FuzzReadSpeedsCSV FuzzReadSpeedsJSONL; do \
 		$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime 30s ./internal/dynamic || exit 1; \
@@ -26,6 +26,7 @@ fuzz:
 	for target in FuzzReadTopologyCSV FuzzReadTopologyJSONL; do \
 		$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime 30s ./internal/recovery || exit 1; \
 	done
+	$(GO) test -run '^$$' -fuzz '^FuzzReadEventsJSONL$$' -fuzztime 30s ./internal/obs
 
 fmt:
 	gofmt -l .

@@ -18,6 +18,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/recovery"
 	"repro/internal/rng"
@@ -241,6 +242,55 @@ func BenchmarkDynamicRoundHetero(b *testing.B) {
 	b.ResetTimer()
 	if _, err := dynamic.Run(cfg); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkDynamicRoundObserved: the BenchmarkDynamicRound10k workload
+// with the full observability stack attached — an event broker
+// publishing per-window, per-shard, lane and phase-timing events, one
+// actively-draining subscription, and a registered (unscraped)
+// Prometheus exporter whose bounded ring absorbs or drops what the
+// scrape never collects. One op is one simulated round; the delta
+// against BenchmarkDynamicRound10k is the total cost of telemetry.
+func BenchmarkDynamicRoundObserved(b *testing.B) {
+	const n = 10_000
+	g := graph.RandomRegular(n, 16, newBenchRand())
+	broker := obs.NewBroker()
+	obs.NewExporter(broker, 4096)
+	sub := broker.Subscribe(obs.SubOptions{Capacity: 4096})
+	done := make(chan struct{})
+	seen := 0
+	go func() {
+		defer close(done)
+		buf := make([]obs.Event, 0, 256)
+		for evs := sub.Wait(buf); evs != nil; evs = sub.Wait(buf) {
+			seen += len(evs)
+		}
+	}()
+	cfg := dynamic.Config{
+		Graph:    g,
+		Protocol: core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+		Arrivals: dynamic.Poisson{Rate: 0.8 * float64(n) / 1.95,
+			Weights: task.Pareto{Alpha: 2, Cap: 20}},
+		Service: dynamic.WeightProportional{Rate: 1},
+		Tuner: &dynamic.SelfTuner{Eps: 0.5, Steps: 2,
+			Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+		Obs:     broker,
+		Rounds:  b.N,
+		Window:  1 << 30,
+		Seed:    0x9e3779b97f4a7c15,
+		Workers: runtime.GOMAXPROCS(0),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := dynamic.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	broker.Close()
+	<-done
+	if seen == 0 {
+		b.Fatal("active subscription saw no events")
 	}
 }
 

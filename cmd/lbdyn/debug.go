@@ -1,0 +1,115 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	lb "repro"
+	"repro/internal/obs"
+)
+
+// debugRenderer turns the engine's lane / shard-cost / phase event
+// stream into the human-readable -sharddebug lines, written to stderr
+// so the stdout window table stays machine-parseable. Events for one
+// telemetry window arrive contiguously and end with the engine-level
+// (Shard = -1) phase profile, which triggers the flush; a pump
+// goroutine drains the subscription so rendering never blocks the
+// round loop.
+type debugRenderer struct {
+	w    io.Writer
+	sub  *lb.ObsSubscription
+	done chan struct{}
+
+	round  int
+	lanes  []obs.LaneStats
+	costs  []obs.ShardCost
+	phases [obs.NumPhases]int64 // per-shard phases summed across shards
+}
+
+func newDebugRenderer(w io.Writer, sub *lb.ObsSubscription) *debugRenderer {
+	d := &debugRenderer{w: w, sub: sub, done: make(chan struct{})}
+	go d.pump()
+	return d
+}
+
+func (d *debugRenderer) pump() {
+	defer close(d.done)
+	buf := make([]obs.Event, 0, 256)
+	for evs := d.sub.Wait(buf); evs != nil; evs = d.sub.Wait(buf) {
+		for i := range evs {
+			d.apply(&evs[i])
+		}
+	}
+	d.flush() // partial window at shutdown, if any
+	if n := d.sub.Dropped(); n > 0 {
+		fmt.Fprintf(d.w, "[debug] %d telemetry events dropped (slow stderr)\n", n)
+	}
+}
+
+func (d *debugRenderer) apply(ev *obs.Event) {
+	d.round = ev.Round
+	switch ev.Kind {
+	case obs.KindLanes:
+		d.lanes = append(d.lanes, ev.Lane)
+	case obs.KindShardCost:
+		d.costs = append(d.costs, ev.ShardCost)
+	case obs.KindPhase:
+		if ev.Phase.Shard >= 0 {
+			for p, ns := range ev.Phase.Nanos {
+				d.phases[p] += ns
+			}
+			return
+		}
+		// Engine-level profile closes the window: fold in the
+		// sequential phases and render everything buffered.
+		for p, ns := range ev.Phase.Nanos {
+			d.phases[p] += ns
+		}
+		d.flush()
+	}
+}
+
+func (d *debugRenderer) flush() {
+	if len(d.lanes) == 0 && len(d.costs) == 0 && d.phases == ([obs.NumPhases]int64{}) {
+		return
+	}
+	var b strings.Builder
+	if len(d.lanes) > 0 {
+		fmt.Fprintf(&b, "[lanes] round %d inbound/dest:", d.round)
+		for _, l := range d.lanes {
+			fmt.Fprintf(&b, " %d:%d", l.Shard, l.Inbound)
+		}
+		b.WriteByte('\n')
+	}
+	if len(d.costs) > 0 {
+		total := int64(0)
+		for _, c := range d.costs {
+			total += c.Nanos
+		}
+		fmt.Fprintf(&b, "[shards] round %d:", d.round)
+		for _, c := range d.costs {
+			share := 0.0
+			if total > 0 {
+				share = 100 * float64(c.Nanos) / float64(total)
+			}
+			fmt.Fprintf(&b, " %d:[%d,%d) %.0f%%", c.Shard, c.Lo, c.Hi, share)
+		}
+		b.WriteByte('\n')
+	}
+	if d.phases != ([obs.NumPhases]int64{}) {
+		fmt.Fprintf(&b, "[phases] round %d:", d.round)
+		for p := obs.PhaseID(0); p < obs.NumPhases; p++ {
+			fmt.Fprintf(&b, " %s=%.2fms", p, float64(d.phases[p])/1e6)
+		}
+		b.WriteByte('\n')
+	}
+	io.WriteString(d.w, b.String())
+	d.lanes = d.lanes[:0]
+	d.costs = d.costs[:0]
+	d.phases = [obs.NumPhases]int64{}
+}
+
+// Close waits for the pump to drain the remaining buffered events; the
+// broker must already be closed.
+func (d *debugRenderer) Close() { <-d.done }

@@ -13,6 +13,7 @@
 //	lbdyn -graph complete -n 1000 -trace ingress.csv -rounds 5000
 //	lbdyn -graph expander -n 1000 -k 8 -proto resource -speedspread 10 -dispatch speed
 //	lbdyn -graph complete -n 500 -speeds fleet.csv -dispatch power2 -rho 0.85
+//	lbdyn -graph complete -n 1000 -metrics-addr :9090 -events-out run.jsonl
 //
 // -workers shards the round pipeline across a persistent worker pool;
 // results are bit-identical for every worker count (0 = GOMAXPROCS).
@@ -24,75 +25,111 @@
 // either one makes service, thresholds and load-aware dispatch
 // speed-proportional, and the per-window p99 column switches to
 // load-per-speed (the quantity the proportional thresholds equalise).
+//
+// Observability: -metrics-addr serves Prometheus text on /metrics plus
+// expvar (/debug/vars) and pprof (/debug/pprof/) on one mux for the
+// duration of the run; -events-out streams every engine event as JSONL
+// (readable back with the same codec); -sharddebug renders exchange
+// lane occupancy, per-shard cost shares and phase-timing profiles to
+// STDERR, so the stdout window table and summary stay machine-
+// parseable. All three ride the same bounded event broker and leave
+// results bit-for-bit identical to an unobserved run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
+	"time"
 
 	lb "repro"
 	"repro/internal/cli"
+	"repro/internal/obs"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "lbdyn:", err)
+		os.Exit(2)
+	}
+}
+
+// metricsHook, when non-nil, is called with the metrics base URL after
+// the simulation finishes but before the HTTP server shuts down — the
+// seam CLI tests scrape through.
+var metricsHook func(baseURL string)
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lbdyn", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		graphKind = flag.String("graph", "complete", "complete|grid|torus|hypercube|expander|gnp|cliquependant")
-		n         = flag.Int("n", 1000, "number of resources (rounded per family)")
-		k         = flag.Int("k", 8, "family parameter: pendant links / expander degree")
-		p         = flag.Float64("p", 0.1, "G(n,p) edge probability")
-		proto     = flag.String("proto", "user", "user|resource|usergraph|mixed")
-		alpha     = flag.Float64("alpha", 1, "user-protocol migration constant")
-		eps       = flag.Float64("eps", 0.5, "threshold slack epsilon")
-		lazy      = flag.Bool("lazy", false, "use the 1/2-lazy walk (resource protocol)")
-		rounds    = flag.Int("rounds", 600, "simulated rounds")
-		window    = flag.Int("window", 100, "metrics window length")
-		seed      = flag.Uint64("seed", 1, "RNG seed")
-		workers   = flag.Int("workers", 0, "round-pipeline shards (0 = GOMAXPROCS, 1 = sequential; results identical for any value)")
+		graphKind = fs.String("graph", "complete", "complete|grid|torus|hypercube|expander|gnp|cliquependant")
+		n         = fs.Int("n", 1000, "number of resources (rounded per family)")
+		k         = fs.Int("k", 8, "family parameter: pendant links / expander degree")
+		p         = fs.Float64("p", 0.1, "G(n,p) edge probability")
+		proto     = fs.String("proto", "user", "user|resource|usergraph|mixed")
+		alpha     = fs.Float64("alpha", 1, "user-protocol migration constant")
+		eps       = fs.Float64("eps", 0.5, "threshold slack epsilon")
+		lazy      = fs.Bool("lazy", false, "use the 1/2-lazy walk (resource protocol)")
+		rounds    = fs.Int("rounds", 600, "simulated rounds")
+		window    = fs.Int("window", 100, "metrics window length")
+		seed      = fs.Uint64("seed", 1, "RNG seed")
+		workers   = fs.Int("workers", 0, "round-pipeline shards (0 = GOMAXPROCS, 1 = sequential; results identical for any value)")
 
-		arrivals   = flag.String("arrivals", "poisson", "poisson|burst")
-		tracePath  = flag.String("trace", "", "replay a recorded arrival trace (.csv round,weight or .jsonl) instead of -arrivals")
-		rho        = flag.Float64("rho", 0.8, "offered utilisation (poisson rate = rho*n*svcrate/E[w])")
-		burstEvery = flag.Int("burst-every", 50, "burst period in rounds")
-		burstSize  = flag.Int("burst-size", 100, "tasks per burst")
-		weights    = flag.String("weights", "pareto", "pareto|unit|exp|range")
-		palpha     = flag.Float64("pareto-alpha", 2, "Pareto shape")
-		pcap       = flag.Float64("pareto-cap", 20, "Pareto weight cap (0 = uncapped)")
-		expMean    = flag.Float64("exp-mean", 2, "exponential weight mean")
-		rangeLo    = flag.Float64("range-lo", 1, "uniform range low")
-		rangeHi    = flag.Float64("range-hi", 4, "uniform range high")
+		arrivals   = fs.String("arrivals", "poisson", "poisson|burst")
+		tracePath  = fs.String("trace", "", "replay a recorded arrival trace (.csv round,weight or .jsonl) instead of -arrivals")
+		rho        = fs.Float64("rho", 0.8, "offered utilisation (poisson rate = rho*n*svcrate/E[w])")
+		burstEvery = fs.Int("burst-every", 50, "burst period in rounds")
+		burstSize  = fs.Int("burst-size", 100, "tasks per burst")
+		weights    = fs.String("weights", "pareto", "pareto|unit|exp|range")
+		palpha     = fs.Float64("pareto-alpha", 2, "Pareto shape")
+		pcap       = fs.Float64("pareto-cap", 20, "Pareto weight cap (0 = uncapped)")
+		expMean    = fs.Float64("exp-mean", 2, "exponential weight mean")
+		rangeLo    = fs.Float64("range-lo", 1, "uniform range low")
+		rangeHi    = fs.Float64("range-hi", 4, "uniform range high")
 
-		service = flag.String("service", "weight", "weight (proportional to weight) | geom")
-		svcRate = flag.Float64("svcrate", 1, "weight-units served per resource per round")
-		geomP   = flag.Float64("geomp", 0.05, "geometric per-round departure probability")
+		service = fs.String("service", "weight", "weight (proportional to weight) | geom")
+		svcRate = fs.Float64("svcrate", 1, "weight-units served per resource per round")
+		geomP   = fs.Float64("geomp", 0.05, "geometric per-round departure probability")
 
-		dispatch = flag.String("dispatch", "uniform", "uniform|hotspot|power2|speed")
-		hotspot  = flag.Int("hotspot", 0, "hotspot ingress resource")
+		dispatch = fs.String("dispatch", "uniform", "uniform|hotspot|power2|speed")
+		hotspot  = fs.Int("hotspot", 0, "hotspot ingress resource")
 
-		speedsPath  = flag.String("speeds", "", "heterogeneous speed profile (.csv resource,speed or .jsonl; unlisted resources get speed 1)")
-		speedSpread = flag.Float64("speedspread", 0, "generate a linear speed ramp 1..S across the resources (0 = homogeneous)")
+		speedsPath  = fs.String("speeds", "", "heterogeneous speed profile (.csv resource,speed or .jsonl; unlisted resources get speed 1)")
+		speedSpread = fs.Float64("speedspread", 0, "generate a linear speed ramp 1..S across the resources (0 = homogeneous)")
 
-		churn      = flag.Float64("churn", 0, "per-round leave/join probability (0 = no churn)")
-		minUp      = flag.Int("minup", 0, "floor on up resources (0 = n/2 when churn > 0)")
-		oracle     = flag.Bool("oracle", false, "exact-average thresholds instead of self-tuned diffusion estimates")
-		check      = flag.Bool("check", false, "validate weight conservation every round (slow)")
-		shardDebug = flag.Bool("sharddebug", false, "print per-shard measured round-cost stats and exchange lane occupancy at every rebalance (workers > 1)")
+		churn      = fs.Float64("churn", 0, "per-round leave/join probability (0 = no churn)")
+		minUp      = fs.Int("minup", 0, "floor on up resources (0 = n/2 when churn > 0)")
+		oracle     = fs.Bool("oracle", false, "exact-average thresholds instead of self-tuned diffusion estimates")
+		check      = fs.Bool("check", false, "validate weight conservation every round (slow)")
+		shardDebug = fs.Bool("sharddebug", false, "render per-shard cost, exchange-lane and phase-timing telemetry to stderr at every telemetry window")
 
-		topoPath   = flag.String("topology", "", "failure-domain inventory (.csv resource,rack,zone or .jsonl; enables rack-aware failures and locality re-homing)")
-		synthRacks = flag.Int("synthracks", 0, "synthesise a topology with this many contiguous racks (mutually exclusive with -topology)")
-		synthZones = flag.Int("synthzones", 1, "zones for the synthesised topology")
-		rehome     = flag.String("rehome", "uniform", "evacuation re-home policy: uniform|power2|locality|speed")
-		eventsPath = flag.String("events", "", "scripted churn-event schedule (.csv round,every,down,up or .jsonl with down_list/up_list)")
-		rackMTBF   = flag.Float64("rackmtbf", 0, "mean rounds between whole-rack failures (compiled failure model; needs a topology)")
-		rackMTTR   = flag.Float64("rackmttr", 0, "mean rounds to repair a failed rack")
+		topoPath   = fs.String("topology", "", "failure-domain inventory (.csv resource,rack,zone or .jsonl; enables rack-aware failures and locality re-homing)")
+		synthRacks = fs.Int("synthracks", 0, "synthesise a topology with this many contiguous racks (mutually exclusive with -topology)")
+		synthZones = fs.Int("synthzones", 1, "zones for the synthesised topology")
+		rehome     = fs.String("rehome", "uniform", "evacuation re-home policy: uniform|power2|locality|speed")
+		eventsPath = fs.String("events", "", "scripted churn-event schedule (.csv round,every,down,up or .jsonl with down_list/up_list)")
+		rackMTBF   = fs.Float64("rackmtbf", 0, "mean rounds between whole-rack failures (compiled failure model; needs a topology)")
+		rackMTTR   = fs.Float64("rackmttr", 0, "mean rounds to repair a failed rack")
+
+		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics, expvar and pprof on this address for the duration of the run (e.g. :9090)")
+		eventsOut   = fs.String("events-out", "", "stream the engine's event feed (windows, lanes, phases, recovery episodes) as JSONL to this file (- = stdout)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 
 	g, err := cli.GraphSpec{Kind: *graphKind, N: *n, K: *k, P: *p, Seed: *seed}.Build()
 	if err != nil {
-		fail(err)
+		return err
 	}
 
 	// Heterogeneous speed profile: a file, or a generated linear ramp.
@@ -101,14 +138,14 @@ func main() {
 	var speeds []float64
 	switch {
 	case *speedsPath != "" && *speedSpread > 0:
-		fail(fmt.Errorf("-speeds and -speedspread are mutually exclusive"))
+		return fmt.Errorf("-speeds and -speedspread are mutually exclusive")
 	case *speedsPath != "":
 		if speeds, err = lb.LoadSpeeds(*speedsPath, g.N()); err != nil {
-			fail(err)
+			return err
 		}
 	case *speedSpread > 0:
 		if *speedSpread < 1 {
-			fail(fmt.Errorf("-speedspread %g must be >= 1", *speedSpread))
+			return fmt.Errorf("-speedspread %g must be >= 1", *speedSpread)
 		}
 		speeds = make([]float64, g.N())
 		for r := range speeds {
@@ -143,7 +180,7 @@ func main() {
 		case *palpha > 1:
 			meanW = *palpha / (*palpha - 1)
 		default:
-			fail(fmt.Errorf("pareto with alpha <= 1 needs -pareto-cap for a finite mean (rho is undefined otherwise)"))
+			return fmt.Errorf("pareto with alpha <= 1 needs -pareto-cap for a finite mean (rho is undefined otherwise)")
 		}
 	case "unit":
 		dist = lb.UnitDist()
@@ -154,22 +191,21 @@ func main() {
 		dist = lb.UniformRangeDist(*rangeLo, *rangeHi)
 		meanW = (*rangeLo + *rangeHi) / 2
 	default:
-		fail(fmt.Errorf("unknown weight distribution %q", *weights))
+		return fmt.Errorf("unknown weight distribution %q", *weights)
 	}
 
 	var arr lb.Arrivals
 	switch {
 	case *tracePath != "":
-		var err error
 		if arr, err = lb.LoadTraceArrivals(*tracePath); err != nil {
-			fail(err)
+			return err
 		}
 	case *arrivals == "poisson":
 		arr = lb.PoissonArrivals(*rho*totalSpeed**svcRate/meanW, dist)
 	case *arrivals == "burst":
 		arr = lb.BurstArrivals(*burstEvery, *burstSize, dist)
 	default:
-		fail(fmt.Errorf("unknown arrival process %q", *arrivals))
+		return fmt.Errorf("unknown arrival process %q", *arrivals)
 	}
 
 	var svc lb.Service
@@ -179,7 +215,7 @@ func main() {
 	case "geom":
 		svc = lb.GeometricService(*geomP)
 	default:
-		fail(fmt.Errorf("unknown service discipline %q", *service))
+		return fmt.Errorf("unknown service discipline %q", *service)
 	}
 
 	var disp lb.Dispatch
@@ -193,12 +229,12 @@ func main() {
 	case "speed":
 		disp = lb.SpeedWeightedDispatch()
 	default:
-		fail(fmt.Errorf("unknown dispatch %q", *dispatch))
+		return fmt.Errorf("unknown dispatch %q", *dispatch)
 	}
 
 	kind, err := protocolKind(*proto)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
 	// Failure-domain topology: a fleet inventory file, or a synthetic
@@ -206,14 +242,14 @@ func main() {
 	var topo *lb.Topology
 	switch {
 	case *topoPath != "" && *synthRacks > 0:
-		fail(fmt.Errorf("-topology and -synthracks are mutually exclusive"))
+		return fmt.Errorf("-topology and -synthracks are mutually exclusive")
 	case *topoPath != "":
 		if topo, err = lb.LoadTopology(*topoPath, g.N()); err != nil {
-			fail(err)
+			return err
 		}
 	case *synthRacks > 0:
 		if topo, err = lb.SynthTopology(g.N(), *synthRacks, *synthZones); err != nil {
-			fail(err)
+			return err
 		}
 	}
 
@@ -225,13 +261,13 @@ func main() {
 		rehomer = lb.PowerOfDRehome(2)
 	case "locality":
 		if topo == nil {
-			fail(fmt.Errorf("-rehome locality needs -topology or -synthracks"))
+			return fmt.Errorf("-rehome locality needs -topology or -synthracks")
 		}
 		rehomer = lb.LocalityRehome(topo)
 	case "speed":
 		rehomer = lb.SpeedWeightedRehome()
 	default:
-		fail(fmt.Errorf("unknown re-home policy %q", *rehome))
+		return fmt.Errorf("unknown re-home policy %q", *rehome)
 	}
 
 	var spec lb.ChurnSpec
@@ -246,19 +282,19 @@ func main() {
 	}
 	if *eventsPath != "" {
 		if spec.Events, err = lb.LoadChurnEvents(*eventsPath, g.N()); err != nil {
-			fail(err)
+			return err
 		}
 	}
 	if *rackMTBF > 0 || *rackMTTR > 0 {
 		if len(spec.Events) > 0 {
-			fail(fmt.Errorf("-events and -rackmtbf/-rackmttr are mutually exclusive (the compiled schedule could contradict the scripted one)"))
+			return fmt.Errorf("-events and -rackmtbf/-rackmttr are mutually exclusive (the compiled schedule could contradict the scripted one)")
 		}
 		if topo == nil {
-			fail(fmt.Errorf("-rackmtbf/-rackmttr need -topology or -synthracks"))
+			return fmt.Errorf("-rackmtbf/-rackmttr need -topology or -synthracks")
 		}
 		model := lb.FailureModel{Topo: topo, RackMTBF: *rackMTBF, RackMTTR: *rackMTTR}
 		if spec.Events, err = model.Compile(*rounds, *seed); err != nil {
-			fail(err)
+			return err
 		}
 	}
 
@@ -266,31 +302,6 @@ func main() {
 	if nWorkers <= 0 {
 		nWorkers = runtime.GOMAXPROCS(0)
 	}
-
-	fmt.Printf("graph:     %s (n=%d)\n", g.Name(), g.N())
-	if speeds != nil {
-		minS, maxS := speeds[0], speeds[0]
-		for _, s := range speeds {
-			minS = math.Min(minS, s)
-			maxS = math.Max(maxS, s)
-		}
-		fmt.Printf("speeds:    heterogeneous (min=%g max=%g total=%g) — p99 column is load/speed\n",
-			minS, maxS, totalSpeed)
-	}
-	fmt.Printf("protocol:  %s (eps=%g alpha=%g lazy=%v oracle=%v workers=%d)\n", kind, *eps, *alpha, *lazy, *oracle, nWorkers)
-	fmt.Printf("arrivals:  %s  service: %s  dispatch: %s  churn: %g\n", arr.Name(), svc.Name(), disp.Name(), *churn)
-	if topo != nil {
-		fmt.Printf("topology:  %d racks in %d zones  rehome: %s  events: %d\n",
-			topo.Racks(), topo.Zones(), rehomer.Name(), len(spec.Events))
-	} else if len(spec.Events) > 0 || *rehome != "uniform" {
-		fmt.Printf("rehome:    %s  events: %d\n", rehomer.Name(), len(spec.Events))
-	}
-	p99Label := "p99load"
-	if speeds != nil {
-		p99Label = "p99 x/s"
-	}
-	fmt.Printf("%8s %10s %10s %10s %10s %10s %10s %6s\n",
-		"rounds", "overload%", "mig/round", "arr/round", "dep/round", p99Label, "W-inflight", "up")
 
 	sc := lb.DynamicScenario{
 		Graph:            g,
@@ -315,51 +326,123 @@ func main() {
 			if speeds != nil {
 				p99 = w.P99LoadPerSpeed
 			}
-			fmt.Printf("%4d-%-4d %9.2f%% %10.2f %10.2f %10.2f %10.2f %10.0f %6d\n",
+			fmt.Fprintf(stdout, "%4d-%-4d %9.2f%% %10.2f %10.2f %10.2f %10.2f %10.0f %6d\n",
 				w.Start, w.End, 100*w.OverloadFrac, w.MigrationRate, w.ArrivalRate,
 				w.DepartureRate, p99, w.InFlightWeight, w.UpResources)
 		},
 	}
+	if topo != nil {
+		sc.Domains = lb.ObsDomains(topo)
+	}
+
+	// Observability attachments share one broker; each consumer gets
+	// its own bounded subscription, so a slow one drops its own events
+	// without stalling the round loop or the other consumers.
+	needObs := *shardDebug || *metricsAddr != "" || *eventsOut != ""
+	if needObs {
+		sc.Obs = lb.NewObsBroker()
+	}
+
+	var debug *debugRenderer
 	if *shardDebug {
-		sc.OnLanes = func(round, workers int, counts []int64) {
-			// Per-destination inbound totals make the serialise-the-merge
-			// skew (all lanes targeting one shard) obvious at a glance.
-			fmt.Printf("[lanes] round %d inbound/dest:", round)
-			for j := 0; j < workers; j++ {
-				var tot int64
-				for i := 0; i < workers; i++ {
-					tot += counts[i*workers+j]
-				}
-				fmt.Printf(" %d:%d", j, tot)
+		debug = newDebugRenderer(stderr, sc.Subscribe(lb.ObsSubOptions{
+			Capacity: 4096,
+			Kinds:    obs.Mask(obs.KindLanes, obs.KindShardCost, obs.KindPhase),
+		}))
+	}
+
+	var sink *obs.Sink
+	if *eventsOut != "" {
+		w := io.Writer(stdout)
+		var f *os.File
+		if *eventsOut != "-" {
+			if f, err = os.Create(*eventsOut); err != nil {
+				return err
 			}
-			fmt.Println()
+			w = f
 		}
-		sc.OnRebalance = func(round int, stats []lb.ShardStat) {
-			total := int64(0)
-			for _, st := range stats {
-				total += st.Nanos
+		sink = obs.NewSink(w, sc.Obs, obs.SubOptions{Capacity: 8192})
+		defer func() {
+			if f != nil {
+				f.Close()
 			}
-			fmt.Printf("[shards] round %d:", round)
-			for i, st := range stats {
-				share := 0.0
-				if total > 0 {
-					share = 100 * float64(st.Nanos) / float64(total)
-				}
-				fmt.Printf(" %d:[%d,%d) %.0f%%", i, st.Lo, st.Hi, share)
-			}
-			fmt.Println()
+		}()
+	}
+
+	var srv *http.Server
+	var metricsURL string
+	if *metricsAddr != "" {
+		exp := obs.NewExporter(sc.Obs, 8192)
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("-metrics-addr: %w", err)
+		}
+		exp.PublishExpvar()
+		srv = &http.Server{Handler: exp.Mux(), ReadHeaderTimeout: 5 * time.Second}
+		go srv.Serve(ln)
+		metricsURL = "http://" + ln.Addr().String()
+	}
+
+	fmt.Fprintf(stdout, "graph:     %s (n=%d)\n", g.Name(), g.N())
+	if speeds != nil {
+		minS, maxS := speeds[0], speeds[0]
+		for _, s := range speeds {
+			minS = math.Min(minS, s)
+			maxS = math.Max(maxS, s)
+		}
+		fmt.Fprintf(stdout, "speeds:    heterogeneous (min=%g max=%g total=%g) — p99 column is load/speed\n",
+			minS, maxS, totalSpeed)
+	}
+	fmt.Fprintf(stdout, "protocol:  %s (eps=%g alpha=%g lazy=%v oracle=%v workers=%d)\n", kind, *eps, *alpha, *lazy, *oracle, nWorkers)
+	fmt.Fprintf(stdout, "arrivals:  %s  service: %s  dispatch: %s  churn: %g\n", arr.Name(), svc.Name(), disp.Name(), *churn)
+	if topo != nil {
+		fmt.Fprintf(stdout, "topology:  %d racks in %d zones  rehome: %s  events: %d\n",
+			topo.Racks(), topo.Zones(), rehomer.Name(), len(spec.Events))
+	} else if len(spec.Events) > 0 || *rehome != "uniform" {
+		fmt.Fprintf(stdout, "rehome:    %s  events: %d\n", rehomer.Name(), len(spec.Events))
+	}
+	if metricsURL != "" {
+		fmt.Fprintf(stdout, "metrics:   %s/metrics (expvar /debug/vars, pprof /debug/pprof/)\n", metricsURL)
+	}
+	p99Label := "p99load"
+	if speeds != nil {
+		p99Label = "p99 x/s"
+	}
+	fmt.Fprintf(stdout, "%8s %10s %10s %10s %10s %10s %10s %6s\n",
+		"rounds", "overload%", "mig/round", "arr/round", "dep/round", p99Label, "W-inflight", "up")
+
+	res, runErr := sc.Run()
+
+	// Shut down the observability consumers in dependency order: close
+	// the broker so drains see EOF, join the renderer and sink pumps,
+	// then (after the test hook scraped) stop the HTTP server.
+	if sc.Obs != nil {
+		sc.Obs.Close()
+	}
+	if debug != nil {
+		debug.Close()
+	}
+	if sink != nil {
+		if err := sink.Close(); err != nil && runErr == nil {
+			runErr = fmt.Errorf("-events-out: %w", err)
 		}
 	}
-	res, err := sc.Run()
-	if err != nil {
-		fail(err)
+	if srv != nil {
+		if metricsHook != nil {
+			metricsHook(metricsURL)
+		}
+		srv.Close()
 	}
-	fmt.Printf("\narrived:    %d tasks (weight %.0f)\n", res.Arrived, res.ArrivedWeight)
-	fmt.Printf("departed:   %d tasks (weight %.0f)\n", res.Departed, res.DepartedWeight)
-	fmt.Printf("in flight:  %d tasks (weight %.0f)\n", res.FinalInFlight, res.FinalWeight)
-	fmt.Printf("migrations: %d (weight %.0f)\n", res.Migrations, res.MovedWeight)
+	if runErr != nil {
+		return runErr
+	}
+
+	fmt.Fprintf(stdout, "\narrived:    %d tasks (weight %.0f)\n", res.Arrived, res.ArrivedWeight)
+	fmt.Fprintf(stdout, "departed:   %d tasks (weight %.0f)\n", res.Departed, res.DepartedWeight)
+	fmt.Fprintf(stdout, "in flight:  %d tasks (weight %.0f)\n", res.FinalInFlight, res.FinalWeight)
+	fmt.Fprintf(stdout, "migrations: %d (weight %.0f)\n", res.Migrations, res.MovedWeight)
 	if res.Rehomed > 0 || res.Downs > 0 {
-		fmt.Printf("churn:      %d downs, %d ups, %d tasks re-homed (weight %.0f)\n",
+		fmt.Fprintf(stdout, "churn:      %d downs, %d ups, %d tasks re-homed (weight %.0f)\n",
 			res.Downs, res.Ups, res.Rehomed, res.RehomedWeight)
 	}
 	if len(res.Recoveries) > 0 {
@@ -369,18 +452,19 @@ func main() {
 				drained++
 			}
 		}
-		fmt.Printf("recovery:   %d episodes (%d drained), peak post-failure overload %.2f%%",
+		fmt.Fprintf(stdout, "recovery:   %d episodes (%d drained), peak post-failure overload %.2f%%",
 			len(res.Recoveries), drained, 100*res.PeakPostFailureOverload())
 		if mean := res.MeanDrainRounds(); !math.IsNaN(mean) {
-			fmt.Printf(", mean drain %.1f rounds", mean)
+			fmt.Fprintf(stdout, ", mean drain %.1f rounds", mean)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if frac := res.TailOverloadFrac(2); !math.IsNaN(frac) {
-		fmt.Printf("steady overload (skip 2 windows): %.3f%%\n", 100*frac)
+		fmt.Fprintf(stdout, "steady overload (skip 2 windows): %.3f%%\n", 100*frac)
 	} else {
-		fmt.Println("steady overload: run at least 3 windows for a warmed-up figure")
+		fmt.Fprintln(stdout, "steady overload: run at least 3 windows for a warmed-up figure")
 	}
+	return nil
 }
 
 func protocolKind(s string) (lb.ProtocolKind, error) {
@@ -396,9 +480,4 @@ func protocolKind(s string) (lb.ProtocolKind, error) {
 	default:
 		return 0, fmt.Errorf("unknown protocol %q", s)
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "lbdyn:", err)
-	os.Exit(2)
 }

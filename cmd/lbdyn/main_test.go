@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// runCLI invokes run() with stdout/stderr captured.
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, err error) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	err = run(args, &out, &errw)
+	return out.String(), errw.String(), err
+}
+
+var smallRun = []string{
+	"-graph", "complete", "-n", "64", "-proto", "resource",
+	"-rounds", "120", "-window", "40", "-workers", "2", "-seed", "1",
+}
+
+// TestRunSummary: the plain CLI prints the config header, window table
+// and final summary on stdout and nothing on stderr.
+func TestRunSummary(t *testing.T) {
+	stdout, stderr, err := runCLI(t, smallRun...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"graph:", "protocol:", "arrived:", "migrations:", "steady overload"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+	if stderr != "" {
+		t.Errorf("unobserved run wrote to stderr:\n%s", stderr)
+	}
+}
+
+// TestShardDebugGoesToStderr: -sharddebug telemetry renders on stderr
+// only, so the stdout table and summary stay machine-parseable.
+func TestShardDebugGoesToStderr(t *testing.T) {
+	args := append([]string{"-sharddebug"}, smallRun...)
+	stdout, stderr, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"[lanes]", "[shards]", "[phases]"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr missing %s lines:\n%s", want, stderr)
+		}
+		if strings.Contains(stdout, want) {
+			t.Errorf("%s debug lines leaked into stdout:\n%s", want, stdout)
+		}
+	}
+	if !strings.Contains(stderr, "service=") {
+		t.Errorf("[phases] line missing per-phase timings:\n%s", stderr)
+	}
+}
+
+// TestShardDebugDeterministic: the debug stream must not perturb the
+// simulation — stdout is byte-identical with and without -sharddebug.
+func TestShardDebugDeterministic(t *testing.T) {
+	plain, _, err := runCLI(t, smallRun...)
+	if err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	args := append([]string{"-sharddebug"}, smallRun...)
+	debug, _, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatalf("debug run: %v", err)
+	}
+	if plain != debug {
+		t.Fatalf("-sharddebug changed stdout:\nplain:\n%s\ndebug:\n%s", plain, debug)
+	}
+}
+
+// TestMetricsEndpoint: -metrics-addr serves Prometheus text with
+// fleet, per-shard, lane and phase-timing series plus expvar.
+func TestMetricsEndpoint(t *testing.T) {
+	var body, vars string
+	metricsHook = func(base string) {
+		body = httpGet(t, base+"/metrics")
+		vars = httpGet(t, base+"/debug/vars")
+	}
+	defer func() { metricsHook = nil }()
+
+	args := append([]string{"-metrics-addr", "127.0.0.1:0", "-synthracks", "4"}, smallRun...)
+	stdout, _, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stdout, "metrics:   http://127.0.0.1:") {
+		t.Errorf("stdout missing metrics banner:\n%s", stdout)
+	}
+	for _, want := range []string{
+		"lbdyn_overload_frac ",
+		`lbdyn_shard_overload_frac{shard="0"}`,
+		`lbdyn_exchange_inbound_total{shard="0"}`,
+		`lbdyn_phase_nanos_total{shard="seq",phase="arrivals"}`,
+		`lbdyn_domain_overload_frac{level="rack",domain="rack0"}`,
+		"lbdyn_events_published_total ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("metrics body:\n%s", body)
+	}
+	if !strings.Contains(vars, `"lbdyn"`) {
+		t.Errorf("/debug/vars missing lbdyn export:\n%s", vars)
+	}
+}
+
+// TestEventsOut: -events-out writes a JSONL stream our own reader
+// accepts, covering fleet, shard, domain and telemetry events.
+func TestEventsOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	args := append([]string{"-events-out", path, "-synthracks", "4"}, smallRun...)
+	if _, _, err := runCLI(t, args...); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatalf("ReadEvents of -events-out file: %v", err)
+	}
+	kinds := map[obs.Kind]int{}
+	for _, ev := range evs {
+		kinds[ev.Kind]++
+	}
+	for _, want := range []obs.Kind{
+		obs.KindWindow, obs.KindShardWindow, obs.KindDomainWindow,
+		obs.KindLanes, obs.KindShardCost, obs.KindPhase,
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("event stream has no %s events (kinds: %v)", want, kinds)
+		}
+	}
+}
+
+// TestBadFlag: flag errors surface as errors, not os.Exit, and name
+// the flag on stderr.
+func TestBadFlag(t *testing.T) {
+	_, stderr, err := runCLI(t, "-no-such-flag")
+	if err == nil {
+		t.Fatal("run accepted an unknown flag")
+	}
+	if !strings.Contains(stderr, "no-such-flag") {
+		t.Errorf("stderr does not name the bad flag:\n%s", stderr)
+	}
+	if _, _, err := runCLI(t, "stray-arg"); err == nil {
+		t.Fatal("run accepted a stray positional argument")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(b)
+}

@@ -3,9 +3,11 @@ package thresholdlb
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"repro/internal/core"
 	"repro/internal/dynamic"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/task"
 	"repro/internal/walk"
@@ -126,6 +128,107 @@ func SpeedWeightedRehome() RehomePolicy { return &dynamic.SpeedWeightedRehome{} 
 // phase cost — the observability surface of measured-cost shard sizing
 // (see DynamicScenario.OnRebalance).
 type ShardStat = dynamic.ShardStat
+
+// ObsBroker is the streaming observability broker: a bounded
+// ring-buffer pub/sub fabric carrying a dynamic run's typed telemetry
+// events (fleet / per-shard / per-domain window statistics, exchange
+// lane occupancy, per-shard phase timings, recovery episodes). Attach
+// one via DynamicScenario.Subscribe (or set DynamicScenario.Obs) and
+// drain subscriptions with Poll (non-blocking) or Wait (blocking).
+// Publishing never blocks or allocates — a slow subscriber loses
+// events per its drop policy, counted on the subscription — so the
+// engine's zero-alloc and bit-for-bit determinism invariants hold with
+// any number of subscribers attached.
+type ObsBroker = obs.Broker
+
+// ObsEvent is one typed telemetry event; ObsEvent.Kind selects the
+// payload field.
+type ObsEvent = obs.Event
+
+// ObsSubscription is one subscriber's bounded view of the event
+// stream.
+type ObsSubscription = obs.Subscription
+
+// ObsSubOptions configures a subscription: ring capacity, an optional
+// kind filter (obs.Mask), and the drop policy for a full ring.
+type ObsSubOptions = obs.SubOptions
+
+// DomainLabels labels every resource with a failure domain on one
+// hierarchy level (racks, zones) for per-domain window events; build
+// them from a Topology with ObsDomains.
+type DomainLabels = obs.Domains
+
+// NewObsBroker returns an empty observability broker to share between
+// a DynamicScenario and export surfaces.
+func NewObsBroker() *ObsBroker { return obs.NewBroker() }
+
+// ObsDomains converts a Topology into per-level domain labellings
+// (level "rack", then level "zone") for DynamicScenario.Domains.
+func ObsDomains(topo *Topology) []DomainLabels { return topo.ObsDomains() }
+
+// ObsKind discriminates telemetry event payloads; ObsKindMask filters
+// a subscription down to the kinds it wants (zero mask = all kinds).
+type (
+	ObsKind     = obs.Kind
+	ObsKindMask = obs.KindMask
+)
+
+// The event taxonomy: fleet, per-shard and per-failure-domain window
+// statistics, exchange lane occupancy, per-shard measured cost,
+// per-phase wall-clock profiles, and recovery-episode transitions.
+const (
+	KindWindow        = obs.KindWindow
+	KindShardWindow   = obs.KindShardWindow
+	KindDomainWindow  = obs.KindDomainWindow
+	KindLanes         = obs.KindLanes
+	KindShardCost     = obs.KindShardCost
+	KindPhase         = obs.KindPhase
+	KindRecoveryStart = obs.KindRecoveryStart
+	KindRecoveryEnd   = obs.KindRecoveryEnd
+)
+
+// ObsMask builds a subscription kind filter from event kinds.
+func ObsMask(kinds ...ObsKind) ObsKindMask { return obs.Mask(kinds...) }
+
+// ShardWindowStats and DomainWindowStats are the per-shard and
+// per-failure-domain variants of WindowStats, carried by
+// KindShardWindow / KindDomainWindow events.
+type (
+	ShardWindowStats  = obs.ShardWindowStats
+	DomainWindowStats = obs.DomainWindowStats
+)
+
+// ObsExporter aggregates an event subscription into live export
+// surfaces: a Prometheus text /metrics handler, an expvar publication,
+// and a ready-made mux with net/http/pprof attached. It drains lazily
+// on scrape — registered but unscraped, it costs the run nothing.
+type ObsExporter = obs.Exporter
+
+// NewObsExporter subscribes an exporter to the broker (capacity <= 0
+// uses the default ring size). Returns nil if the broker is closed.
+func NewObsExporter(b *ObsBroker, capacity int) *ObsExporter {
+	return obs.NewExporter(b, capacity)
+}
+
+// ObsSink pumps a subscription to an io.Writer as JSONL on its own
+// goroutine — the run never blocks on the writer; a slow sink shows up
+// as counted drops. Close flushes and reports the first write error.
+type ObsSink = obs.Sink
+
+// NewObsSink attaches a JSONL sink to the broker. Returns nil if the
+// broker is closed.
+func NewObsSink(w io.Writer, b *ObsBroker, o ObsSubOptions) *ObsSink {
+	return obs.NewSink(w, b, o)
+}
+
+// WriteObsEvents and ReadObsEvents are the symmetric JSONL event
+// codec — ReadObsEvents parses what ObsSink / WriteObsEvents wrote
+// (one object per line, blank lines and # comments skipped).
+func WriteObsEvents(w io.Writer, evs []ObsEvent) error { return obs.WriteEvents(w, evs) }
+
+// ReadObsEvents reads a JSONL event stream back; errors carry line
+// numbers and never panic (the reader is fuzzed).
+func ReadObsEvents(r io.Reader) ([]ObsEvent, error) { return obs.ReadEvents(r) }
 
 // WeightDist generates task weights (each ≥ 1) for arrival processes.
 type WeightDist = task.Distribution
@@ -303,6 +406,26 @@ type DynamicScenario struct {
 	// OnWindow, if non-nil, receives each completed metrics window —
 	// the streaming-metrics hook.
 	OnWindow func(WindowStats)
+	// Obs, if non-nil, streams the run's typed telemetry events into
+	// the broker (see ObsBroker). Subscribe attaches a subscription and
+	// fills this field lazily.
+	Obs *ObsBroker
+	// Domains labels resources with failure domains (racks, zones) for
+	// per-domain window events on Obs; see ObsDomains. Ignored when Obs
+	// is nil.
+	Domains []DomainLabels
+}
+
+// Subscribe attaches a subscription to the scenario's event stream,
+// creating the broker on first use. Call before Run; drain the
+// subscription from another goroutine (Wait) or after the run (Poll).
+// Subscribers never perturb the run — replay stays bit-identical and
+// steady-state rounds still allocate nothing.
+func (sc *DynamicScenario) Subscribe(o ObsSubOptions) *ObsSubscription {
+	if sc.Obs == nil {
+		sc.Obs = NewObsBroker()
+	}
+	return sc.Obs.Subscribe(o)
 }
 
 // Run executes the open-system scenario.
@@ -414,5 +537,7 @@ func (sc DynamicScenario) Run() (DynamicResult, error) {
 		InitialPlacement: sc.InitialPlacement,
 		CheckInvariants:  sc.CheckInvariants,
 		OnWindow:         sc.OnWindow,
+		Obs:              sc.Obs,
+		Domains:          sc.Domains,
 	})
 }

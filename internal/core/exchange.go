@@ -224,6 +224,12 @@ func (x *Exchange) DeliverShard(s *State, j int) {
 	}
 }
 
+// Delivered returns the number of moves the most recent batch merged
+// into destination shard j — the post-merge counterpart of the
+// Route-time lane counts. Valid between Finish and the next batch's
+// DeliverShard calls.
+func (x *Exchange) Delivered(j int) int { return x.dsts[j].count }
+
 // Finish closes the batch: it folds the per-shard statistics in
 // canonical order — destination shards ascending, and within each shard
 // the per-resource partials ascending, which concatenates to one global

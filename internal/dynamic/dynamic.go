@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Churn configures resource join/leave dynamics. Each round at most
@@ -300,35 +301,38 @@ type Config struct {
 	OnRound func(round int, s *core.State)
 	// OnWindow, if non-nil, receives each completed metrics window.
 	OnWindow func(w WindowStats)
+	// Obs, if non-nil, streams typed telemetry events into the given
+	// broker: fleet / per-shard / per-domain window statistics at the
+	// Window cadence, exchange lane occupancy, per-shard phase timings
+	// and shard costs at the telemetry cadence (RebalanceEvery, or its
+	// default when rebalancing is off), and recovery-episode
+	// transitions as they happen. Events are snapshot copies published
+	// from the engine's sequential sections — they never feed back into
+	// the run, so replay stays bit-identical for every worker count
+	// with any number of subscribers attached, and publishing into the
+	// broker's pre-sized rings keeps steady-state rounds at 0 allocs.
+	Obs *obs.Broker
+	// Domains optionally labels every resource with failure domains
+	// (one entry per hierarchy level, e.g. racks then zones) for
+	// per-domain window events on the Obs broker. Ignored when Obs is
+	// nil; validated against the resource count.
+	Domains []obs.Domains
 }
 
 // WindowStats summarises one metrics window of an open-system run.
-// Rates are per-round time averages over the window; load figures are
-// a snapshot over up resources at the window's last round.
-type WindowStats struct {
-	Start, End      int     // round range [Start, End)
-	OverloadFrac    float64 // time-averaged fraction of up resources over threshold
-	MigrationRate   float64 // protocol migrations per round
-	RehomeRate      float64 // churn re-homes + bounced deliveries per round
-	ArrivalRate     float64 // arriving tasks per round
-	DepartureRate   float64 // departing tasks per round
-	MeanLoad        float64 // snapshot mean load over up resources
-	MaxLoad         float64 // snapshot max load
-	P99Load         float64 // snapshot 99th-percentile load
-	P99LoadPerSpeed float64 // snapshot p99 of load/speed (= P99Load when homogeneous)
-	InFlight        int     // live tasks at window end
-	InFlightWeight  float64 // live weight at window end
-	UpResources     int     // up resources at window end
-}
+// The type lives in internal/obs (it doubles as the fleet window event
+// payload); the alias keeps the engine's public surface unchanged. See
+// obs.WindowStats for field-level documentation, and
+// obs.ShardWindowStats for the per-shard variant streamed over
+// Config.Obs.
+type WindowStats = obs.WindowStats
 
 // ShardStat reports one shard's resource range and the wall-clock
 // nanos its sharded phases (service, propose, deliver, evacuate)
 // consumed since the previous rebalance — the observability surface of
-// measured-cost shard sizing.
-type ShardStat struct {
-	Lo, Hi int   // resource range [Lo, Hi) the shard owned
-	Nanos  int64 // accumulated phase nanos over the window
-}
+// measured-cost shard sizing. Aliased from internal/obs, where it is
+// also the shard-cost event payload.
+type ShardStat = obs.ShardStat
 
 // RecoveryStat reports one failure-recovery episode: a round in which
 // a SCRIPTED ChurnEvent took resources down opens an episode, and the
@@ -484,6 +488,11 @@ func validate(cfg Config) error {
 	}
 	if err := ValidateEvents(cfg.Churn.Events, cfg.Graph.N(), cfg.Rounds); err != nil {
 		return err
+	}
+	for i, d := range cfg.Domains {
+		if err := d.Validate(cfg.Graph.N()); err != nil {
+			return fmt.Errorf("dynamic: Config.Domains[%d]: %w", i, err)
+		}
 	}
 	if cfg.InitialPlacement != nil && len(cfg.InitialPlacement) != len(cfg.InitialWeights) {
 		return fmt.Errorf("dynamic: initial placement has %d entries for %d tasks",

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -102,14 +103,33 @@ type engine struct {
 	exch   *core.Exchange
 	bounds []int // current shard boundaries, len(shards)+1
 
-	// Measured-cost shard sizing: per-shard accumulated phase nanos,
-	// rebalanced every rebalanceEvery rounds (0 = disabled). Boundary
-	// placement never affects results, only the work split.
+	// Measured-cost shard sizing and phase profiling: per-shard
+	// per-phase accumulated nanos (measured whenever rebalancing or a
+	// broker wants them), rebalanced every rebalanceEvery rounds
+	// (< 0 = disabled). Boundary placement never affects results, only
+	// the work split.
 	rebalanceEvery int
-	shardNanos     []int64
-	costBuf        []float64   // per-resource cost scratch (lazily sized n)
-	boundsBuf      []int       // par.Balance output scratch
-	statsBuf       []ShardStat // OnRebalance scratch
+	phaseNanos     [][obs.NumPhases]int64
+	seqNanos       [obs.NumPhases]int64 // engine-level phases (arrivals, tune)
+	costBuf        []float64            // per-resource cost scratch (lazily sized n)
+	boundsBuf      []int                // par.Balance output scratch
+	statsBuf       []ShardStat          // OnRebalance scratch
+
+	// Streaming observability (nil broker = disabled): events are
+	// published from the engine's sequential sections only, via the
+	// reusable ev buffer so the hot path allocates nothing. Telemetry
+	// events (lanes, shard costs, phase timings) fire every
+	// telemetryEvery rounds; window events ride flush; recovery events
+	// fire as episodes open and close.
+	broker         *obs.Broker
+	domains        []obs.Domains
+	ev             obs.Event
+	telemetryEvery int
+	// Per-shard window accumulators (broker runs only) and the
+	// snapshot scratch the per-shard / per-domain window events reuse.
+	wShardArr, wShardDep, wShardInb []int64
+	shardLoadBuf, shardNormBuf      []float64
+	domAgg                          [][]domAgg
 
 	// Sequential engine streams, living above the per-resource streams
 	// 0..n−1 (slot n+2 was the global service stream before service
@@ -140,6 +160,12 @@ type engine struct {
 
 	// Phase closures, bound once so pool dispatch allocates nothing.
 	serviceFn, proposeFn, deliverFn, evacFn func(int)
+}
+
+// domAgg accumulates one failure domain's window snapshot.
+type domAgg struct {
+	up, down, over int
+	load, max      float64
 }
 
 func newEngine(cfg Config) *engine {
@@ -226,7 +252,9 @@ func newEngine(cfg Config) *engine {
 	}
 	e.bounds[workers] = n
 	e.exch = core.NewExchange(e.bounds)
-	if cfg.OnLanes != nil {
+	e.broker = cfg.Obs
+	e.domains = cfg.Domains
+	if cfg.OnLanes != nil || e.broker != nil {
 		e.exch.EnableLaneStats()
 	}
 	e.rebalanceEvery = cfg.RebalanceEvery
@@ -234,9 +262,40 @@ func newEngine(cfg Config) *engine {
 		e.rebalanceEvery = rebalanceDefault
 	}
 	if e.rebalanceEvery > 0 && workers > 1 {
-		e.shardNanos = make([]int64, workers)
+		// measured-cost rebalancing active
 	} else {
 		e.rebalanceEvery = -1
+	}
+	// The telemetry cadence tracks the rebalance cadence so lane and
+	// phase reports line up with boundary moves; when rebalancing is off
+	// (workers == 1, or pinned with RebalanceEvery < 0) an attached
+	// broker still gets reports at the configured or default period.
+	e.telemetryEvery = -1
+	if e.broker != nil {
+		switch {
+		case e.rebalanceEvery > 0:
+			e.telemetryEvery = e.rebalanceEvery
+		case cfg.RebalanceEvery > 0:
+			e.telemetryEvery = cfg.RebalanceEvery
+		default:
+			e.telemetryEvery = rebalanceDefault
+		}
+	}
+	if e.rebalanceEvery > 0 || e.broker != nil {
+		e.phaseNanos = make([][obs.NumPhases]int64, workers)
+	}
+	if e.broker != nil {
+		e.wShardArr = make([]int64, workers)
+		e.wShardDep = make([]int64, workers)
+		e.wShardInb = make([]int64, workers)
+		e.shardLoadBuf = make([]float64, 0, n)
+		if cfg.Speeds != nil {
+			e.shardNormBuf = make([]float64, 0, n)
+		}
+		e.domAgg = make([][]domAgg, len(e.domains))
+		for i := range e.domains {
+			e.domAgg[i] = make([]domAgg, len(e.domains[i].Names))
+		}
 	}
 	if core.CanPropose(cfg.Protocol) {
 		e.proto = cfg.Protocol.(core.RangeProposer)
@@ -268,14 +327,33 @@ func (e *engine) run() (Result, error) {
 		if (t+1)%e.window == 0 {
 			e.flush(t + 1)
 		}
-		if e.rebalanceEvery > 0 && (t+1)%e.rebalanceEvery == 0 {
+		// Telemetry emission and measured-cost rebalancing share one
+		// cadence (and one accumulator reset): a shared period means a
+		// lane/phase report always describes exactly one rebalance
+		// window, never a partial one.
+		doTel := e.telemetryEvery > 0 && (t+1)%e.telemetryEvery == 0
+		doReb := e.rebalanceEvery > 0 && (t+1)%e.rebalanceEvery == 0
+		if doTel {
+			e.emitTelemetry(t + 1)
+		}
+		if doReb {
 			e.rebalance(t + 1)
+		}
+		if doTel || doReb {
+			e.resetTelemetry()
 		}
 	}
 	e.flush(e.cfg.Rounds)
 	if e.recOpen {
 		e.res.Recoveries = append(e.res.Recoveries, e.recCur) // censored by run end
+		e.emitRecovery(obs.KindRecoveryEnd, e.cfg.Rounds)
 		e.recOpen = false
+	}
+	// A trailing partial telemetry window still gets reported, so short
+	// runs (and the tail of any run) see lane and phase series.
+	if e.telemetryEvery > 0 && e.cfg.Rounds%e.telemetryEvery != 0 {
+		e.emitTelemetry(e.cfg.Rounds)
+		e.resetTelemetry()
 	}
 	e.res.Rounds = e.cfg.Rounds
 	e.res.FinalInFlight = e.ts.Live()
@@ -317,6 +395,7 @@ func (e *engine) round(t int) error {
 	// earlier same-round arrivals, so each task is placed immediately
 	// after its pick. The work is O(arrivals) with O(1) per-task cost,
 	// far below the O(n) sweeps the shards absorb.
+	arrStart := e.seqStart()
 	e.weightsBuf = appendNext(e.cfg.Arrivals, t, e.arrRand, e.weightsBuf[:0])
 	for _, w := range e.weightsBuf {
 		dest := e.dispatch.Pick(s, up, e.speeds, w, e.dispRand)
@@ -325,7 +404,11 @@ func (e *engine) round(t int) error {
 		e.res.Arrived++
 		e.res.ArrivedWeight += w
 		e.wArrivals++
+		if e.wShardArr != nil {
+			e.wShardArr[sort.SearchInts(e.bounds, dest+1)-1]++
+		}
 	}
+	e.seqDone(obs.PhaseArrivals, arrStart)
 
 	// 3a. Service and departures (up resources only), sharded: each
 	// resource draws from its own stream and pops its own stack.
@@ -335,6 +418,9 @@ func (e *engine) round(t int) error {
 	// are identical for every worker count.
 	for i := range e.shards {
 		sh := &e.shards[i]
+		if e.wShardDep != nil {
+			e.wShardDep[i] += int64(len(sh.departed))
+		}
 		for _, tk := range sh.departed {
 			s.SettleDeparture(tk)
 			e.res.Departed++
@@ -351,6 +437,7 @@ func (e *engine) round(t int) error {
 
 	// 4. Online threshold refresh, on the pool when the tuner supports
 	// sharded sweeps.
+	tuneStart := e.seqStart()
 	var thr []float64
 	if e.ptuner != nil {
 		thr = e.ptuner.RefreshPooled(t, s, up, e.pool)
@@ -360,6 +447,7 @@ func (e *engine) round(t int) error {
 	if thr != nil {
 		s.SetThresholds(thr)
 	}
+	e.seqDone(obs.PhaseTune, tuneStart)
 
 	// 5. One protocol round: sharded propose phases route each shard's
 	// accepted moves into per-destination-shard lanes, then every
@@ -372,6 +460,7 @@ func (e *engine) round(t int) error {
 		e.pool.Run(len(e.shards), e.proposeFn)
 		e.pool.Run(len(e.shards), e.deliverFn)
 		st = e.exch.Finish(s, true)
+		e.noteInbound()
 	} else {
 		st = e.cfg.Protocol.Step(s)
 	}
@@ -402,6 +491,7 @@ func (e *engine) round(t int) error {
 	if eventDowns > 0 {
 		if e.recOpen {
 			e.res.Recoveries = append(e.res.Recoveries, e.recCur)
+			e.emitRecovery(obs.KindRecoveryEnd, t) // censored by the new failure
 		}
 		e.recCur = RecoveryStat{
 			Round: t, Downs: downsThis,
@@ -409,6 +499,7 @@ func (e *engine) round(t int) error {
 			BaselineOverload: baseline, DrainRounds: -1,
 		}
 		e.recOpen = true
+		e.emitRecovery(obs.KindRecoveryStart, t)
 	}
 	if e.recOpen {
 		if frac > e.recCur.PeakOverload {
@@ -418,6 +509,7 @@ func (e *engine) round(t int) error {
 			e.recCur.DrainRounds = t - e.recCur.Round
 			e.res.Recoveries = append(e.res.Recoveries, e.recCur)
 			e.recOpen = false
+			e.emitRecovery(obs.KindRecoveryEnd, t)
 		}
 	}
 	e.prevOverload = frac
@@ -537,6 +629,7 @@ func (e *engine) evacuate() {
 	e.pool.Run(len(e.shards), e.evacFn)
 	e.pool.Run(len(e.shards), e.deliverFn)
 	st := e.exch.Finish(e.s, false)
+	e.noteInbound()
 	e.res.Rehomed += int64(st.Migrations)
 	e.res.RehomedWeight += st.MovedWeight
 	e.wRehomed += int64(st.Migrations)
@@ -580,7 +673,7 @@ func (e *engine) serviceShard(i int) {
 		}
 		sh.departed = s.RemoveForDeparture(r, sh.depIdx, sh.departed)
 	}
-	e.phaseDone(i, start)
+	e.phaseDone(i, obs.PhaseService, start)
 }
 
 // proposeShard runs the protocol's propose phase over shard i and
@@ -591,7 +684,7 @@ func (e *engine) proposeShard(i int) {
 	sh.sc.Moves = sh.sc.Moves[:0]
 	e.proto.ProposeRange(e.s, sh.lo, sh.hi, &sh.sc)
 	e.exch.Route(i, sh.sc.Moves)
-	e.phaseDone(i, start)
+	e.phaseDone(i, obs.PhasePropose, start)
 }
 
 // deliverShard merges and applies destination shard i's inbound
@@ -599,7 +692,7 @@ func (e *engine) proposeShard(i int) {
 func (e *engine) deliverShard(i int) {
 	start := e.phaseStart()
 	e.exch.DeliverShard(e.s, i)
-	e.phaseDone(i, start)
+	e.phaseDone(i, obs.PhaseDeliver, start)
 }
 
 // evacShard pops every task off shard i's non-empty down resources and
@@ -631,25 +724,62 @@ func (e *engine) evacShard(i int) {
 		}
 	}
 	e.exch.Route(i, sh.evacMoves)
-	e.phaseDone(i, start)
+	e.phaseDone(i, obs.PhaseEvac, start)
 }
 
 // phaseStart/phaseDone time one shard's slice of a parallel phase for
-// measured-cost sizing. Each shard index is handled by exactly one
-// worker per phase and the pool barrier orders the writes, so the
-// plain int64 accumulation is race-free.
+// measured-cost sizing and phase profiling. Each shard index is
+// handled by exactly one worker per phase and the pool barrier orders
+// the writes, so the plain int64 accumulation is race-free.
 func (e *engine) phaseStart() time.Time {
-	if e.shardNanos == nil {
+	if e.phaseNanos == nil {
 		return time.Time{}
 	}
 	return time.Now()
 }
 
-func (e *engine) phaseDone(i int, start time.Time) {
-	if e.shardNanos == nil {
+func (e *engine) phaseDone(i int, p obs.PhaseID, start time.Time) {
+	if e.phaseNanos == nil {
 		return
 	}
-	e.shardNanos[i] += int64(time.Since(start))
+	e.phaseNanos[i][p] += int64(time.Since(start))
+}
+
+// seqStart/seqDone time the engine's sequential phases (arrivals, the
+// tuner refresh) when a broker wants phase profiles.
+func (e *engine) seqStart() time.Time {
+	if e.broker == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (e *engine) seqDone(p obs.PhaseID, start time.Time) {
+	if e.broker == nil {
+		return
+	}
+	e.seqNanos[p] += int64(time.Since(start))
+}
+
+// shardPhaseSum folds shard i's accumulated phase nanos into the one
+// per-shard cost measured-cost sizing balances on.
+func (e *engine) shardPhaseSum(i int) int64 {
+	var sum int64
+	for _, ns := range e.phaseNanos[i] {
+		sum += ns
+	}
+	return sum
+}
+
+// noteInbound attributes the batch just Finished to its destination
+// shards' window counters.
+func (e *engine) noteInbound() {
+	if e.wShardInb == nil {
+		return
+	}
+	for j := range e.shards {
+		e.wShardInb[j] += int64(e.exch.Delivered(j))
+	}
 }
 
 // rebalance re-cuts the shard partition so measured per-shard phase
@@ -660,20 +790,19 @@ func (e *engine) phaseDone(i int, start time.Time) {
 func (e *engine) rebalance(round int) {
 	if e.cfg.OnLanes != nil {
 		e.cfg.OnLanes(round, len(e.shards), e.exch.LaneCounts())
-		e.exch.ResetLaneCounts()
 	}
 	if e.cfg.OnRebalance != nil {
 		e.statsBuf = e.statsBuf[:0]
 		for i := range e.shards {
 			e.statsBuf = append(e.statsBuf, ShardStat{
-				Lo: e.shards[i].lo, Hi: e.shards[i].hi, Nanos: e.shardNanos[i],
+				Lo: e.shards[i].lo, Hi: e.shards[i].hi, Nanos: e.shardPhaseSum(i),
 			})
 		}
 		e.cfg.OnRebalance(round, e.statsBuf)
 	}
 	total := int64(0)
-	for _, ns := range e.shardNanos {
-		total += ns
+	for i := range e.shards {
+		total += e.shardPhaseSum(i)
 	}
 	if total > 0 {
 		if e.costBuf == nil {
@@ -681,7 +810,7 @@ func (e *engine) rebalance(round int) {
 		}
 		for i := range e.shards {
 			sh := &e.shards[i]
-			avg := float64(e.shardNanos[i]) / float64(sh.hi-sh.lo)
+			avg := float64(e.shardPhaseSum(i)) / float64(sh.hi-sh.lo)
 			for r := sh.lo; r < sh.hi; r++ {
 				e.costBuf[r] = avg
 			}
@@ -693,9 +822,68 @@ func (e *engine) rebalance(round int) {
 		}
 		e.exch.SetBounds(e.bounds)
 	}
-	for i := range e.shardNanos {
-		e.shardNanos[i] = 0
+}
+
+// emitTelemetry publishes the telemetry window closing at `round`:
+// per-destination-shard inbound lane totals, per-shard cost and phase
+// profiles, and the engine-level sequential phase profile. Runs in the
+// sequential section between rounds; resetTelemetry zeroes the
+// accumulators afterwards (shared with rebalance, which reads the same
+// nanos).
+func (e *engine) emitTelemetry(round int) {
+	if e.broker == nil {
+		return
 	}
+	w := len(e.shards)
+	if lanes := e.exch.LaneCounts(); lanes != nil {
+		for j := 0; j < w; j++ {
+			var in int64
+			for i := 0; i < w; i++ {
+				in += lanes[i*w+j]
+			}
+			e.ev = obs.Event{Kind: obs.KindLanes, Round: round,
+				Lane: obs.LaneStats{Shard: j, Inbound: in}}
+			e.broker.Publish(&e.ev)
+		}
+	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		e.ev = obs.Event{Kind: obs.KindShardCost, Round: round,
+			ShardCost: obs.ShardCost{Shard: i,
+				ShardStat: obs.ShardStat{Lo: sh.lo, Hi: sh.hi, Nanos: e.shardPhaseSum(i)}}}
+		e.broker.Publish(&e.ev)
+		e.ev = obs.Event{Kind: obs.KindPhase, Round: round,
+			Phase: obs.PhaseStats{Shard: i, Nanos: e.phaseNanos[i]}}
+		e.broker.Publish(&e.ev)
+	}
+	e.ev = obs.Event{Kind: obs.KindPhase, Round: round,
+		Phase: obs.PhaseStats{Shard: -1, Nanos: e.seqNanos}}
+	e.broker.Publish(&e.ev)
+}
+
+// resetTelemetry zeroes the lane and phase accumulators after a
+// telemetry report and/or rebalance consumed them.
+func (e *engine) resetTelemetry() {
+	e.exch.ResetLaneCounts()
+	for i := range e.phaseNanos {
+		e.phaseNanos[i] = [obs.NumPhases]int64{}
+	}
+	e.seqNanos = [obs.NumPhases]int64{}
+}
+
+// emitRecovery publishes the current recovery episode's transition.
+func (e *engine) emitRecovery(kind obs.Kind, round int) {
+	if e.broker == nil {
+		return
+	}
+	e.ev = obs.Event{Kind: kind, Round: round, Recovery: obs.RecoveryEvent{
+		Round: e.recCur.Round, Downs: e.recCur.Downs,
+		EvacTasks: e.recCur.EvacTasks, EvacWeight: e.recCur.EvacWeight,
+		BaselineOverload: e.recCur.BaselineOverload,
+		PeakOverload:     e.recCur.PeakOverload,
+		DrainRounds:      e.recCur.DrainRounds,
+	}}
+	e.broker.Publish(&e.ev)
 }
 
 // flush closes the metrics window ending at round `end`.
@@ -741,7 +929,122 @@ func (e *engine) flush(end int) {
 	if e.cfg.OnWindow != nil {
 		e.cfg.OnWindow(ws)
 	}
+	if e.broker != nil {
+		e.ev = obs.Event{Kind: obs.KindWindow, Round: end, Window: ws}
+		e.broker.Publish(&e.ev)
+		e.emitShardWindows(end, rounds)
+		e.emitDomainWindows(end)
+		for i := range e.wShardArr {
+			e.wShardArr[i], e.wShardDep[i], e.wShardInb[i] = 0, 0, 0
+		}
+	}
 	e.wOverload = 0
 	e.wMigrations, e.wRehomed, e.wArrivals, e.wDepartures = 0, 0, 0, 0
 	e.windowStart = end
+}
+
+// emitShardWindows publishes one ShardWindowStats event per worker
+// shard for the window ending at `end`: a load snapshot over the
+// shard's up resources plus the window's attributed traffic rates.
+// Runs in the sequential flush section; all scratch is engine-owned,
+// so emission allocates nothing.
+func (e *engine) emitShardWindows(end int, rounds float64) {
+	s, up := e.s, e.up
+	for i := range e.shards {
+		sh := &e.shards[i]
+		e.shardLoadBuf = e.shardLoadBuf[:0]
+		inFlight, over := 0, 0
+		weight := 0.0
+		for r := sh.lo; r < sh.hi; r++ {
+			if !up.Contains(r) {
+				continue
+			}
+			load := s.Load(r)
+			e.shardLoadBuf = append(e.shardLoadBuf, load)
+			inFlight += s.Count(r)
+			weight += load
+			if s.Overloaded(r) {
+				over++
+			}
+		}
+		sws := obs.ShardWindowStats{
+			Shard: i, Lo: sh.lo, Hi: sh.hi,
+			Start: e.windowStart, End: end,
+			ArrivalRate:    float64(e.wShardArr[i]) / rounds,
+			DepartureRate:  float64(e.wShardDep[i]) / rounds,
+			InboundRate:    float64(e.wShardInb[i]) / rounds,
+			InFlight:       inFlight,
+			InFlightWeight: weight,
+			UpResources:    len(e.shardLoadBuf),
+		}
+		if n := len(e.shardLoadBuf); n > 0 {
+			sws.OverloadFrac = float64(over) / float64(n)
+			sws.MeanLoad = stats.Mean(e.shardLoadBuf)
+			sort.Float64s(e.shardLoadBuf)
+			sws.MaxLoad = e.shardLoadBuf[n-1]
+			sws.P99Load = stats.QuantileSorted(e.shardLoadBuf, 0.99)
+			if e.speeds == nil {
+				sws.P99LoadPerSpeed = sws.P99Load
+			} else {
+				e.shardNormBuf = e.shardNormBuf[:0]
+				for r := sh.lo; r < sh.hi; r++ {
+					if up.Contains(r) {
+						e.shardNormBuf = append(e.shardNormBuf, s.Load(r)/e.speeds[r])
+					}
+				}
+				sort.Float64s(e.shardNormBuf)
+				sws.P99LoadPerSpeed = stats.QuantileSorted(e.shardNormBuf, 0.99)
+			}
+		}
+		e.ev = obs.Event{Kind: obs.KindShardWindow, Round: end, ShardWindow: sws}
+		e.broker.Publish(&e.ev)
+	}
+}
+
+// emitDomainWindows publishes one DomainWindowStats event per failure
+// domain per configured level for the window ending at `end` — the
+// per-rack/per-zone snapshot that prices what a domain loss costs.
+// Level order follows Config.Domains; domains ascend within a level.
+func (e *engine) emitDomainWindows(end int) {
+	s, up := e.s, e.up
+	for li := range e.domains {
+		d := &e.domains[li]
+		agg := e.domAgg[li]
+		for k := range agg {
+			agg[k] = domAgg{}
+		}
+		for r := 0; r < e.n; r++ {
+			a := &agg[d.Of[r]]
+			if !up.Contains(r) {
+				a.down++
+				continue
+			}
+			a.up++
+			load := s.Load(r)
+			a.load += load
+			if load > a.max {
+				a.max = load
+			}
+			if s.Overloaded(r) {
+				a.over++
+			}
+		}
+		for k := range agg {
+			a := &agg[k]
+			dws := obs.DomainWindowStats{
+				Level: d.Level, Domain: k, Name: d.Names[k],
+				Start: e.windowStart, End: end,
+				MaxLoad:        a.max,
+				InFlightWeight: a.load,
+				UpResources:    a.up,
+				DownResources:  a.down,
+			}
+			if a.up > 0 {
+				dws.OverloadFrac = float64(a.over) / float64(a.up)
+				dws.MeanLoad = a.load / float64(a.up)
+			}
+			e.ev = obs.Event{Kind: obs.KindDomainWindow, Round: end, DomainWindow: dws}
+			e.broker.Publish(&e.ev)
+		}
+	}
 }

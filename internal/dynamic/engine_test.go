@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/task"
 	"repro/internal/walk"
@@ -190,6 +191,16 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 			cfg.Arrivals = Poisson{Rate: 0.8 * totalSpeed / paretoMean,
 				Weights: task.Pareto{Alpha: 2, Cap: 20}}
 			cfg.Dispatch = &SpeedWeighted{}
+		}},
+		// The observed variant attaches the full telemetry stack — a
+		// broker with a registered Prometheus exporter, whose bounded
+		// subscription absorbs (and, unscraped, eventually drops) the
+		// window/lane/phase event stream — under the same exact-zero
+		// budget: publishing is a struct copy into a preallocated ring.
+		{"observed", func(cfg *Config) {
+			br := obs.NewBroker()
+			obs.NewExporter(br, 1024)
+			cfg.Obs = br
 		}},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,371 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The live HTTP export surface. An Exporter subscribes to a broker and
+// turns the event stream into scrape endpoints:
+//
+//	/metrics      Prometheus text exposition (hand-rolled, no deps)
+//	/debug/vars   expvar JSON (the exporter registers one "lbdyn" var)
+//	/debug/pprof  the standard runtime profiles
+//
+// The exporter is pull-driven: it owns a DropOldest subscription and
+// drains it lazily at scrape time, so an exporter that is registered
+// but never scraped costs the engine nothing beyond the alloc-free
+// ring copies — the zero-alloc steady-state contract holds with the
+// handler registered. Between scrapes the bounded ring simply keeps
+// the freshest events (drops are counted and exported).
+
+// Exporter converts a broker's event stream into Prometheus and expvar
+// scrape state. Construct with NewExporter; safe for concurrent
+// scrapes.
+type Exporter struct {
+	mu  sync.Mutex
+	sub *Subscription
+	b   *Broker
+	buf []Event
+
+	// Latest-value scrape state, updated by draining the subscription.
+	window    WindowStats
+	hasWindow bool
+	shards    []ShardWindowStats
+	doms      []DomainWindowStats
+	lanes     []int64            // per destination shard, accumulated
+	phases    [][NumPhases]int64 // per shard, accumulated
+	seqPhases [NumPhases]int64   // engine-level (shard == -1), accumulated
+	costs     []ShardStat        // latest per-shard cost window
+	recovery  recoveryCounters
+}
+
+// recoveryCounters aggregates the recovery-episode event stream.
+type recoveryCounters struct {
+	Started  int64         `json:"started"`
+	Drained  int64         `json:"drained"`
+	Censored int64         `json:"censored"`
+	Last     RecoveryEvent `json:"last"`
+}
+
+// NewExporter subscribes an exporter to the broker (DropOldest, all
+// kinds). Returns nil if the broker is already closed. capacity <= 0
+// selects the default ring size.
+func NewExporter(b *Broker, capacity int) *Exporter {
+	sub := b.Subscribe(SubOptions{Capacity: capacity, Policy: DropOldest})
+	if sub == nil {
+		return nil
+	}
+	return &Exporter{sub: sub, b: b, buf: make([]Event, 0, 256)}
+}
+
+// Close detaches the exporter's subscription.
+func (x *Exporter) Close() { x.sub.Close() }
+
+// drainLocked folds every buffered event into the scrape state.
+func (x *Exporter) drainLocked() {
+	for {
+		x.buf = x.sub.Poll(x.buf)
+		if len(x.buf) == 0 {
+			return
+		}
+		for i := range x.buf {
+			x.applyLocked(&x.buf[i])
+		}
+	}
+}
+
+func (x *Exporter) applyLocked(ev *Event) {
+	switch ev.Kind {
+	case KindWindow:
+		x.window, x.hasWindow = ev.Window, true
+	case KindShardWindow:
+		s := ev.ShardWindow
+		for s.Shard >= len(x.shards) {
+			x.shards = append(x.shards, ShardWindowStats{Shard: len(x.shards)})
+		}
+		x.shards[s.Shard] = s
+	case KindDomainWindow:
+		d := ev.DomainWindow
+		for i := range x.doms {
+			if x.doms[i].Level == d.Level && x.doms[i].Domain == d.Domain {
+				x.doms[i] = d
+				return
+			}
+		}
+		x.doms = append(x.doms, d)
+		sort.Slice(x.doms, func(i, j int) bool {
+			if x.doms[i].Level != x.doms[j].Level {
+				return x.doms[i].Level < x.doms[j].Level
+			}
+			return x.doms[i].Domain < x.doms[j].Domain
+		})
+	case KindLanes:
+		l := ev.Lane
+		for l.Shard >= len(x.lanes) {
+			x.lanes = append(x.lanes, 0)
+		}
+		x.lanes[l.Shard] += l.Inbound
+	case KindShardCost:
+		c := ev.ShardCost
+		for c.Shard >= len(x.costs) {
+			x.costs = append(x.costs, ShardStat{})
+		}
+		x.costs[c.Shard] = c.ShardStat
+	case KindPhase:
+		p := ev.Phase
+		if p.Shard < 0 {
+			for i, ns := range p.Nanos {
+				x.seqPhases[i] += ns
+			}
+			return
+		}
+		for p.Shard >= len(x.phases) {
+			x.phases = append(x.phases, [NumPhases]int64{})
+		}
+		for i, ns := range p.Nanos {
+			x.phases[p.Shard][i] += ns
+		}
+	case KindRecoveryStart:
+		x.recovery.Started++
+		x.recovery.Last = ev.Recovery
+	case KindRecoveryEnd:
+		if ev.Recovery.DrainRounds >= 0 {
+			x.recovery.Drained++
+		} else {
+			x.recovery.Censored++
+		}
+		x.recovery.Last = ev.Recovery
+	}
+}
+
+// ServeHTTP renders the Prometheus text exposition — the /metrics
+// endpoint. Draining and rendering happen on the scraper's goroutine,
+// never the engine's.
+func (x *Exporter) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.drainLocked()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	gauge := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+	counter := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+
+	counter("lbdyn_events_published_total", "Events published to the observability broker.")
+	fmt.Fprintf(w, "lbdyn_events_published_total %d\n", x.b.Published())
+	counter("lbdyn_events_dropped_total", "Events this exporter's bounded ring dropped between scrapes.")
+	fmt.Fprintf(w, "lbdyn_events_dropped_total %d\n", x.sub.Dropped())
+
+	if x.hasWindow {
+		fw := &x.window
+		gauge("lbdyn_window_end_round", "Last round of the most recent fleet metrics window.")
+		fmt.Fprintf(w, "lbdyn_window_end_round %d\n", fw.End)
+		gauge("lbdyn_overload_frac", "Time-averaged fraction of up resources over threshold in the last window.")
+		fmt.Fprintf(w, "lbdyn_overload_frac %g\n", fw.OverloadFrac)
+		gauge("lbdyn_migration_rate", "Protocol migrations per round in the last window.")
+		fmt.Fprintf(w, "lbdyn_migration_rate %g\n", fw.MigrationRate)
+		gauge("lbdyn_rehome_rate", "Churn re-homes plus bounced deliveries per round in the last window.")
+		fmt.Fprintf(w, "lbdyn_rehome_rate %g\n", fw.RehomeRate)
+		gauge("lbdyn_arrival_rate", "Arriving tasks per round in the last window.")
+		fmt.Fprintf(w, "lbdyn_arrival_rate %g\n", fw.ArrivalRate)
+		gauge("lbdyn_departure_rate", "Departing tasks per round in the last window.")
+		fmt.Fprintf(w, "lbdyn_departure_rate %g\n", fw.DepartureRate)
+		gauge("lbdyn_mean_load", "Snapshot mean load over up resources at window end.")
+		fmt.Fprintf(w, "lbdyn_mean_load %g\n", fw.MeanLoad)
+		gauge("lbdyn_max_load", "Snapshot max load at window end.")
+		fmt.Fprintf(w, "lbdyn_max_load %g\n", fw.MaxLoad)
+		gauge("lbdyn_p99_load", "Snapshot 99th-percentile load at window end.")
+		fmt.Fprintf(w, "lbdyn_p99_load %g\n", fw.P99Load)
+		gauge("lbdyn_p99_load_per_speed", "Snapshot 99th-percentile load/speed at window end.")
+		fmt.Fprintf(w, "lbdyn_p99_load_per_speed %g\n", fw.P99LoadPerSpeed)
+		gauge("lbdyn_in_flight", "Live tasks at window end.")
+		fmt.Fprintf(w, "lbdyn_in_flight %d\n", fw.InFlight)
+		gauge("lbdyn_in_flight_weight", "Live task weight at window end.")
+		fmt.Fprintf(w, "lbdyn_in_flight_weight %g\n", fw.InFlightWeight)
+		gauge("lbdyn_up_resources", "Up resources at window end.")
+		fmt.Fprintf(w, "lbdyn_up_resources %d\n", fw.UpResources)
+	}
+
+	if len(x.shards) > 0 {
+		gauge("lbdyn_shard_overload_frac", "Fraction of the shard's up resources over threshold at window end.")
+		for i := range x.shards {
+			fmt.Fprintf(w, "lbdyn_shard_overload_frac{shard=\"%d\"} %g\n", i, x.shards[i].OverloadFrac)
+		}
+		gauge("lbdyn_shard_arrival_rate", "Arrivals dispatched into the shard per round over the last window.")
+		for i := range x.shards {
+			fmt.Fprintf(w, "lbdyn_shard_arrival_rate{shard=\"%d\"} %g\n", i, x.shards[i].ArrivalRate)
+		}
+		gauge("lbdyn_shard_departure_rate", "Departures served by the shard per round over the last window.")
+		for i := range x.shards {
+			fmt.Fprintf(w, "lbdyn_shard_departure_rate{shard=\"%d\"} %g\n", i, x.shards[i].DepartureRate)
+		}
+		gauge("lbdyn_shard_inbound_rate", "Exchange deliveries merged into the shard per round over the last window.")
+		for i := range x.shards {
+			fmt.Fprintf(w, "lbdyn_shard_inbound_rate{shard=\"%d\"} %g\n", i, x.shards[i].InboundRate)
+		}
+		gauge("lbdyn_shard_mean_load", "Snapshot mean load over the shard's up resources at window end.")
+		for i := range x.shards {
+			fmt.Fprintf(w, "lbdyn_shard_mean_load{shard=\"%d\"} %g\n", i, x.shards[i].MeanLoad)
+		}
+		gauge("lbdyn_shard_p99_load", "Snapshot 99th-percentile load over the shard's up resources at window end.")
+		for i := range x.shards {
+			fmt.Fprintf(w, "lbdyn_shard_p99_load{shard=\"%d\"} %g\n", i, x.shards[i].P99Load)
+		}
+		gauge("lbdyn_shard_up_resources", "Up resources the shard owned at window end.")
+		for i := range x.shards {
+			fmt.Fprintf(w, "lbdyn_shard_up_resources{shard=\"%d\"} %d\n", i, x.shards[i].UpResources)
+		}
+	}
+
+	if len(x.doms) > 0 {
+		gauge("lbdyn_domain_overload_frac", "Fraction of the failure domain's up resources over threshold at window end.")
+		for i := range x.doms {
+			d := &x.doms[i]
+			fmt.Fprintf(w, "lbdyn_domain_overload_frac{level=%q,domain=%q} %g\n", d.Level, d.Name, d.OverloadFrac)
+		}
+		gauge("lbdyn_domain_mean_load", "Snapshot mean load over the failure domain's up resources at window end.")
+		for i := range x.doms {
+			d := &x.doms[i]
+			fmt.Fprintf(w, "lbdyn_domain_mean_load{level=%q,domain=%q} %g\n", d.Level, d.Name, d.MeanLoad)
+		}
+		gauge("lbdyn_domain_up_resources", "Up resources in the failure domain at window end.")
+		for i := range x.doms {
+			d := &x.doms[i]
+			fmt.Fprintf(w, "lbdyn_domain_up_resources{level=%q,domain=%q} %d\n", d.Level, d.Name, d.UpResources)
+		}
+		gauge("lbdyn_domain_down_resources", "Down resources in the failure domain at window end.")
+		for i := range x.doms {
+			d := &x.doms[i]
+			fmt.Fprintf(w, "lbdyn_domain_down_resources{level=%q,domain=%q} %d\n", d.Level, d.Name, d.DownResources)
+		}
+	}
+
+	if len(x.lanes) > 0 {
+		counter("lbdyn_exchange_inbound_total", "Delivery-exchange moves routed into the destination shard's lanes.")
+		for j, in := range x.lanes {
+			fmt.Fprintf(w, "lbdyn_exchange_inbound_total{shard=\"%d\"} %d\n", j, in)
+		}
+	}
+
+	if len(x.phases) > 0 || x.seqTotal() > 0 {
+		counter("lbdyn_phase_nanos_total", "Wall-clock nanoseconds spent per round-pipeline phase (shard \"seq\" is the engine's sequential sections).")
+		for p := PhaseID(0); p < NumPhases; p++ {
+			if ns := x.seqPhases[p]; ns > 0 {
+				fmt.Fprintf(w, "lbdyn_phase_nanos_total{shard=\"seq\",phase=%q} %d\n", p, ns)
+			}
+		}
+		for i := range x.phases {
+			for p := PhaseID(0); p < NumPhases; p++ {
+				fmt.Fprintf(w, "lbdyn_phase_nanos_total{shard=\"%d\",phase=%q} %d\n", i, p, x.phases[i][p])
+			}
+		}
+	}
+
+	if len(x.costs) > 0 {
+		gauge("lbdyn_shard_cost_nanos", "Measured per-shard phase cost over the last telemetry window.")
+		for i := range x.costs {
+			fmt.Fprintf(w, "lbdyn_shard_cost_nanos{shard=\"%d\"} %d\n", i, x.costs[i].Nanos)
+		}
+		gauge("lbdyn_shard_lo", "First resource of the shard's range at the last telemetry report.")
+		for i := range x.costs {
+			fmt.Fprintf(w, "lbdyn_shard_lo{shard=\"%d\"} %d\n", i, x.costs[i].Lo)
+		}
+		gauge("lbdyn_shard_hi", "One past the last resource of the shard's range at the last telemetry report.")
+		for i := range x.costs {
+			fmt.Fprintf(w, "lbdyn_shard_hi{shard=\"%d\"} %d\n", i, x.costs[i].Hi)
+		}
+	}
+
+	counter("lbdyn_recovery_started_total", "Recovery episodes opened by scripted failures.")
+	fmt.Fprintf(w, "lbdyn_recovery_started_total %d\n", x.recovery.Started)
+	counter("lbdyn_recovery_drained_total", "Recovery episodes that drained back to their pre-failure baseline.")
+	fmt.Fprintf(w, "lbdyn_recovery_drained_total %d\n", x.recovery.Drained)
+	counter("lbdyn_recovery_censored_total", "Recovery episodes cut short by the next failure or the run's end.")
+	fmt.Fprintf(w, "lbdyn_recovery_censored_total %d\n", x.recovery.Censored)
+	gauge("lbdyn_recovery_last_peak_overload", "Peak overload fraction of the most recent recovery episode.")
+	fmt.Fprintf(w, "lbdyn_recovery_last_peak_overload %g\n", x.recovery.Last.PeakOverload)
+}
+
+func (x *Exporter) seqTotal() int64 {
+	var t int64
+	for _, ns := range x.seqPhases {
+		t += ns
+	}
+	return t
+}
+
+// exporterVars is the expvar snapshot shape ("lbdyn" variable).
+type exporterVars struct {
+	Published uint64              `json:"published"`
+	Dropped   uint64              `json:"dropped"`
+	Window    *WindowStats        `json:"window,omitempty"`
+	Shards    []ShardWindowStats  `json:"shards,omitempty"`
+	Domains   []DomainWindowStats `json:"domains,omitempty"`
+	Recovery  recoveryCounters    `json:"recovery"`
+}
+
+// vars drains the subscription and snapshots the expvar view.
+func (x *Exporter) vars() exporterVars {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.drainLocked()
+	v := exporterVars{
+		Published: x.b.Published(),
+		Dropped:   x.sub.Dropped(),
+		Shards:    append([]ShardWindowStats(nil), x.shards...),
+		Domains:   append([]DomainWindowStats(nil), x.doms...),
+		Recovery:  x.recovery,
+	}
+	if x.hasWindow {
+		wCopy := x.window
+		v.Window = &wCopy
+	}
+	return v
+}
+
+// The expvar package forbids re-publishing a name, so the "lbdyn" var
+// is registered once per process and reads whichever exporter is
+// current — tests and successive runs can each install their own.
+var (
+	expvarOnce    sync.Once
+	currentExport atomic.Pointer[Exporter]
+)
+
+// PublishExpvar makes this exporter the process's "lbdyn" expvar
+// source (visible at /debug/vars on any mux serving expvar.Handler).
+func (x *Exporter) PublishExpvar() {
+	currentExport.Store(x)
+	expvarOnce.Do(func() {
+		expvar.Publish("lbdyn", expvar.Func(func() any {
+			if e := currentExport.Load(); e != nil {
+				return e.vars()
+			}
+			return nil
+		}))
+	})
+}
+
+// Mux assembles the full export surface on one http.ServeMux:
+// /metrics (Prometheus text), /debug/vars (expvar, with this
+// exporter's "lbdyn" variable published), and /debug/pprof.
+func (x *Exporter) Mux() *http.ServeMux {
+	x.PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", x)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// publishSample pushes one event of every kind through the broker.
+func publishSample(b *Broker) {
+	evs := []Event{
+		{Kind: KindWindow, Round: 100, Window: WindowStats{
+			Start: 0, End: 100, OverloadFrac: 0.25, MeanLoad: 3.5, MaxLoad: 9,
+			P99Load: 8, P99LoadPerSpeed: 4, InFlight: 700, UpResources: 64,
+		}},
+		{Kind: KindShardWindow, Round: 100, ShardWindow: ShardWindowStats{
+			Shard: 0, Lo: 0, Hi: 32, Start: 0, End: 100,
+			OverloadFrac: 0.5, ArrivalRate: 12, InboundRate: 3, P99Load: 7.5, UpResources: 32,
+		}},
+		{Kind: KindShardWindow, Round: 100, ShardWindow: ShardWindowStats{
+			Shard: 1, Lo: 32, Hi: 64, Start: 0, End: 100,
+			OverloadFrac: 0.125, ArrivalRate: 10, UpResources: 32,
+		}},
+		{Kind: KindDomainWindow, Round: 100, DomainWindow: DomainWindowStats{
+			Level: "rack", Domain: 1, Name: "rack1", Start: 0, End: 100,
+			OverloadFrac: 0.75, MeanLoad: 5, UpResources: 7, DownResources: 1,
+		}},
+		{Kind: KindDomainWindow, Round: 100, DomainWindow: DomainWindowStats{
+			Level: "rack", Domain: 0, Name: "rack0", Start: 0, End: 100, UpResources: 8,
+		}},
+		{Kind: KindLanes, Round: 64, Lane: LaneStats{Shard: 0, Inbound: 41}},
+		{Kind: KindLanes, Round: 64, Lane: LaneStats{Shard: 1, Inbound: 17}},
+		{Kind: KindShardCost, Round: 64, ShardCost: ShardCost{
+			Shard: 0, ShardStat: ShardStat{Lo: 0, Hi: 32, Nanos: 123456}}},
+		{Kind: KindPhase, Round: 64, Phase: PhaseStats{Shard: 0,
+			Nanos: [NumPhases]int64{PhaseService: 900, PhasePropose: 300, PhaseDeliver: 200}}},
+		{Kind: KindPhase, Round: 64, Phase: PhaseStats{Shard: -1,
+			Nanos: [NumPhases]int64{PhaseArrivals: 400, PhaseTune: 100}}},
+		{Kind: KindRecoveryStart, Round: 40, Recovery: RecoveryEvent{
+			Round: 40, Downs: 8, EvacTasks: 120, EvacWeight: 240, DrainRounds: -1}},
+		{Kind: KindRecoveryEnd, Round: 55, Recovery: RecoveryEvent{
+			Round: 40, Downs: 8, EvacTasks: 120, EvacWeight: 240,
+			PeakOverload: 0.6, DrainRounds: 15}},
+	}
+	for i := range evs {
+		b.Publish(&evs[i])
+	}
+}
+
+func scrape(t *testing.T, h http.Handler, path string) string {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return string(body)
+}
+
+// TestExporterPrometheus checks the text exposition carries the fleet,
+// per-shard, per-domain, lane, phase and recovery series.
+func TestExporterPrometheus(t *testing.T) {
+	b := NewBroker()
+	x := NewExporter(b, 0)
+	defer x.Close()
+	publishSample(b)
+
+	body := scrape(t, x, "/")
+	for _, want := range []string{
+		"lbdyn_overload_frac 0.25",
+		"lbdyn_p99_load_per_speed 4",
+		"lbdyn_up_resources 64",
+		`lbdyn_shard_overload_frac{shard="0"} 0.5`,
+		`lbdyn_shard_overload_frac{shard="1"} 0.125`,
+		`lbdyn_shard_inbound_rate{shard="0"} 3`,
+		`lbdyn_shard_p99_load{shard="0"} 7.5`,
+		`lbdyn_domain_overload_frac{level="rack",domain="rack0"} 0`,
+		`lbdyn_domain_overload_frac{level="rack",domain="rack1"} 0.75`,
+		`lbdyn_domain_down_resources{level="rack",domain="rack1"} 1`,
+		`lbdyn_exchange_inbound_total{shard="0"} 41`,
+		`lbdyn_exchange_inbound_total{shard="1"} 17`,
+		`lbdyn_phase_nanos_total{shard="seq",phase="arrivals"} 400`,
+		`lbdyn_phase_nanos_total{shard="0",phase="service"} 900`,
+		`lbdyn_shard_cost_nanos{shard="0"} 123456`,
+		"lbdyn_recovery_started_total 1",
+		"lbdyn_recovery_drained_total 1",
+		"lbdyn_recovery_censored_total 0",
+		"lbdyn_events_dropped_total 0",
+		"# TYPE lbdyn_overload_frac gauge",
+		"# TYPE lbdyn_phase_nanos_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	// Domain rows render sorted by (level, domain) regardless of
+	// arrival order.
+	if i0, i1 := strings.Index(body, `domain="rack0"`), strings.Index(body, `domain="rack1"`); i0 > i1 {
+		t.Error("domain series not sorted by domain index")
+	}
+}
+
+// TestExporterAccumulates: lane and phase series are counters — two
+// telemetry windows sum.
+func TestExporterAccumulates(t *testing.T) {
+	b := NewBroker()
+	x := NewExporter(b, 0)
+	defer x.Close()
+	for i := 0; i < 2; i++ {
+		ev := Event{Kind: KindLanes, Round: 64 * (i + 1), Lane: LaneStats{Shard: 0, Inbound: 10}}
+		b.Publish(&ev)
+		ph := Event{Kind: KindPhase, Round: 64 * (i + 1), Phase: PhaseStats{Shard: 0,
+			Nanos: [NumPhases]int64{PhaseService: 5}}}
+		b.Publish(&ph)
+	}
+	body := scrape(t, x, "/")
+	if !strings.Contains(body, `lbdyn_exchange_inbound_total{shard="0"} 20`) {
+		t.Error("lane counter did not accumulate across telemetry windows")
+	}
+	if !strings.Contains(body, `lbdyn_phase_nanos_total{shard="0",phase="service"} 10`) {
+		t.Error("phase counter did not accumulate across telemetry windows")
+	}
+}
+
+// TestExporterMux covers the /metrics, expvar and pprof endpoints on
+// the assembled mux.
+func TestExporterMux(t *testing.T) {
+	b := NewBroker()
+	x := NewExporter(b, 0)
+	defer x.Close()
+	publishSample(b)
+	mux := x.Mux()
+
+	metrics := scrape(t, mux, "/metrics")
+	if !strings.Contains(metrics, "lbdyn_overload_frac 0.25") {
+		t.Error("/metrics missing fleet overload series")
+	}
+
+	vars := scrape(t, mux, "/debug/vars")
+	var parsed map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(vars), &parsed); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	raw, ok := parsed["lbdyn"]
+	if !ok {
+		t.Fatal("/debug/vars missing the lbdyn variable")
+	}
+	var v struct {
+		Published uint64 `json:"published"`
+		Window    *struct {
+			OverloadFrac float64 `json:"overload_frac"`
+		} `json:"window"`
+	}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("lbdyn expvar shape: %v", err)
+	}
+	if v.Published == 0 || v.Window == nil || v.Window.OverloadFrac != 0.25 {
+		t.Errorf("lbdyn expvar = %s, want published > 0 and window.overload_frac 0.25", raw)
+	}
+
+	pprofIdx := scrape(t, mux, "/debug/pprof/")
+	if !strings.Contains(pprofIdx, "goroutine") {
+		t.Error("/debug/pprof/ index missing profiles")
+	}
+}
+
+// TestExporterSecondInstance: a second exporter (a new run) takes over
+// the process-wide expvar slot instead of panicking on re-publish.
+func TestExporterSecondInstance(t *testing.T) {
+	b1 := NewBroker()
+	x1 := NewExporter(b1, 0)
+	x1.PublishExpvar()
+	x1.Close()
+	b1.Close()
+
+	b2 := NewBroker()
+	x2 := NewExporter(b2, 0)
+	defer x2.Close()
+	publishSample(b2)
+	x2.PublishExpvar() // must not panic
+	v := x2.vars()
+	if v.Published == 0 {
+		t.Error("second exporter's vars see no events")
+	}
+}

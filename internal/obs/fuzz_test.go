@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEventsJSONL pins the event-sink reader's contract: arbitrary
+// input either parses or returns an error — never a panic — and
+// anything that parses survives a write → read roundtrip unchanged
+// (the codec is lossless on its own output).
+func FuzzReadEventsJSONL(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteEvents(&valid, sampleEvents()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.String())
+	f.Add("# comment only\n")
+	f.Add(`{"kind":"lanes","seq":1,"round":64,"lane":{"shard":0,"inbound":5}}` + "\n")
+	f.Add(`{"kind":"phase","round":64,"phase":{"shard":-1,"arrivals":400,"tune":100}}` + "\n")
+	f.Add(`{"kind":"recovery_end","round":55,"recovery":{"round":40,"downs":8,"drain_rounds":15}}` + "\n")
+	f.Add(`{"kind":"window","round":1}`)
+	f.Add(`{"kind":"nope","round":1,"lane":{}}`)
+	f.Add(`{"kind":"lanes","round":1,"lane":{"shard":0},"window":{}}`)
+	f.Add("{not json}\n\x00\xff")
+	f.Add(`{"kind":"domain_window","round":9,"domain_window":{"level":"zone","domain":0,"name":"z0"}}`)
+
+	f.Fuzz(func(t *testing.T, in string) {
+		evs, err := ReadEvents(strings.NewReader(in))
+		if err != nil {
+			return // rejected cleanly
+		}
+		var out bytes.Buffer
+		if err := WriteEvents(&out, evs); err != nil {
+			t.Fatalf("WriteEvents rejects events ReadEvents accepted: %v", err)
+		}
+		again, err := ReadEvents(&out)
+		if err != nil {
+			t.Fatalf("re-read of re-encoded events fails: %v", err)
+		}
+		if len(evs) == 0 {
+			evs = nil
+		}
+		if !reflect.DeepEqual(again, evs) {
+			t.Fatalf("roundtrip not stable:\nfirst  %+v\nsecond %+v", evs, again)
+		}
+	})
+}

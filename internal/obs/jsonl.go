@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// The JSONL event sink: one event object per line, for offline
+// analysis of a run's telemetry stream. The wire format names the kind
+// and carries exactly one payload object under the kind's field:
+//
+//	{"kind":"window","seq":12,"round":100,"window":{"start":0,...}}
+//	{"kind":"phase","seq":13,"round":64,"phase":{"shard":0,"service":812345,...}}
+//
+// WriteEvents/ReadEvents are the symmetric codec; Sink pumps a
+// subscription to an io.Writer on its own goroutine (the engine never
+// blocks on the file — a slow disk shows up as counted drops, not
+// backpressure).
+
+// wireEvent is the JSONL line shape. Payload fields are pointers so
+// exactly the kind's payload is present on the wire, and so the reader
+// can tell a missing payload from a zero one.
+type wireEvent struct {
+	Kind  string `json:"kind"`
+	Seq   uint64 `json:"seq"`
+	Round int    `json:"round"`
+
+	Window       *WindowStats       `json:"window,omitempty"`
+	ShardWindow  *ShardWindowStats  `json:"shard_window,omitempty"`
+	DomainWindow *DomainWindowStats `json:"domain_window,omitempty"`
+	Lane         *LaneStats         `json:"lane,omitempty"`
+	ShardCost    *ShardCost         `json:"shard_cost,omitempty"`
+	Phase        *wirePhase         `json:"phase,omitempty"`
+	Recovery     *RecoveryEvent     `json:"recovery,omitempty"`
+}
+
+// wirePhase flattens a PhaseStats nanos array into named per-phase
+// fields, so offline tooling never depends on PhaseID ordering.
+type wirePhase struct {
+	Shard    int   `json:"shard"`
+	Arrivals int64 `json:"arrivals"`
+	Service  int64 `json:"service"`
+	Tune     int64 `json:"tune"`
+	Propose  int64 `json:"propose"`
+	Deliver  int64 `json:"deliver"`
+	Evacuate int64 `json:"evacuate"`
+}
+
+func toWirePhase(p PhaseStats) *wirePhase {
+	return &wirePhase{
+		Shard:    p.Shard,
+		Arrivals: p.Nanos[PhaseArrivals],
+		Service:  p.Nanos[PhaseService],
+		Tune:     p.Nanos[PhaseTune],
+		Propose:  p.Nanos[PhasePropose],
+		Deliver:  p.Nanos[PhaseDeliver],
+		Evacuate: p.Nanos[PhaseEvac],
+	}
+}
+
+func fromWirePhase(p *wirePhase) PhaseStats {
+	ps := PhaseStats{Shard: p.Shard}
+	ps.Nanos[PhaseArrivals] = p.Arrivals
+	ps.Nanos[PhaseService] = p.Service
+	ps.Nanos[PhaseTune] = p.Tune
+	ps.Nanos[PhasePropose] = p.Propose
+	ps.Nanos[PhaseDeliver] = p.Deliver
+	ps.Nanos[PhaseEvac] = p.Evacuate
+	return ps
+}
+
+// toWire converts one event to its line shape.
+func toWire(ev *Event) (wireEvent, error) {
+	w := wireEvent{Kind: ev.Kind.String(), Seq: ev.Seq, Round: ev.Round}
+	switch ev.Kind {
+	case KindWindow:
+		p := ev.Window
+		w.Window = &p
+	case KindShardWindow:
+		p := ev.ShardWindow
+		w.ShardWindow = &p
+	case KindDomainWindow:
+		p := ev.DomainWindow
+		w.DomainWindow = &p
+	case KindLanes:
+		p := ev.Lane
+		w.Lane = &p
+	case KindShardCost:
+		p := ev.ShardCost
+		w.ShardCost = &p
+	case KindPhase:
+		w.Phase = toWirePhase(ev.Phase)
+	case KindRecoveryStart, KindRecoveryEnd:
+		p := ev.Recovery
+		w.Recovery = &p
+	default:
+		return w, fmt.Errorf("obs: cannot encode event of unknown kind %d", ev.Kind)
+	}
+	return w, nil
+}
+
+// WriteEvents encodes events as JSONL, one object per line.
+func WriteEvents(w io.Writer, evs []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range evs {
+		we, err := toWire(&evs[i])
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(we); err != nil {
+			return fmt.Errorf("obs: events jsonl: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEvents parses a JSONL event stream written by WriteEvents (or by
+// hand): blank lines and '#' comments are skipped, unknown fields and
+// unknown kinds are errors, and every error carries its line number.
+// Malformed input returns an error — never a panic — which the fuzz
+// harness pins.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var evs []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var we wireEvent
+		dec := json.NewDecoder(strings.NewReader(text))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&we); err != nil {
+			return nil, fmt.Errorf("obs: events jsonl line %d: %w", line, err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("obs: events jsonl line %d: trailing data after the event object", line)
+		}
+		ev, err := fromWire(&we)
+		if err != nil {
+			return nil, fmt.Errorf("obs: events jsonl line %d: %w", line, err)
+		}
+		evs = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: events jsonl: %w", err)
+	}
+	return evs, nil
+}
+
+// fromWire converts one line shape back to an event, checking that the
+// payload present matches the declared kind.
+func fromWire(we *wireEvent) (Event, error) {
+	k, ok := KindFromString(we.Kind)
+	if !ok {
+		return Event{}, fmt.Errorf("unknown kind %q", we.Kind)
+	}
+	ev := Event{Kind: k, Seq: we.Seq, Round: we.Round}
+	payloads := 0
+	if we.Window != nil {
+		payloads++
+		ev.Window = *we.Window
+		if k != KindWindow {
+			return Event{}, fmt.Errorf("kind %q carries a %q payload", we.Kind, "window")
+		}
+	}
+	if we.ShardWindow != nil {
+		payloads++
+		ev.ShardWindow = *we.ShardWindow
+		if k != KindShardWindow {
+			return Event{}, fmt.Errorf("kind %q carries a %q payload", we.Kind, "shard_window")
+		}
+	}
+	if we.DomainWindow != nil {
+		payloads++
+		ev.DomainWindow = *we.DomainWindow
+		if k != KindDomainWindow {
+			return Event{}, fmt.Errorf("kind %q carries a %q payload", we.Kind, "domain_window")
+		}
+	}
+	if we.Lane != nil {
+		payloads++
+		ev.Lane = *we.Lane
+		if k != KindLanes {
+			return Event{}, fmt.Errorf("kind %q carries a %q payload", we.Kind, "lane")
+		}
+	}
+	if we.ShardCost != nil {
+		payloads++
+		ev.ShardCost = *we.ShardCost
+		if k != KindShardCost {
+			return Event{}, fmt.Errorf("kind %q carries a %q payload", we.Kind, "shard_cost")
+		}
+	}
+	if we.Phase != nil {
+		payloads++
+		ev.Phase = fromWirePhase(we.Phase)
+		if k != KindPhase {
+			return Event{}, fmt.Errorf("kind %q carries a %q payload", we.Kind, "phase")
+		}
+	}
+	if we.Recovery != nil {
+		payloads++
+		ev.Recovery = *we.Recovery
+		if k != KindRecoveryStart && k != KindRecoveryEnd {
+			return Event{}, fmt.Errorf("kind %q carries a %q payload", we.Kind, "recovery")
+		}
+	}
+	if payloads != 1 {
+		return Event{}, fmt.Errorf("kind %q must carry exactly one payload, got %d", we.Kind, payloads)
+	}
+	return ev, nil
+}
+
+// Sink pumps a broker subscription to an io.Writer as JSONL on its own
+// goroutine. Construct with NewSink; Close drains what is buffered,
+// flushes, and reports the first write error.
+type Sink struct {
+	sub  *Subscription
+	done chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewSink subscribes to the broker (all kinds unless o.Kinds narrows
+// them) and starts the pump goroutine. Returns nil if the broker is
+// already closed. The pump stops when the broker closes or Close is
+// called.
+func NewSink(w io.Writer, b *Broker, o SubOptions) *Sink {
+	sub := b.Subscribe(o)
+	if sub == nil {
+		return nil
+	}
+	s := &Sink{sub: sub, done: make(chan struct{})}
+	go s.pump(w)
+	return s
+}
+
+func (s *Sink) pump(w io.Writer) {
+	defer close(s.done)
+	bw := bufio.NewWriterSize(w, 64*1024)
+	enc := json.NewEncoder(bw)
+	buf := make([]Event, 0, 256)
+	for {
+		evs := s.sub.Wait(buf)
+		if evs == nil {
+			break
+		}
+		for i := range evs {
+			we, err := toWire(&evs[i])
+			if err == nil {
+				err = enc.Encode(we)
+			}
+			if err != nil {
+				s.setErr(err)
+				// Keep draining so the publisher-side ring empties, but
+				// stop writing.
+				for s.sub.Wait(buf) != nil {
+				}
+				return
+			}
+		}
+		buf = evs
+	}
+	s.setErr(bw.Flush())
+}
+
+func (s *Sink) setErr(err error) {
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = fmt.Errorf("obs: event sink: %w", err)
+	}
+	s.mu.Unlock()
+}
+
+// Close stops the pump after the buffered events drain and returns the
+// first error the sink hit (nil on a clean run). Safe to call after
+// the broker closed; idempotent.
+func (s *Sink) Close() error {
+	s.sub.Close()
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

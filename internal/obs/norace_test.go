@@ -1,0 +1,6 @@
+//go:build !race
+
+package obs
+
+// raceEnabled mirrors race_test.go for regular builds.
+const raceEnabled = false

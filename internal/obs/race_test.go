@@ -1,0 +1,9 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports that this test binary runs under the race
+// detector: allocation assertions are skipped there, since the
+// instrumented runtime's bookkeeping shows up as spurious allocs. The
+// zero-alloc contracts are enforced by the regular CI test job.
+const raceEnabled = true

@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -122,6 +123,22 @@ func (t *Topology) RackName(k int) string { return t.rackNames[k] }
 
 // ZoneName returns zone z's human-readable name.
 func (t *Topology) ZoneName(z int) string { return t.zoneNames[z] }
+
+// ObsDomains converts the topology into the observability layer's
+// per-level domain labellings — level "rack" first, then level "zone"
+// — so a dynamic run streams one DomainWindowStats event per rack and
+// per zone per metrics window (dynamic.Config.Domains). The label
+// slices alias the topology's immutable internals.
+func (t *Topology) ObsDomains() []obs.Domains {
+	zoneOf := make([]int32, t.N())
+	for r := range zoneOf {
+		zoneOf[r] = t.zoneOfRack[t.rackOf[r]]
+	}
+	return []obs.Domains{
+		{Level: "rack", Of: t.rackOf, Names: t.rackNames},
+		{Level: "zone", Of: zoneOf, Names: t.zoneNames},
+	}
+}
 
 // RackList returns rack k's members as ints, appended to dst — the
 // form ChurnEvent.DownList wants, so "kill rack k at round T" is one

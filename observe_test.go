@@ -1,0 +1,123 @@
+package thresholdlb
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestPublicObservabilitySurface drives the whole exported
+// observability API in one run: a shared broker feeding a masked
+// subscription, a JSONL sink, and a Prometheus/expvar exporter, with
+// per-domain windows from a synthetic topology — and pins that none of
+// it perturbs the Result.
+func TestPublicObservabilitySurface(t *testing.T) {
+	const n = 128
+	build := func() DynamicScenario {
+		return DynamicScenario{
+			Graph:    CompleteGraph(n),
+			Protocol: UserBased,
+			Epsilon:  0.5,
+			Rounds:   150,
+			Window:   50,
+			Arrivals: PoissonArrivals(0.8*n/1.95, ParetoDist(2, 20)),
+			Service:  WeightProportionalService(1),
+			Seed:     9,
+			Workers:  4,
+		}
+	}
+	plain := build()
+	ref, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	topo, err := SynthTopology(n, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := build()
+	sc.Domains = ObsDomains(topo)
+	sub := sc.Subscribe(ObsSubOptions{Capacity: 1 << 14,
+		Kinds: ObsMask(KindWindow, KindShardWindow, KindDomainWindow)})
+	exp := NewObsExporter(sc.Obs, 1<<14)
+	if exp == nil {
+		t.Fatal("NewObsExporter returned nil on an open broker")
+	}
+	var jsonl bytes.Buffer
+	sink := NewObsSink(&jsonl, sc.Obs, ObsSubOptions{Capacity: 1 << 14})
+	if sink == nil {
+		t.Fatal("NewObsSink returned nil on an open broker")
+	}
+
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Obs.Close()
+	if err := sink.Close(); err != nil {
+		t.Fatalf("sink.Close: %v", err)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Fatalf("observability attachments changed the Result:\ngot  %+v\nwant %+v", res, ref)
+	}
+
+	// The masked subscription saw exactly the window kinds.
+	events := 0
+	buf := make([]ObsEvent, 0, 256)
+	for evs := sub.Poll(buf); len(evs) > 0; evs = sub.Poll(buf) {
+		for _, ev := range evs {
+			switch ev.Kind {
+			case KindWindow, KindShardWindow, KindDomainWindow:
+				events++
+			default:
+				t.Fatalf("mask leak: %v event on a window-only subscription", ev.Kind)
+			}
+		}
+	}
+	if events == 0 {
+		t.Fatal("subscription saw no window events")
+	}
+
+	// The sink's JSONL reads back losslessly and includes domain
+	// windows for both topology levels.
+	evs, err := ReadObsEvents(bytes.NewReader(jsonl.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadObsEvents: %v", err)
+	}
+	levels := map[string]bool{}
+	for _, ev := range evs {
+		if ev.Kind == KindDomainWindow {
+			levels[ev.DomainWindow.Level] = true
+		}
+	}
+	if !levels["rack"] || !levels["zone"] {
+		t.Fatalf("sink stream missing domain levels: %v", levels)
+	}
+	var rt bytes.Buffer
+	if err := WriteObsEvents(&rt, evs); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadObsEvents(&rt)
+	if err != nil || !reflect.DeepEqual(again, evs) {
+		t.Fatalf("event stream does not roundtrip (err %v)", err)
+	}
+
+	// The exporter scrapes as Prometheus text with per-shard and
+	// per-domain series.
+	rec := httptest.NewRecorder()
+	exp.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"lbdyn_overload_frac ",
+		`lbdyn_shard_overload_frac{shard="0"}`,
+		`lbdyn_domain_up_resources{level="zone",domain="zone0"}`,
+		`lbdyn_phase_nanos_total{shard="seq",phase="arrivals"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
