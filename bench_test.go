@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dynamic"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -291,6 +292,43 @@ func BenchmarkDynamicRoundObserved(b *testing.B) {
 	<-done
 	if seen == 0 {
 		b.Fatal("active subscription saw no events")
+	}
+}
+
+// BenchmarkDynamicRoundFaulty: the BenchmarkDynamicRound10k workload
+// with the unreliable-network layer active — 1% message loss (retried
+// with capped backoff off the in-flight ledger, re-homed on timeout),
+// a 0.5% chance of a 1–4 round delay and 0.1% duplication. One op is
+// one simulated round; the delta against BenchmarkDynamicRound10k is
+// the full cost of fault draws, ledger/wheel upkeep and the extra
+// late-delivery exchange.
+func BenchmarkDynamicRoundFaulty(b *testing.B) {
+	const n = 10_000
+	g := graph.RandomRegular(n, 16, newBenchRand())
+	cfg := dynamic.Config{
+		Graph:    g,
+		Protocol: core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+		Arrivals: dynamic.Poisson{Rate: 0.8 * float64(n) / 1.95,
+			Weights: task.Pareto{Alpha: 2, Cap: 20}},
+		Service: dynamic.WeightProportional{Rate: 1},
+		Tuner: &dynamic.SelfTuner{Eps: 0.5, Steps: 2,
+			Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+		Faults: &faults.Plan{Loss: 0.01, DelayProb: 0.005, DelayMax: 4,
+			DupProb: 0.001, RetryBase: 1, RetryCap: 8, Timeout: 30},
+		Rounds:  b.N,
+		Window:  1 << 30,
+		Seed:    0x9e3779b97f4a7c15,
+		Workers: runtime.GOMAXPROCS(0),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := dynamic.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if b.N > 100 && res.Lost == 0 {
+		b.Fatal("fault layer injected nothing")
 	}
 }
 

@@ -67,6 +67,13 @@ func (d *debugRenderer) apply(ev *obs.Event) {
 			d.phases[p] += ns
 		}
 		d.flush()
+	case obs.KindFaults:
+		// The fault snapshot trails the phase profile that closed the
+		// window, so it renders directly rather than via the buffer.
+		f := ev.Faults
+		fmt.Fprintf(d.w, "[faults] round %d lost=%d retries=%d timeouts=%d delayed=%d dup=%d dedup=%d blocked=%d bounced=%d ledger=%d(w=%.0f) quarantined=%d\n",
+			ev.Round, f.Lost, f.Retries, f.Timeouts, f.Delayed, f.Duplicated, f.Deduped,
+			f.PartitionBlocked, f.Bounced, f.Ledger, f.LedgerWeight, f.Quarantined)
 	}
 }
 

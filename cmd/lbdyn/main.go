@@ -14,6 +14,8 @@
 //	lbdyn -graph expander -n 1000 -k 8 -proto resource -speedspread 10 -dispatch speed
 //	lbdyn -graph complete -n 500 -speeds fleet.csv -dispatch power2 -rho 0.85
 //	lbdyn -graph complete -n 1000 -metrics-addr :9090 -events-out run.jsonl
+//	lbdyn -graph complete -n 1000 -loss 0.01 -retry 1:8:30 -quarantine 3:50:100
+//	lbdyn -graph torus -n 1024 -synthracks 16 -partition 2:100:200 -dup 0.001
 //
 // -workers shards the round pipeline across a persistent worker pool;
 // results are bit-identical for every worker count (0 = GOMAXPROCS).
@@ -45,6 +47,8 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	lb "repro"
@@ -119,6 +123,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics, expvar and pprof on this address for the duration of the run (e.g. :9090)")
 		eventsOut   = fs.String("events-out", "", "stream the engine's event feed (windows, lanes, phases, recovery episodes) as JSONL to this file (- = stdout)")
+
+		loss       = fs.Float64("loss", 0, "per-migration loss probability (lost moves are ledgered and retried with backoff)")
+		delayProb  = fs.Float64("delayprob", 0, "per-migration delay probability (delayed moves deliver 1..delaymax rounds late)")
+		delayMax   = fs.Int("delaymax", 4, "maximum extra rounds a delayed migration spends in flight")
+		dup        = fs.Float64("dup", 0, "per-migration duplication probability (late copies are deduped on arrival)")
+		retrySpec  = fs.String("retry", "", "lost-message retry policy BASE:CAP:TIMEOUT in rounds (default 1:8:30)")
+		partition  = fs.String("partition", "", "scripted partition windows RACK:START:END, comma-separated (needs -topology or -synthracks)")
+		faultPlan  = fs.String("faultplan", "", "load a fault plan (.csv kind,a,b,c or .jsonl directives); mutually exclusive with -loss/-delayprob/-dup/-retry/-partition")
+		quarantine = fs.String("quarantine", "", "flapping hold-down FLAPS:WINDOW:COOLOFF — quarantine a resource after FLAPS transitions within a WINDOW-round window for COOLOFF rounds")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -298,6 +311,63 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	// Unreliable-network plan: a fault-plan file, or assembled from the
+	// scalar fault flags. Either way the plan is validated against the
+	// fleet before the run starts.
+	var plan *lb.FaultPlan
+	scalarFaults := *loss > 0 || *delayProb > 0 || *dup > 0 || *retrySpec != "" || *partition != ""
+	switch {
+	case *faultPlan != "" && scalarFaults:
+		return fmt.Errorf("-faultplan and the scalar fault flags (-loss/-delayprob/-dup/-retry/-partition) are mutually exclusive")
+	case *faultPlan != "":
+		if plan, err = lb.LoadFaultPlan(*faultPlan, g.N()); err != nil {
+			return err
+		}
+	case scalarFaults:
+		plan = &lb.FaultPlan{Loss: *loss, DelayProb: *delayProb, DelayMax: *delayMax, DupProb: *dup}
+		if *retrySpec != "" {
+			if plan.RetryBase, plan.RetryCap, plan.Timeout, err = parseTriple(*retrySpec); err != nil {
+				return fmt.Errorf("-retry: %w (want BASE:CAP:TIMEOUT)", err)
+			}
+		}
+		if *partition != "" {
+			if topo == nil {
+				return fmt.Errorf("-partition needs -topology or -synthracks to name racks")
+			}
+			for _, ent := range strings.Split(*partition, ",") {
+				rack, start, end, err := parseTriple(ent)
+				if err != nil {
+					return fmt.Errorf("-partition: %w (want RACK:START:END)", err)
+				}
+				if rack < 0 || rack >= topo.Racks() {
+					return fmt.Errorf("-partition %q: rack %d out of range [0,%d)", ent, rack, topo.Racks())
+				}
+				plan.Partitions = append(plan.Partitions, lb.PartitionRack(topo, rack, start, end))
+			}
+		}
+		if err := plan.Validate(g.N()); err != nil {
+			return err
+		}
+	}
+
+	var quar lb.QuarantineSpec
+	if *quarantine != "" {
+		if quar.Flaps, quar.Window, quar.Cooloff, err = parseTriple(*quarantine); err != nil {
+			return fmt.Errorf("-quarantine: %w (want FLAPS:WINDOW:COOLOFF)", err)
+		}
+		if quar.Flaps <= 0 {
+			return fmt.Errorf("-quarantine: FLAPS must be positive, got %d", quar.Flaps)
+		}
+		// Normalise to the engine's defaults so the header line shows
+		// the effective policy.
+		if quar.Window == 0 {
+			quar.Window = 50
+		}
+		if quar.Cooloff == 0 {
+			quar.Cooloff = 100
+		}
+	}
+
 	nWorkers := *workers
 	if nWorkers <= 0 {
 		nWorkers = runtime.GOMAXPROCS(0)
@@ -320,6 +390,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Rehome:           rehomer,
 		OracleThresholds: *oracle,
 		Churn:            spec,
+		Faults:           plan,
+		Quarantine:       quar,
 		CheckInvariants:  *check,
 		OnWindow: func(w lb.WindowStats) {
 			p99 := w.P99Load
@@ -347,7 +419,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *shardDebug {
 		debug = newDebugRenderer(stderr, sc.Subscribe(lb.ObsSubOptions{
 			Capacity: 4096,
-			Kinds:    obs.Mask(obs.KindLanes, obs.KindShardCost, obs.KindPhase),
+			Kinds:    obs.Mask(obs.KindLanes, obs.KindShardCost, obs.KindPhase, obs.KindFaults),
 		}))
 	}
 
@@ -401,6 +473,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 	} else if len(spec.Events) > 0 || *rehome != "uniform" {
 		fmt.Fprintf(stdout, "rehome:    %s  events: %d\n", rehomer.Name(), len(spec.Events))
 	}
+	if plan.Active() || *quarantine != "" {
+		fmt.Fprintf(stdout, "faults:    ")
+		if plan.Active() {
+			eff := *plan
+			if eff.RetryBase == 0 {
+				eff.RetryBase = 1
+			}
+			if eff.RetryCap == 0 {
+				eff.RetryCap = 8
+			}
+			if eff.Timeout == 0 {
+				eff.Timeout = 30
+			}
+			fmt.Fprintf(stdout, "loss=%g delay=%g(max %d) dup=%g retry=%d:%d:%d partitions=%d",
+				eff.Loss, eff.DelayProb, eff.DelayMax, eff.DupProb,
+				eff.RetryBase, eff.RetryCap, eff.Timeout, len(eff.Partitions))
+		} else {
+			fmt.Fprintf(stdout, "none")
+		}
+		if *quarantine != "" {
+			fmt.Fprintf(stdout, "  quarantine=%d:%d:%d", quar.Flaps, quar.Window, quar.Cooloff)
+		}
+		fmt.Fprintln(stdout)
+	}
 	if metricsURL != "" {
 		fmt.Fprintf(stdout, "metrics:   %s/metrics (expvar /debug/vars, pprof /debug/pprof/)\n", metricsURL)
 	}
@@ -445,6 +541,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "churn:      %d downs, %d ups, %d tasks re-homed (weight %.0f)\n",
 			res.Downs, res.Ups, res.Rehomed, res.RehomedWeight)
 	}
+	if res.Lost > 0 || res.Delayed > 0 || res.Duplicated > 0 || res.PartitionBlocked > 0 || res.Timeouts > 0 {
+		fmt.Fprintf(stdout, "faults:     %d lost (%d retries, %d timeouts), %d delayed, %d duplicated (%d deduped), %d partition-blocked\n",
+			res.Lost, res.Retries, res.Timeouts, res.Delayed, res.Duplicated, res.Deduped, res.PartitionBlocked)
+	}
+	if res.FinalLedger > 0 {
+		fmt.Fprintf(stdout, "ledger:     %d moves still in flight (weight %.0f)\n", res.FinalLedger, res.FinalLedgerWeight)
+	}
+	if res.Bounced > 0 {
+		fmt.Fprintf(stdout, "bounced:    %d deliveries returned to source (weight %.0f)\n", res.Bounced, res.BouncedWeight)
+	}
+	if res.Quarantined > 0 {
+		fmt.Fprintf(stdout, "quarantine: %d flapping holds\n", res.Quarantined)
+	}
 	if len(res.Recoveries) > 0 {
 		drained := 0
 		for _, rs := range res.Recoveries {
@@ -465,6 +574,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, "steady overload: run at least 3 windows for a warmed-up figure")
 	}
 	return nil
+}
+
+// parseTriple parses a colon-separated "A:B:C" integer triple, the
+// shape shared by -retry, -partition entries and -quarantine.
+func parseTriple(s string) (a, b, c int, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("%q is not an A:B:C triple", s)
+	}
+	var v [3]int
+	for i, p := range parts {
+		if v[i], err = strconv.Atoi(strings.TrimSpace(p)); err != nil {
+			return 0, 0, 0, fmt.Errorf("bad field %q in %q", p, s)
+		}
+	}
+	return v[0], v[1], v[2], nil
 }
 
 func protocolKind(s string) (lb.ProtocolKind, error) {

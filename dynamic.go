@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dynamic"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/task"
@@ -105,6 +106,45 @@ func LoadChurnEvents(path string, n int) ([]ChurnEvent, error) {
 	return dynamic.LoadEventsFile(path, n)
 }
 
+// FaultPlan configures the deterministic message-fault layer of a
+// dynamic run: per-message loss (lost migrations enter an in-flight
+// ledger and retry with capped exponential backoff until a timeout
+// re-homes them at their source), bounded delays (delivery k rounds
+// late in canonical order), duplication (late copies deduped on
+// arrival), and scripted partition windows (cut migrations bounce to
+// their source while dispatch and the threshold tuner see only the
+// reachable component). Every decision is a stateless keyed draw, so
+// faulty runs replay bit-identically for every worker count. The zero
+// value injects nothing.
+type FaultPlan = faults.Plan
+
+// FaultPartition scripts one connectivity window of a FaultPlan: during
+// rounds [Start, End) the member resources form their own network
+// component.
+type FaultPartition = faults.Partition
+
+// QuarantineSpec configures the flapping-resource hold-down: a resource
+// whose churn transitions reach Flaps within a tumbling Window is held
+// down for Cooloff rounds, its rejoin deferred until the hold expires.
+// The zero value disables quarantining.
+type QuarantineSpec = dynamic.Quarantine
+
+// LoadFaultPlan reads a fault plan for an n-resource system: .csv holds
+// kind,a,b,c directives (loss,P · delay,P,MAX · dup,P ·
+// retry,BASE,CAP,TIMEOUT · seed,S · partition,START,END,MEMBERS with
+// members as ranges "0-99;256"), .jsonl/.ndjson/.json holds one
+// directive object per line. The full plan validation runs at load time
+// with line-numbered errors.
+func LoadFaultPlan(path string, n int) (*FaultPlan, error) {
+	return faults.LoadPlanFile(path, n)
+}
+
+// PartitionRack builds the partition window that cuts one topology rack
+// off the fleet during rounds [start, end).
+func PartitionRack(topo *Topology, rack, start, end int) FaultPartition {
+	return FaultPartition{Start: start, End: end, Members: topo.RackList(rack, nil)}
+}
+
 // UniformRehome re-homes each evacuated task to a uniformly random up
 // resource — the engine's default (and original) evacuation rule.
 func UniformRehome() RehomePolicy { return dynamic.UniformRehome{} }
@@ -175,7 +215,8 @@ type (
 
 // The event taxonomy: fleet, per-shard and per-failure-domain window
 // statistics, exchange lane occupancy, per-shard measured cost,
-// per-phase wall-clock profiles, and recovery-episode transitions.
+// per-phase wall-clock profiles, recovery-episode transitions,
+// cumulative message-fault counters, and quarantine transitions.
 const (
 	KindWindow        = obs.KindWindow
 	KindShardWindow   = obs.KindShardWindow
@@ -185,6 +226,16 @@ const (
 	KindPhase         = obs.KindPhase
 	KindRecoveryStart = obs.KindRecoveryStart
 	KindRecoveryEnd   = obs.KindRecoveryEnd
+	KindFaults        = obs.KindFaults
+	KindQuarantine    = obs.KindQuarantine
+)
+
+// FaultStats is the cumulative message-fault snapshot carried by
+// KindFaults events; QuarantineEvent is the per-transition payload of
+// KindQuarantine events.
+type (
+	FaultStats      = obs.FaultStats
+	QuarantineEvent = obs.QuarantineEvent
 )
 
 // ObsMask builds a subscription kind filter from event kinds.
@@ -396,6 +447,15 @@ type DynamicScenario struct {
 	TunerSteps int
 	// Churn enables resource join/leave; zero value disables.
 	Churn ChurnSpec
+	// Faults configures the unreliable-network mode (message loss with
+	// retry/timeout, bounded delays, duplication, scripted partition
+	// windows); nil — or an all-zero plan — injects nothing and keeps
+	// the fault-free hot path byte-identical. See FaultPlan and
+	// LoadFaultPlan.
+	Faults *FaultPlan
+	// Quarantine enables the flapping-resource hold-down; the zero
+	// value disables it.
+	Quarantine QuarantineSpec
 	// InitialWeights/InitialPlacement optionally pre-populate the
 	// system (nil placement puts all initial tasks on resource 0).
 	InitialWeights   []float64
@@ -526,6 +586,8 @@ func (sc DynamicScenario) Run() (DynamicResult, error) {
 		Rehome:           sc.Rehome,
 		Tuner:            tuner,
 		Churn:            sc.Churn,
+		Faults:           sc.Faults,
+		Quarantine:       sc.Quarantine,
 		Rounds:           sc.Rounds,
 		Window:           sc.Window,
 		Seed:             sc.Seed,

@@ -47,7 +47,21 @@ type State struct {
 
 	// Reusable scratch for DeliverMigrations' canonical sort.
 	sortScratch []Migration
+
+	// In-flight ledger totals, maintained by the fault layer via
+	// MarkInFlight/ClearInFlight: live tasks currently held off every
+	// stack (loc == LocInFlight) because their migration message was
+	// lost or delayed. Weight conservation holds over placed +
+	// in-flight mass, which CheckInvariants verifies.
+	inflightN int
+	inflightW float64
 }
+
+// LocInFlight is the Location sentinel for a live task held by the
+// message-fault layer: off every stack, waiting in the in-flight
+// ledger or the delay wheel. (-1 marks departed or mid-delivery
+// limbo, as before.)
+const LocInFlight = -2
 
 // NewState places the task set on g's resources according to placement
 // (task ID → resource) and computes thresholds with policy. seed
@@ -227,9 +241,33 @@ func (s *State) AcceptFraction() float64 {
 	return float64(c) / float64(len(s.stacks))
 }
 
+// MarkInFlight records that live task t was pulled off the migration
+// path by the fault layer: its location becomes LocInFlight and its
+// weight moves from placed to in-flight mass. Sequential use only.
+func (s *State) MarkInFlight(t task.Task) {
+	s.loc[t.ID] = LocInFlight
+	s.inflightN++
+	s.inflightW += t.Weight
+}
+
+// ClearInFlight releases task t from the in-flight ledger just before
+// its (re-)delivery; the delivery itself rewrites the location.
+func (s *State) ClearInFlight(t task.Task) {
+	s.inflightN--
+	s.inflightW -= t.Weight
+	if s.inflightN == 0 {
+		s.inflightW = 0 // shed float residue at the natural zero
+	}
+}
+
+// InFlightLedger returns the count and total weight of live tasks
+// currently held off-stack by the fault layer.
+func (s *State) InFlightLedger() (int, float64) { return s.inflightN, s.inflightW }
+
 // CheckInvariants validates global conservation: every task is on
-// exactly one resource, the location map agrees with the stacks, loads
-// equal summed weights, and total weight equals W.
+// exactly one resource or accounted in-flight by the fault layer, the
+// location map agrees with the stacks, loads equal summed weights,
+// and placed + in-flight weight equals W.
 func (s *State) CheckInvariants() error {
 	seen := make([]bool, s.ts.M())
 	total := 0.0
@@ -254,6 +292,7 @@ func (s *State) CheckInvariants() error {
 		}
 		total += s.stacks[r].Load()
 	}
+	ledgerN, ledgerW := 0, 0.0
 	for id, ok := range seen {
 		if s.ts.Removed(id) {
 			if s.loc[id] != -1 {
@@ -261,12 +300,24 @@ func (s *State) CheckInvariants() error {
 			}
 			continue
 		}
-		if !ok {
+		if ok {
+			continue
+		}
+		if s.loc[id] != LocInFlight {
 			return fmt.Errorf("task %d lost", id)
 		}
+		// Held by the fault layer: off every stack, weight in flight.
+		ledgerN++
+		ledgerW += s.ts.Task(id).Weight
 	}
-	if math.Abs(total-s.ts.W()) > 1e-6*(1+s.ts.W()) {
-		return fmt.Errorf("total weight %v != W %v", total, s.ts.W())
+	if ledgerN != s.inflightN {
+		return fmt.Errorf("in-flight ledger count %d != recount %d", s.inflightN, ledgerN)
+	}
+	if math.Abs(ledgerW-s.inflightW) > 1e-6*(1+ledgerW) {
+		return fmt.Errorf("in-flight ledger weight %v != recount %v", s.inflightW, ledgerW)
+	}
+	if math.Abs(total+ledgerW-s.ts.W()) > 1e-6*(1+s.ts.W()) {
+		return fmt.Errorf("placed weight %v + in-flight %v != W %v", total, ledgerW, s.ts.W())
 	}
 	over := 0
 	for r := range s.stacks {

@@ -30,6 +30,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/obs"
 )
@@ -221,6 +222,37 @@ func (c Churn) enabled() bool {
 	return c.LeaveProb > 0 || c.JoinProb > 0 || len(c.Events) > 0
 }
 
+// Quarantine configures the flapping-resource hold-down: a resource
+// whose churn transitions (up↔down, in either direction) reach Flaps
+// within one tumbling Window is held down for Cooloff rounds — its
+// rejoin deferred until the hold expires — so a link or machine that
+// oscillates stops churning the balancer with evacuation/rejoin storms.
+// The hysteresis is the hold itself: once quarantined, further flaps
+// cannot retrigger until the resource has actually rejoined. The zero
+// value disables quarantining.
+type Quarantine struct {
+	Flaps   int // transitions within Window that trigger the hold; 0 disables
+	Window  int // tumbling flap-count window in rounds (default 50)
+	Cooloff int // hold-down duration in rounds (default 100)
+}
+
+// withDefaults fills the window and cool-off defaults of an enabled
+// config.
+func (q Quarantine) withDefaults() Quarantine {
+	if q.Flaps <= 0 {
+		return q
+	}
+	if q.Window <= 0 {
+		q.Window = 50
+	}
+	if q.Cooloff <= 0 {
+		q.Cooloff = 100
+	}
+	return q
+}
+
+func (q Quarantine) enabled() bool { return q.Flaps > 0 }
+
 // Config describes one open-system run.
 type Config struct {
 	// Graph is the resource topology (required).
@@ -254,6 +286,23 @@ type Config struct {
 	Tuner Tuner
 	// Churn enables resource join/leave; the zero value disables it.
 	Churn Churn
+	// Faults configures the deterministic message-fault layer between
+	// the propose and deliver phases: per-message loss (with an
+	// in-flight retry ledger, capped exponential backoff and a
+	// re-home-at-source timeout), bounded delays (a delay wheel
+	// delivering k rounds late in canonical order), duplication (deduped
+	// by flight token on arrival) and scripted partition windows (cut
+	// migrations bounce to their source; dispatch and the tuner see only
+	// the reachable component). All draws are stateless keyed hashes of
+	// (task, round, attempt), so faulty runs replay bit-identically for
+	// every worker count. nil — or a plan with all probabilities zero
+	// and no partitions — injects nothing and keeps the fault-free hot
+	// path byte-identical and allocation-free. Requires a range-proposer
+	// protocol (the sharded propose path is where the layer hooks in).
+	Faults *faults.Plan
+	// Quarantine enables the flapping-resource hold-down; the zero value
+	// disables it.
+	Quarantine Quarantine
 	// Rounds is the number of simulated rounds (required, > 0).
 	Rounds int
 	// Window is the metrics window length in rounds; 0 means 100.
@@ -368,7 +417,7 @@ type Result struct {
 	Departed       int64
 	ArrivedWeight  float64
 	DepartedWeight float64
-	Migrations     int64   // protocol-driven moves
+	Migrations     int64   // protocol-driven moves (late fault-layer deliveries included)
 	MovedWeight    float64 // weight of protocol-driven moves
 	Rehomed        int64   // churn evacuations + bounced deliveries
 	RehomedWeight  float64 // weight of churn evacuations + bounced deliveries
@@ -377,6 +426,26 @@ type Result struct {
 	Windows        []WindowStats
 	FinalInFlight  int
 	FinalWeight    float64
+
+	// Message-fault layer totals (all zero on fault-free runs; every
+	// field is worker-count invariant).
+	Lost             int64 // messages lost on first send
+	Delayed          int64 // messages parked in the delay wheel
+	Duplicated       int64 // duplicate copies spawned
+	Deduped          int64 // duplicate copies dropped on arrival
+	Retries          int64 // ledger retry attempts
+	Timeouts         int64 // ledger tasks that re-homed at their source
+	PartitionBlocked int64 // migrations bounced at a partition cut
+	// Bounced counts step-6 re-homes — deliveries that landed on a down
+	// resource (a subset of Rehomed, which also holds churn evacuations).
+	Bounced       int64
+	BouncedWeight float64
+	// Quarantined counts flapping-resource hold-downs entered;
+	// FinalLedger/FinalLedgerWeight are the in-flight residue (lost or
+	// delayed messages still undelivered) at run end.
+	Quarantined       int
+	FinalLedger       int
+	FinalLedgerWeight float64
 }
 
 // PeakPostFailureOverload returns the worst per-round overload
@@ -488,6 +557,17 @@ func validate(cfg Config) error {
 	}
 	if err := ValidateEvents(cfg.Churn.Events, cfg.Graph.N(), cfg.Rounds); err != nil {
 		return err
+	}
+	if cfg.Faults.Active() {
+		if err := cfg.Faults.Validate(cfg.Graph.N()); err != nil {
+			return fmt.Errorf("dynamic: %w", err)
+		}
+		if !core.CanPropose(cfg.Protocol) {
+			return fmt.Errorf("dynamic: Config.Faults requires a range-proposer protocol (%T is not one)", cfg.Protocol)
+		}
+	}
+	if q := cfg.Quarantine; q.Flaps < 0 || q.Window < 0 || q.Cooloff < 0 {
+		return fmt.Errorf("dynamic: Config.Quarantine fields must be non-negative (%+v)", q)
 	}
 	for i, d := range cfg.Domains {
 		if err := d.Validate(cfg.Graph.N()); err != nil {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
@@ -97,6 +98,30 @@ type engine struct {
 	s  *core.State
 	ts *task.Set
 	up *UpSet
+	// reach is the REACHABLE up set: up minus the resources isolated by
+	// an active fault-plan partition window. Arrivals dispatch into it
+	// and the tuner refreshes over it, so thresholds pre-compensate for
+	// unreachable capacity during a partition. It aliases up whenever the
+	// run has no partition windows, so the fault-free path costs nothing.
+	reach *UpSet
+
+	// inj is the message-fault injector (nil on fault-free runs): it
+	// filters the propose phase's migration traffic, runs the in-flight
+	// retry ledger and the delay wheel, and scripts partition windows.
+	inj      *faults.Injector
+	curRound int // round in progress, read by the parallel propose phase
+
+	// Flapping-resource quarantine (Config.Quarantine): per-resource
+	// churn-transition counts over a tumbling window; a resource that
+	// flaps Flaps times is held down for Cooloff rounds, its deferred
+	// rejoin re-applied when the hold expires. All sequential churn-phase
+	// state.
+	quarCfg        Quarantine
+	flapCnt        []int32
+	quarUntil      []int32 // round the hold-down expires; 0 = not quarantined
+	quarWantUp     []bool  // a rejoin arrived during the hold
+	quarActive     []int   // currently quarantined resources, entry order
+	quarForcedDown int     // hold-down evictions this round (feeds evacuation)
 
 	pool   *par.Pool
 	shards []shard
@@ -232,6 +257,19 @@ func newEngine(cfg Config) *engine {
 	e.churnRand = rng.Stream(cfg.Seed, uint64(n)+3)
 
 	e.up = NewUpSet(n)
+	e.reach = e.up
+	if cfg.Faults.Active() {
+		e.inj = faults.NewInjector(cfg.Faults, n, workers, cfg.Seed)
+		if len(cfg.Faults.Partitions) > 0 {
+			e.reach = NewUpSet(n)
+		}
+	}
+	e.quarCfg = cfg.Quarantine.withDefaults()
+	if e.quarCfg.enabled() {
+		e.flapCnt = make([]int32, n)
+		e.quarUntil = make([]int32, n)
+		e.quarWantUp = make([]bool, n)
+	}
 	if obs, ok := e.rehome.(RehomeObserver); ok {
 		e.rehomeObs = obs
 		obs.ResetUp(n)
@@ -358,6 +396,17 @@ func (e *engine) run() (Result, error) {
 	e.res.Rounds = e.cfg.Rounds
 	e.res.FinalInFlight = e.ts.Live()
 	e.res.FinalWeight = e.s.InFlightWeight()
+	if e.inj != nil {
+		c := e.inj.Counters()
+		e.res.Lost = c.Lost
+		e.res.Delayed = c.Delayed
+		e.res.Duplicated = c.Duplicated
+		e.res.Deduped = c.Deduped
+		e.res.Retries = c.Retries
+		e.res.Timeouts = c.Timeouts
+		e.res.PartitionBlocked = c.PartitionBlocked
+		e.res.FinalLedger, e.res.FinalLedgerWeight = e.s.InFlightLedger()
+	}
 	if err := checkConservation(e.s, e.initialWeight, e.res); err != nil {
 		return e.res, fmt.Errorf("dynamic: %w", err)
 	}
@@ -367,11 +416,37 @@ func (e *engine) run() (Result, error) {
 // round advances the system by one open-system round.
 func (e *engine) round(t int) error {
 	s, up := e.s, e.up
+	e.curRound = t
 
 	// The pre-failure overload baseline for this round's potential
 	// recovery episode, and the per-round evacuation accumulators.
 	baseline := e.prevOverload
 	e.evacTasksRound, e.evacWtRound = 0, 0
+	e.quarForcedDown = 0
+
+	// 0. Fault-plan partition windows open and close at the round
+	// boundary: the injector recomputes its connectivity groups (only on
+	// transition rounds) and the reachable set absorbs the deltas, so
+	// dispatch and the tuner below already see the degraded fleet.
+	if e.inj != nil {
+		iso, rest := e.inj.StartRound(t)
+		for _, r := range rest {
+			if up.Contains(r) && !e.reach.Contains(r) {
+				e.reach.Up(r)
+			}
+		}
+		for _, r := range iso {
+			if e.reach.Contains(r) {
+				e.reach.Down(r)
+			}
+		}
+	}
+	// 0b. Quarantine bookkeeping: roll the tumbling flap window and
+	// release the holds that expire this round (deferred rejoins apply
+	// now, before this round's churn).
+	if e.quarCfg.enabled() {
+		e.quarTick(t)
+	}
 
 	// 1. Resource churn. Selecting WHICH resources leave or rejoin is
 	// sequential (one global stream, cheap O(events)); evacuating the
@@ -381,12 +456,13 @@ func (e *engine) round(t int) error {
 	if e.cfg.Churn.enabled() {
 		downsThis, eventDowns = e.applyChurn(t)
 	}
+	downsThis += e.quarForcedDown
 	downed := downsThis > 0
 	// 1b. Parallel evacuation: every task stranded on a down resource
 	// is re-homed through the exchange, each lost resource drawing
 	// destinations from its own deterministic re-home stream.
 	if downed && e.evacPending() {
-		e.evacuate()
+		e.evacuate(false)
 	}
 
 	// 2. Arrivals — sequential end to end: the arrival and dispatch
@@ -397,8 +473,15 @@ func (e *engine) round(t int) error {
 	// far below the O(n) sweeps the shards absorb.
 	arrStart := e.seqStart()
 	e.weightsBuf = appendNext(e.cfg.Arrivals, t, e.arrRand, e.weightsBuf[:0])
+	// During a partition window arrivals route into the reachable (main)
+	// component only; if churn emptied it, fall back to the full up set
+	// rather than stranding the round.
+	reach := e.reach
+	if reach.N() == 0 {
+		reach = up
+	}
 	for _, w := range e.weightsBuf {
-		dest := e.dispatch.Pick(s, up, e.speeds, w, e.dispRand)
+		dest := e.dispatch.Pick(s, reach, e.speeds, w, e.dispRand)
 		tk := s.InsertTask(w, dest)
 		e.setRemaining(tk.ID, w)
 		e.res.Arrived++
@@ -437,12 +520,15 @@ func (e *engine) round(t int) error {
 
 	// 4. Online threshold refresh, on the pool when the tuner supports
 	// sharded sweeps.
+	// The tuner refreshes over the REACHABLE set, so during a partition
+	// window thresholds pre-compensate for the unreachable speed-mass
+	// (reach aliases up on partition-free runs).
 	tuneStart := e.seqStart()
 	var thr []float64
 	if e.ptuner != nil {
-		thr = e.ptuner.RefreshPooled(t, s, up, e.pool)
+		thr = e.ptuner.RefreshPooled(t, s, reach, e.pool)
 	} else {
-		thr = e.cfg.Tuner.Refresh(t, s, up)
+		thr = e.cfg.Tuner.Refresh(t, s, reach)
 	}
 	if thr != nil {
 		s.SetThresholds(thr)
@@ -468,11 +554,34 @@ func (e *engine) round(t int) error {
 	e.res.MovedWeight += st.MovedWeight
 	e.wMigrations += int64(st.Migrations)
 
+	// 5b. Fault-layer settlement: fold the propose shards' loss/delay
+	// scratches into the ledger and delay wheel (canonical shard-ascending
+	// order), then deliver this round's due batch — wheel arrivals, retry
+	// successes, timeout re-homes — through an extra exchange round. The
+	// batch runs BEFORE the bounce step so a delivery to a since-failed
+	// destination (or a timeout re-home to a dead source) evacuates
+	// through the configured re-home policy this same round.
+	if e.inj != nil {
+		e.inj.Collect(t, s)
+		if due := e.inj.Tick(t, s, up); len(due) > 0 {
+			e.exch.Route(0, due)
+			for i := 1; i < len(e.shards); i++ {
+				e.exch.Route(i, nil)
+			}
+			e.pool.Run(len(e.shards), e.deliverFn)
+			dst := e.exch.Finish(s, false)
+			e.noteInbound()
+			e.res.Migrations += int64(dst.Migrations)
+			e.res.MovedWeight += dst.MovedWeight
+			e.wMigrations += int64(dst.Migrations)
+		}
+	}
+
 	// 6. Bounce deliveries that landed on down resources — the same
 	// sharded evacuation path as 1b (per-resource re-home streams, the
 	// down list is only scanned to see whether anything is stranded).
 	if up.DownN() > 0 && e.evacPending() {
-		e.evacuate()
+		e.evacuate(true)
 	}
 
 	// 7. Metrics. Down resources are always empty here (bounced above)
@@ -591,22 +700,119 @@ func (e *engine) applyChurn(t int) (downs, eventDowns int) {
 }
 
 // downResource/upResource apply one churn transition, keeping the
-// re-home policy's incremental up-set view (if it has one) in sync.
-// Both run only in the sequential churn phase.
+// re-home policy's incremental up-set view (if it has one) and the
+// reachable set in sync, and feeding the flapping quarantine. Both run
+// only in the sequential churn phase.
 func (e *engine) downResource(r int) {
 	e.up.Down(r)
+	if e.reach != e.up && e.reach.Contains(r) {
+		e.reach.Down(r)
+	}
 	if e.rehomeObs != nil {
 		e.rehomeObs.ResourceDown(r)
 	}
 	e.res.Downs++
+	e.noteFlap(r)
 }
 
 func (e *engine) upResource(r int) {
+	if e.flapCnt != nil && e.quarUntil[r] > int32(e.curRound) {
+		// Held down by the quarantine: the rejoin is deferred until the
+		// cool-off expires.
+		e.quarWantUp[r] = true
+		return
+	}
 	e.up.Up(r)
+	if e.reach != e.up && !e.inj.Isolated(r) {
+		e.reach.Up(r)
+	}
 	if e.rehomeObs != nil {
 		e.rehomeObs.ResourceUp(r)
 	}
 	e.res.Ups++
+	e.noteFlap(r)
+}
+
+// noteFlap counts one churn transition of resource r toward the
+// quarantine threshold; crossing it holds the resource down for the
+// cool-off (evicting it if the flap ended up).
+func (e *engine) noteFlap(r int) {
+	if e.flapCnt == nil {
+		return
+	}
+	e.flapCnt[r]++
+	t := e.curRound
+	if int(e.flapCnt[r]) < e.quarCfg.Flaps || e.quarUntil[r] > int32(t) {
+		return
+	}
+	e.quarUntil[r] = int32(t + e.quarCfg.Cooloff)
+	e.quarActive = append(e.quarActive, r)
+	e.res.Quarantined++
+	if e.up.Contains(r) {
+		if e.up.N() <= e.minUp {
+			// No headroom to evict: cancel the hold rather than drop the
+			// fleet below its floor.
+			e.quarUntil[r] = 0
+			e.quarActive = e.quarActive[:len(e.quarActive)-1]
+			e.res.Quarantined--
+			return
+		}
+		e.up.Down(r)
+		if e.reach != e.up && e.reach.Contains(r) {
+			e.reach.Down(r)
+		}
+		if e.rehomeObs != nil {
+			e.rehomeObs.ResourceDown(r)
+		}
+		e.res.Downs++
+		e.quarForcedDown++
+		e.quarWantUp[r] = true // it was up; rejoin when the hold expires
+	}
+	e.emitQuarantine(r, true, int(e.flapCnt[r]), int(e.quarUntil[r]))
+}
+
+// quarTick rolls the tumbling flap window and releases expired holds
+// (re-applying deferred rejoins), in quarantine-entry order. Sequential,
+// at the top of the round.
+func (e *engine) quarTick(t int) {
+	if e.quarCfg.Window > 0 && t%e.quarCfg.Window == 0 {
+		clear(e.flapCnt)
+	}
+	if len(e.quarActive) == 0 {
+		return
+	}
+	live := e.quarActive[:0]
+	for _, r := range e.quarActive {
+		if int(e.quarUntil[r]) > t {
+			live = append(live, r)
+			continue
+		}
+		e.quarUntil[r] = 0
+		e.emitQuarantine(r, false, int(e.flapCnt[r]), t)
+		if e.quarWantUp[r] && !e.up.Contains(r) {
+			e.quarWantUp[r] = false
+			e.up.Up(r)
+			if e.reach != e.up && !e.inj.Isolated(r) {
+				e.reach.Up(r)
+			}
+			if e.rehomeObs != nil {
+				e.rehomeObs.ResourceUp(r)
+			}
+			e.res.Ups++
+		}
+		e.quarWantUp[r] = false
+	}
+	e.quarActive = live
+}
+
+// emitQuarantine publishes one quarantine transition event.
+func (e *engine) emitQuarantine(r int, entered bool, flaps, until int) {
+	if e.broker == nil {
+		return
+	}
+	e.ev = obs.Event{Kind: obs.KindQuarantine, Round: e.curRound,
+		Quarantine: obs.QuarantineEvent{Resource: r, Entered: entered, Flaps: flaps, Until: until}}
+	e.broker.Publish(&e.ev)
 }
 
 // evacPending reports whether any down resource still holds tasks — a
@@ -624,8 +830,11 @@ func (e *engine) evacPending() bool {
 // exchange: a sharded pop-and-route phase, a barrier, and a sharded
 // per-destination delivery phase. Identical for every worker count —
 // each lost resource's destinations come from its own stream, and
-// delivery merges in canonical (destination, task ID) order.
-func (e *engine) evacuate() {
+// delivery merges in canonical (destination, task ID) order. bounce
+// marks the post-delivery pass (step 6), whose re-homes are deliveries
+// that landed on a down resource; they count into Result.Bounced on top
+// of the shared Rehomed totals.
+func (e *engine) evacuate(bounce bool) {
 	e.pool.Run(len(e.shards), e.evacFn)
 	e.pool.Run(len(e.shards), e.deliverFn)
 	st := e.exch.Finish(e.s, false)
@@ -635,6 +844,10 @@ func (e *engine) evacuate() {
 	e.wRehomed += int64(st.Migrations)
 	e.evacTasksRound += int64(st.Migrations)
 	e.evacWtRound += st.MovedWeight
+	if bounce {
+		e.res.Bounced += int64(st.Migrations)
+		e.res.BouncedWeight += st.MovedWeight
+	}
 }
 
 // setRemaining records a new task's service work, growing the ID-indexed
@@ -683,7 +896,15 @@ func (e *engine) proposeShard(i int) {
 	sh := &e.shards[i]
 	sh.sc.Moves = sh.sc.Moves[:0]
 	e.proto.ProposeRange(e.s, sh.lo, sh.hi, &sh.sc)
-	e.exch.Route(i, sh.sc.Moves)
+	moves := sh.sc.Moves
+	if e.inj != nil {
+		// The fault layer sits between propose and deliver: stateless
+		// per-message draws decide loss/delay/duplication, partition cuts
+		// bounce the move back to its source. Draw keys are (task, round),
+		// so the outcome is identical for every shard partition.
+		moves = e.inj.FilterShard(i, e.curRound, e.s, moves)
+	}
+	e.exch.Route(i, moves)
 	e.phaseDone(i, obs.PhasePropose, start)
 }
 
@@ -859,6 +1080,22 @@ func (e *engine) emitTelemetry(round int) {
 	e.ev = obs.Event{Kind: obs.KindPhase, Round: round,
 		Phase: obs.PhaseStats{Shard: -1, Nanos: e.seqNanos}}
 	e.broker.Publish(&e.ev)
+	if e.inj != nil || e.flapCnt != nil {
+		var c faults.Counters
+		if e.inj != nil {
+			c = e.inj.Counters()
+		}
+		ln, lw := e.s.InFlightLedger()
+		e.ev = obs.Event{Kind: obs.KindFaults, Round: round, Faults: obs.FaultStats{
+			Lost: c.Lost, Delayed: c.Delayed, Duplicated: c.Duplicated,
+			Deduped: c.Deduped, Retries: c.Retries, Timeouts: c.Timeouts,
+			PartitionBlocked: c.PartitionBlocked,
+			Bounced:          e.res.Bounced,
+			Quarantined:      int64(len(e.quarActive)),
+			Ledger:           ln, LedgerWeight: lw,
+		}}
+		e.broker.Publish(&e.ev)
+	}
 }
 
 // resetTelemetry zeroes the lane and phase accumulators after a

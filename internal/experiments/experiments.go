@@ -127,6 +127,7 @@ var Registry = []struct {
 	{"dynchurn", "Open system: resource churn sweep at rho=0.8 (weight conservation)", DynamicChurn},
 	{"dynscale", "Open system: sharded-engine worker scaling + determinism check", DynamicScale},
 	{"dynrecover", "Failure recovery: rack-loss re-home policies (uniform/power2/locality/speed)", DynamicRecover},
+	{"dynfaults", "Unreliable network: message-loss sweep x retry policies (graceful degradation)", DynamicFaults},
 }
 
 // Lookup returns the driver for id, or nil.

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/faults"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/walk"
+)
+
+// DynamicFaults measures graceful degradation under an unreliable
+// network: the open system serves ρ = 0.8 Poisson traffic while the
+// fault layer drops each migration message with probability p ∈
+// {0, 0.1%, 1%, 5%}, crossed with two retry policies — fast
+// (base 1, cap 4, give up after 20 rounds) and patient (base 2,
+// cap 16, give up after 60). Lost moves sit in the in-flight ledger
+// until a retry lands or the timeout re-homes them at their source,
+// so the questions the table answers are: how much does steady-state
+// overload rise with loss, how much retry traffic does each policy
+// add, and does any weight leak (the conservation column re-validates
+// placed + in-flight weight every round).
+type faultSummary struct {
+	steady    float64 // tail overload fraction after warm-up
+	mig       float64 // migrations per round (late deliveries included)
+	retries   float64 // retry attempts per round
+	timeouts  float64 // tasks that gave up and re-homed at source
+	ledgerW   float64 // weight still in flight at the end of the run
+	conserved bool
+}
+
+// DynamicFaults is the dynfaults experiment driver.
+func DynamicFaults(cfg Config) *Table {
+	cfg = cfg.Defaults()
+	n, rounds, window, warm := 1000, 600, 100, 2
+	if cfg.Quick {
+		n, rounds, window, warm = 200, 300, 50, 2
+	}
+	g := graph.RandomRegular(n, 8, rng.NewSeeded(cfg.Seed))
+	losses := []float64{0, 0.001, 0.01, 0.05}
+	policies := []struct {
+		name                string
+		base, cap, deadline int
+	}{
+		{"fast 1:4:20", 1, 4, 20},
+		{"patient 2:16:60", 2, 16, 60},
+	}
+
+	t := &Table{
+		ID: "dynfaults",
+		Title: f("unreliable network: message-loss sweep x retry policies (n=%d, rho=0.8, %d rounds; lost moves ledgered, retried with backoff, re-homed on timeout)",
+			n, rounds),
+		Header: []string{"loss%", "retry policy", "steady overload%", "mig/round", "retries/round", "timeouts", "ledger residue W", "conserved"},
+	}
+	for _, loss := range losses {
+		pols := policies
+		if loss == 0 {
+			pols = policies[:1] // no losses, nothing to retry: one baseline row
+		}
+		for _, pol := range pols {
+			var fplan *faults.Plan
+			if loss > 0 {
+				fplan = &faults.Plan{Loss: loss, RetryBase: pol.base, RetryCap: pol.cap, Timeout: pol.deadline}
+			}
+			out := sim.Run(cfg.Trials, cfg.Workers, func(trial int, seed uint64) faultSummary {
+				res, err := dynamic.Run(dynamic.Config{
+					Graph:    g,
+					Protocol: core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+					Arrivals: dynamic.Poisson{Rate: 0.8 * float64(n) / dynParetoMean,
+						Weights: task.Pareto{Alpha: 2, Cap: 20}},
+					Service: dynamic.WeightProportional{Rate: 1},
+					Tuner: &dynamic.SelfTuner{Eps: 0.5, Decay: 0.8, Every: 10, Steps: 2,
+						Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+					Faults:          fplan,
+					Rounds:          rounds,
+					Window:          window,
+					Seed:            seed,
+					CheckInvariants: true,
+				})
+				if err != nil {
+					return faultSummary{conserved: false}
+				}
+				return faultSummary{
+					steady:    res.TailOverloadFrac(warm),
+					mig:       float64(res.Migrations) / float64(rounds),
+					retries:   float64(res.Retries) / float64(rounds),
+					timeouts:  float64(res.Timeouts),
+					ledgerW:   res.FinalLedgerWeight,
+					conserved: true,
+				}
+			}, cfg.Seed)
+			var steady, mig, retries, timeouts, ledgerW stats.Online
+			broken := 0
+			for _, s := range out {
+				if !s.conserved {
+					broken++
+					continue
+				}
+				steady.Add(100 * s.steady)
+				mig.Add(s.mig)
+				retries.Add(s.retries)
+				timeouts.Add(s.timeouts)
+				ledgerW.Add(s.ledgerW)
+			}
+			t.AddRow(f("%g", 100*loss), pol.name, meanCell(steady), meanCell(mig),
+				meanCell(retries), meanCell(timeouts), meanCell(ledgerW), f("%v", broken == 0))
+			if broken > 0 {
+				t.AddNote("loss %g %s: %d/%d trials failed conservation and were excluded",
+					loss, pol.name, broken, len(out))
+			}
+		}
+	}
+	t.AddNote("every trial runs with CheckInvariants: placed + in-flight weight is re-validated against arrived − departed each round")
+	t.AddNote("timeouts: lost tasks whose retries never landed before the deadline; they re-home at their source resource")
+	t.AddNote("ledger residue: weight still awaiting redelivery when the run ends (small and bounded = the ledger drains)")
+	return t
+}

@@ -1,0 +1,347 @@
+package faults
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Fault-plan ingestion: unreliable-network scenarios — hand-written or
+// generated — load from files in the engine's usual two line formats:
+//
+//	CSV:   kind,a,b,c          (optional "kind,..." header, '#' comments)
+//	         loss,P
+//	         delay,P,MAX
+//	         dup,P
+//	         retry,BASE,CAP,TIMEOUT
+//	         seed,S
+//	         partition,START,END,MEMBERS   members as ranges "0-99;256;300-310"
+//	JSONL: one directive object per line:
+//	         {"loss": 0.01}
+//	         {"delay_prob": 0.05, "delay_max": 4}
+//	         {"dup": 0.001}
+//	         {"retry_base": 1, "retry_cap": 8, "timeout": 30}
+//	         {"seed": 7}
+//	         {"partition": {"start": 100, "end": 200, "members": [0,1,2]}}
+//
+// Mirroring the churn-event loader, every parse or validation error
+// carries its source line number, and the assembled plan runs the full
+// Validate check against the fleet size before it is returned — a
+// partition window that isolates the whole fleet is a load error
+// naming its line, not a mid-run surprise.
+
+// ReadPlanCSV parses kind,a,b,c fault directives from r for an
+// n-resource fleet.
+func ReadPlanCSV(r io.Reader, n int) (*Plan, error) {
+	cr := csv.NewReader(r)
+	cr.Comment = '#'
+	cr.FieldsPerRecord = -1 // row arity depends on the directive kind
+	cr.TrimLeadingSpace = true
+	p := &Plan{}
+	var partLines []int
+	first := true
+	for {
+		fields, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("faults: plan csv: %w", err)
+		}
+		if first {
+			first = false
+			if strings.EqualFold(strings.TrimSpace(fields[0]), "kind") {
+				continue // header row
+			}
+		}
+		line, _ := cr.FieldPos(0)
+		kind := strings.ToLower(strings.TrimSpace(fields[0]))
+		args := fields[1:]
+		bad := func(format string, a ...any) error {
+			return fmt.Errorf("faults: plan csv line %d: %s", line, fmt.Sprintf(format, a...))
+		}
+		arity := func(want int) error {
+			if len(args) != want {
+				return bad("%q takes %d fields, got %d", kind, want, len(args))
+			}
+			return nil
+		}
+		switch kind {
+		case "loss":
+			if err := arity(1); err != nil {
+				return nil, err
+			}
+			if p.Loss, err = parseProb(args[0]); err != nil {
+				return nil, bad("%v", err)
+			}
+		case "delay":
+			if err := arity(2); err != nil {
+				return nil, err
+			}
+			if p.DelayProb, err = parseProb(args[0]); err != nil {
+				return nil, bad("%v", err)
+			}
+			if p.DelayMax, err = parseCount(args[1]); err != nil {
+				return nil, bad("%v", err)
+			}
+		case "dup":
+			if err := arity(1); err != nil {
+				return nil, err
+			}
+			if p.DupProb, err = parseProb(args[0]); err != nil {
+				return nil, bad("%v", err)
+			}
+		case "retry":
+			if err := arity(3); err != nil {
+				return nil, err
+			}
+			for i, dst := range []*int{&p.RetryBase, &p.RetryCap, &p.Timeout} {
+				if *dst, err = parseCount(args[i]); err != nil {
+					return nil, bad("%v", err)
+				}
+			}
+		case "seed":
+			if err := arity(1); err != nil {
+				return nil, err
+			}
+			s, err := strconv.ParseUint(strings.TrimSpace(args[0]), 10, 64)
+			if err != nil {
+				return nil, bad("bad seed %q", args[0])
+			}
+			p.Seed = s
+		case "partition":
+			if err := arity(3); err != nil {
+				return nil, err
+			}
+			var w Partition
+			if w.Start, err = parseCount(args[0]); err != nil {
+				return nil, bad("%v", err)
+			}
+			if w.End, err = parseCount(args[1]); err != nil {
+				return nil, bad("%v", err)
+			}
+			if w.Members, err = ParseMembers(args[2]); err != nil {
+				return nil, bad("%v", err)
+			}
+			p.Partitions = append(p.Partitions, w)
+			partLines = append(partLines, line)
+		default:
+			return nil, bad("unknown directive %q (want loss, delay, dup, retry, seed or partition)", kind)
+		}
+	}
+	if err := validateLoadedPlan(p, partLines, n); err != nil {
+		return nil, fmt.Errorf("faults: plan csv %w", err)
+	}
+	return p, nil
+}
+
+// planRecord is one parsed JSONL fault directive. Every field is a
+// pointer so an absent key is distinguishable from an explicit zero,
+// and one line may set several related fields at once.
+type planRecord struct {
+	Loss      *float64         `json:"loss"`
+	DelayProb *float64         `json:"delay_prob"`
+	DelayMax  *int             `json:"delay_max"`
+	Dup       *float64         `json:"dup"`
+	RetryBase *int             `json:"retry_base"`
+	RetryCap  *int             `json:"retry_cap"`
+	Timeout   *int             `json:"timeout"`
+	Seed      *uint64          `json:"seed"`
+	Partition *partitionRecord `json:"partition"`
+}
+
+// partitionRecord is the JSONL partition-window payload. Members and
+// Ranges are alternatives: explicit resource IDs, or the CSV loader's
+// "0-99;256" range syntax.
+type partitionRecord struct {
+	Start   *int   `json:"start"`
+	End     *int   `json:"end"`
+	Members []int  `json:"members"`
+	Ranges  string `json:"ranges"`
+}
+
+// ReadPlanJSONL parses one fault-directive object per line for an
+// n-resource fleet.
+func ReadPlanJSONL(r io.Reader, n int) (*Plan, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	p := &Plan{}
+	var partLines []int
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var rec planRecord
+		dec := json.NewDecoder(strings.NewReader(text))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("faults: plan jsonl line %d: %w", line, err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("faults: plan jsonl line %d: trailing data after the directive object", line)
+		}
+		set := 0
+		if rec.Loss != nil {
+			p.Loss = *rec.Loss
+			set++
+		}
+		if rec.DelayProb != nil {
+			p.DelayProb = *rec.DelayProb
+			set++
+		}
+		if rec.DelayMax != nil {
+			p.DelayMax = *rec.DelayMax
+			set++
+		}
+		if rec.Dup != nil {
+			p.DupProb = *rec.Dup
+			set++
+		}
+		if rec.RetryBase != nil {
+			p.RetryBase = *rec.RetryBase
+			set++
+		}
+		if rec.RetryCap != nil {
+			p.RetryCap = *rec.RetryCap
+			set++
+		}
+		if rec.Timeout != nil {
+			p.Timeout = *rec.Timeout
+			set++
+		}
+		if rec.Seed != nil {
+			p.Seed = *rec.Seed
+			set++
+		}
+		if pr := rec.Partition; pr != nil {
+			set++
+			if pr.Start == nil || pr.End == nil {
+				return nil, fmt.Errorf("faults: plan jsonl line %d: partition must carry \"start\" and \"end\"", line)
+			}
+			if len(pr.Members) > 0 && pr.Ranges != "" {
+				return nil, fmt.Errorf("faults: plan jsonl line %d: partition carries both \"members\" and \"ranges\"", line)
+			}
+			members := pr.Members
+			if pr.Ranges != "" {
+				var err error
+				if members, err = ParseMembers(pr.Ranges); err != nil {
+					return nil, fmt.Errorf("faults: plan jsonl line %d: %v", line, err)
+				}
+			}
+			p.Partitions = append(p.Partitions, Partition{Start: *pr.Start, End: *pr.End, Members: members})
+			partLines = append(partLines, line)
+		}
+		if set == 0 {
+			return nil, fmt.Errorf("faults: plan jsonl line %d: directive sets nothing", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("faults: plan jsonl: %w", err)
+	}
+	if err := validateLoadedPlan(p, partLines, n); err != nil {
+		return nil, fmt.Errorf("faults: plan jsonl %w", err)
+	}
+	return p, nil
+}
+
+// validateLoadedPlan runs the full plan check and translates partition
+// indices back into source line numbers.
+func validateLoadedPlan(p *Plan, partLines []int, n int) error {
+	err := p.Validate(n)
+	if err == nil {
+		return nil
+	}
+	msg := strings.TrimPrefix(err.Error(), "faults: ")
+	// Partition errors name their index; map it to the defining line.
+	var idx int
+	if k, scanErr := fmt.Sscanf(msg, "partition %d:", &idx); scanErr == nil && k == 1 && idx >= 0 && idx < len(partLines) {
+		return fmt.Errorf("line %d: %s", partLines[idx], msg)
+	}
+	return fmt.Errorf("invalid: %s", msg)
+}
+
+// LoadPlanFile reads a fault plan for an n-resource fleet from path,
+// picking the format by extension: .csv → CSV, .jsonl/.ndjson/.json →
+// JSONL.
+func LoadPlanFile(path string, n int) (*Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("faults: plan: %w", err)
+	}
+	defer f.Close()
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".csv":
+		return ReadPlanCSV(f, n)
+	case ".jsonl", ".ndjson", ".json":
+		return ReadPlanJSONL(f, n)
+	default:
+		return nil, fmt.Errorf("faults: plan %s: unknown extension %q (want .csv, .jsonl, .ndjson or .json)", path, ext)
+	}
+}
+
+// ParseMembers parses the loader's member-range syntax — semicolon- or
+// space-separated entries, each a single resource ID "256" or an
+// inclusive range "0-99" — into a member list.
+func ParseMembers(spec string) ([]int, error) {
+	var members []int
+	for _, part := range strings.FieldsFunc(spec, func(r rune) bool { return r == ';' || r == ' ' }) {
+		lo, hi, ok := strings.Cut(part, "-")
+		a, err := strconv.Atoi(strings.TrimSpace(lo))
+		if err != nil {
+			return nil, fmt.Errorf("bad member range %q", part)
+		}
+		b := a
+		if ok {
+			if b, err = strconv.Atoi(strings.TrimSpace(hi)); err != nil {
+				return nil, fmt.Errorf("bad member range %q", part)
+			}
+		}
+		if b < a {
+			return nil, fmt.Errorf("member range %q runs backwards", part)
+		}
+		if b-a >= 1<<20 {
+			return nil, fmt.Errorf("member range %q spans %d resources", part, b-a+1)
+		}
+		for r := a; r <= b; r++ {
+			members = append(members, r)
+		}
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("empty member list %q", spec)
+	}
+	return members, nil
+}
+
+// parseProb parses a probability field (any float; range-checked by
+// Plan.Validate, but NaN and absurd values fail here with the line).
+func parseProb(s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad probability %q", s)
+	}
+	if v < 0 || v >= 1 || v != v {
+		return 0, fmt.Errorf("probability %v must be in [0,1)", v)
+	}
+	return v, nil
+}
+
+// parseCount parses a non-negative integer field.
+func parseCount(s string) (int, error) {
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("bad count %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("count %d must be non-negative", v)
+	}
+	return v, nil
+}

@@ -53,6 +53,16 @@ const (
 	// to its pre-failure baseline, or censored by the next failure or
 	// the run's end.
 	KindRecoveryEnd
+	// KindFaults carries the message-fault layer's cumulative counters
+	// plus the live in-flight ledger level, on the telemetry cadence —
+	// the drop/retry/timeout signal next to the lane totals, including
+	// the bounce-evacuation count that used to fold silently into the
+	// re-home totals.
+	KindFaults
+	// KindQuarantine marks a flapping-quarantine transition: a machine
+	// that flapped past the hysteresis bound entering its cool-off, or
+	// rejoining when the cool-off expires.
+	KindQuarantine
 
 	numKinds
 )
@@ -66,6 +76,8 @@ var kindNames = [numKinds]string{
 	KindPhase:         "phase",
 	KindRecoveryStart: "recovery_start",
 	KindRecoveryEnd:   "recovery_end",
+	KindFaults:        "faults",
+	KindQuarantine:    "quarantine",
 }
 
 // String returns the wire name of the kind (the JSONL "kind" field).
@@ -298,6 +310,48 @@ type RecoveryEvent struct {
 	DrainRounds int `json:"drain_rounds"`
 }
 
+// FaultStats carries the message-fault layer's cumulative counters
+// (monotone over the run) plus the in-flight ledger level at the
+// report round.
+type FaultStats struct {
+	// Lost / Delayed / Duplicated count first-send fault draws;
+	// Deduped counts duplicate copies dropped on arrival.
+	Lost       int64 `json:"lost"`
+	Delayed    int64 `json:"delayed"`
+	Duplicated int64 `json:"duplicated"`
+	Deduped    int64 `json:"deduped"`
+	// Retries counts ledger retry attempts; Timeouts counts tasks that
+	// gave up and re-homed at their source.
+	Retries  int64 `json:"retries"`
+	Timeouts int64 `json:"timeouts"`
+	// PartitionBlocked counts migrations bounced at a partition cut.
+	PartitionBlocked int64 `json:"partition_blocked"`
+	// Bounced counts deliveries that landed on a down resource and
+	// were evacuated by the engine's bounce step (nonzero even without
+	// a fault plan — any churn round can bounce a migration).
+	Bounced int64 `json:"bounced"`
+	// Quarantined counts quarantine entries so far.
+	Quarantined int64 `json:"quarantined"`
+	// Ledger / LedgerWeight are the in-flight ledger level (tasks held
+	// for retry or delay) at the report round.
+	Ledger       int     `json:"ledger"`
+	LedgerWeight float64 `json:"ledger_weight"`
+}
+
+// QuarantineEvent describes one flapping-quarantine transition.
+type QuarantineEvent struct {
+	// Resource is the flapping machine.
+	Resource int `json:"resource"`
+	// Entered is true when the machine enters its cool-off, false when
+	// it rejoins.
+	Entered bool `json:"entered"`
+	// Flaps is the down-transition count that tripped the hysteresis
+	// bound (enter events only).
+	Flaps int `json:"flaps"`
+	// Until is the round the cool-off expires (enter events only).
+	Until int `json:"until"`
+}
+
 // Event is the broker's fixed-size typed message: Kind selects which
 // payload field is meaningful. A union of value structs (no pointers,
 // no slices) keeps publishing a single struct copy, so the hot path
@@ -318,6 +372,8 @@ type Event struct {
 	ShardCost    ShardCost         // KindShardCost
 	Phase        PhaseStats        // KindPhase
 	Recovery     RecoveryEvent     // KindRecoveryStart / KindRecoveryEnd
+	Faults       FaultStats        // KindFaults
+	Quarantine   QuarantineEvent   // KindQuarantine
 }
 
 // Domains labels every resource with a failure domain on one hierarchy

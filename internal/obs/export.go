@@ -43,6 +43,16 @@ type Exporter struct {
 	seqPhases [NumPhases]int64   // engine-level (shard == -1), accumulated
 	costs     []ShardStat        // latest per-shard cost window
 	recovery  recoveryCounters
+	faults    FaultStats // latest cumulative fault counters
+	hasFaults bool
+	quar      quarantineCounters
+}
+
+// quarantineCounters aggregates the flapping-quarantine event stream.
+type quarantineCounters struct {
+	Entered int64           `json:"entered"`
+	Exited  int64           `json:"exited"`
+	Last    QuarantineEvent `json:"last"`
 }
 
 // recoveryCounters aggregates the recovery-episode event stream.
@@ -141,6 +151,15 @@ func (x *Exporter) applyLocked(ev *Event) {
 			x.recovery.Censored++
 		}
 		x.recovery.Last = ev.Recovery
+	case KindFaults:
+		x.faults, x.hasFaults = ev.Faults, true
+	case KindQuarantine:
+		if ev.Quarantine.Entered {
+			x.quar.Entered++
+		} else {
+			x.quar.Exited++
+		}
+		x.quar.Last = ev.Quarantine
 	}
 }
 
@@ -293,6 +312,36 @@ func (x *Exporter) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "lbdyn_recovery_censored_total %d\n", x.recovery.Censored)
 	gauge("lbdyn_recovery_last_peak_overload", "Peak overload fraction of the most recent recovery episode.")
 	fmt.Fprintf(w, "lbdyn_recovery_last_peak_overload %g\n", x.recovery.Last.PeakOverload)
+
+	if x.hasFaults {
+		f := &x.faults
+		counter("lbdyn_faults_lost_total", "Migration messages lost by the fault layer (entered the retry ledger).")
+		fmt.Fprintf(w, "lbdyn_faults_lost_total %d\n", f.Lost)
+		counter("lbdyn_faults_delayed_total", "Migration messages delayed by the fault layer.")
+		fmt.Fprintf(w, "lbdyn_faults_delayed_total %d\n", f.Delayed)
+		counter("lbdyn_faults_duplicated_total", "Duplicate migration copies injected by the fault layer.")
+		fmt.Fprintf(w, "lbdyn_faults_duplicated_total %d\n", f.Duplicated)
+		counter("lbdyn_faults_deduped_total", "Duplicate or stale deliveries dropped by the dedup table.")
+		fmt.Fprintf(w, "lbdyn_faults_deduped_total %d\n", f.Deduped)
+		counter("lbdyn_faults_retries_total", "Retry attempts for messages sitting in the in-flight ledger.")
+		fmt.Fprintf(w, "lbdyn_faults_retries_total %d\n", f.Retries)
+		counter("lbdyn_faults_timeouts_total", "Ledger tasks that hit the retry timeout and re-homed at their source.")
+		fmt.Fprintf(w, "lbdyn_faults_timeouts_total %d\n", f.Timeouts)
+		counter("lbdyn_faults_partition_blocked_total", "Migrations bounced to their source by a partition cut.")
+		fmt.Fprintf(w, "lbdyn_faults_partition_blocked_total %d\n", f.PartitionBlocked)
+		counter("lbdyn_faults_bounced_total", "Deliveries bounced off down destinations and re-homed.")
+		fmt.Fprintf(w, "lbdyn_faults_bounced_total %d\n", f.Bounced)
+		gauge("lbdyn_faults_ledger", "Tasks currently in the in-flight ledger.")
+		fmt.Fprintf(w, "lbdyn_faults_ledger %d\n", f.Ledger)
+		gauge("lbdyn_faults_ledger_weight", "Total weight currently in the in-flight ledger.")
+		fmt.Fprintf(w, "lbdyn_faults_ledger_weight %g\n", f.LedgerWeight)
+		gauge("lbdyn_quarantined_resources", "Resources currently held down by the flapping quarantine.")
+		fmt.Fprintf(w, "lbdyn_quarantined_resources %d\n", f.Quarantined)
+	}
+	counter("lbdyn_quarantine_entered_total", "Flapping resources put into quarantine hold-down.")
+	fmt.Fprintf(w, "lbdyn_quarantine_entered_total %d\n", x.quar.Entered)
+	counter("lbdyn_quarantine_exited_total", "Quarantined resources released after their cool-off.")
+	fmt.Fprintf(w, "lbdyn_quarantine_exited_total %d\n", x.quar.Exited)
 }
 
 func (x *Exporter) seqTotal() int64 {
@@ -311,6 +360,8 @@ type exporterVars struct {
 	Shards    []ShardWindowStats  `json:"shards,omitempty"`
 	Domains   []DomainWindowStats `json:"domains,omitempty"`
 	Recovery  recoveryCounters    `json:"recovery"`
+	Faults    *FaultStats         `json:"faults,omitempty"`
+	Quar      quarantineCounters  `json:"quarantine"`
 }
 
 // vars drains the subscription and snapshots the expvar view.
@@ -324,10 +375,15 @@ func (x *Exporter) vars() exporterVars {
 		Shards:    append([]ShardWindowStats(nil), x.shards...),
 		Domains:   append([]DomainWindowStats(nil), x.doms...),
 		Recovery:  x.recovery,
+		Quar:      x.quar,
 	}
 	if x.hasWindow {
 		wCopy := x.window
 		v.Window = &wCopy
+	}
+	if x.hasFaults {
+		fCopy := x.faults
+		v.Faults = &fCopy
 	}
 	return v
 }

@@ -36,6 +36,8 @@ type wireEvent struct {
 	ShardCost    *ShardCost         `json:"shard_cost,omitempty"`
 	Phase        *wirePhase         `json:"phase,omitempty"`
 	Recovery     *RecoveryEvent     `json:"recovery,omitempty"`
+	Faults       *FaultStats        `json:"faults,omitempty"`
+	Quarantine   *QuarantineEvent   `json:"quarantine,omitempty"`
 }
 
 // wirePhase flattens a PhaseStats nanos array into named per-phase
@@ -97,6 +99,12 @@ func toWire(ev *Event) (wireEvent, error) {
 	case KindRecoveryStart, KindRecoveryEnd:
 		p := ev.Recovery
 		w.Recovery = &p
+	case KindFaults:
+		p := ev.Faults
+		w.Faults = &p
+	case KindQuarantine:
+		p := ev.Quarantine
+		w.Quarantine = &p
 	default:
 		return w, fmt.Errorf("obs: cannot encode event of unknown kind %d", ev.Kind)
 	}
@@ -212,6 +220,20 @@ func fromWire(we *wireEvent) (Event, error) {
 		ev.Recovery = *we.Recovery
 		if k != KindRecoveryStart && k != KindRecoveryEnd {
 			return Event{}, fmt.Errorf("kind %q carries a %q payload", we.Kind, "recovery")
+		}
+	}
+	if we.Faults != nil {
+		payloads++
+		ev.Faults = *we.Faults
+		if k != KindFaults {
+			return Event{}, fmt.Errorf("kind %q carries a %q payload", we.Kind, "faults")
+		}
+	}
+	if we.Quarantine != nil {
+		payloads++
+		ev.Quarantine = *we.Quarantine
+		if k != KindQuarantine {
+			return Event{}, fmt.Errorf("kind %q carries a %q payload", we.Kind, "quarantine")
 		}
 	}
 	if payloads != 1 {

@@ -179,6 +179,31 @@ func Stream(seed, id uint64) *Rand {
 // Split derives an independent child Rand.
 func (r *Rand) Split() *Rand { return &Rand{src: r.src.Split()} }
 
+// Hash3 hashes (seed, a, b, c) through the SplitMix64 finaliser chain
+// into one decorrelated 64-bit value — a stateless keyed draw. Unlike
+// Stream it allocates nothing and advances no state, so a caller can
+// make per-(task, round, attempt) randomised decisions whose outcome
+// is a pure function of the key tuple, independent of evaluation
+// order, shard partition or worker count. Each key is folded in with
+// its own odd multiplier (the SplitMix64 mixing constants) before a
+// finaliser step, so permuting the keys changes the output.
+func Hash3(seed, a, b, c uint64) uint64 {
+	st := seed
+	_ = splitmix64(&st) // decorrelate seed and key contributions
+	st ^= a * 0x9e3779b97f4a7c15
+	_ = splitmix64(&st)
+	st ^= b * 0xbf58476d1ce4e5b9
+	_ = splitmix64(&st)
+	st ^= c * 0x94d049bb133111eb
+	return splitmix64(&st)
+}
+
+// HashFloat3 maps Hash3 onto [0,1) with 53 bits of precision — the
+// keyed analogue of Rand.Float64 for probability draws.
+func HashFloat3(seed, a, b, c uint64) float64 {
+	return float64(Hash3(seed, a, b, c)>>11) / (1 << 53)
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *Rand) Uint64() uint64 { return r.src.Uint64() }
 
