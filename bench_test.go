@@ -11,6 +11,8 @@
 package thresholdlb
 
 import (
+	"bytes"
+	"io"
 	"runtime"
 	"testing"
 
@@ -511,6 +513,82 @@ func BenchmarkMixingTime(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		walk.MixingTimeTV(k, []int{0}, walk.DefaultMixingEps, 10_000_000)
+	}
+}
+
+// checkpointBenchConfig is the BenchmarkDynamicRound10k workload with
+// a fixed horizon — the warm steady-state fleet the checkpoint
+// benchmarks snapshot (~8k live tasks across 10k resources). A fresh
+// config (fresh tuner included) is required per engine, matching the
+// restore identity contract.
+func checkpointBenchConfig(g *graph.Graph, rounds int) dynamic.Config {
+	n := g.N()
+	return dynamic.Config{
+		Graph:    g,
+		Protocol: core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+		Arrivals: dynamic.Poisson{Rate: 0.8 * float64(n) / 1.95,
+			Weights: task.Pareto{Alpha: 2, Cap: 20}},
+		Service: dynamic.WeightProportional{Rate: 1},
+		Tuner: &dynamic.SelfTuner{Eps: 0.5, Steps: 2,
+			Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+		Rounds:  rounds,
+		Window:  1 << 30,
+		Seed:    0x9e3779b97f4a7c15,
+		Workers: runtime.GOMAXPROCS(0),
+	}
+}
+
+// BenchmarkCheckpoint10k: one complete engine checkpoint — every task,
+// per-resource stack, RNG stream, tuner estimate and accumulator of
+// the warm 10000-resource fleet — encoded into the reusable snapshot
+// buffer and written to io.Discard. One op is one full snapshot; after
+// the buffer's high-water mark the encode itself is allocation-free.
+func BenchmarkCheckpoint10k(b *testing.B) {
+	g := graph.RandomRegular(10_000, 16, newBenchRand())
+	eng, err := dynamic.NewEngine(checkpointBenchConfig(g, 200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Checkpoint(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResume10k: restoring the same warm-fleet snapshot into a
+// fresh engine — full decode, checksum verification and state rebuild,
+// worker pool included. One op is one complete Resume.
+func BenchmarkResume10k(b *testing.B) {
+	g := graph.RandomRegular(10_000, 16, newBenchRand())
+	eng, err := dynamic.NewEngine(checkpointBenchConfig(g, 200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Checkpoint(&buf); err != nil {
+		b.Fatal(err)
+	}
+	eng.Close()
+	snap := buf.Bytes()
+	b.SetBytes(int64(len(snap)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := dynamic.Resume(bytes.NewReader(snap), checkpointBenchConfig(g, 200))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Close()
 	}
 }
 

@@ -1,0 +1,155 @@
+package thresholdlb
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestCheckpointResumePublicAPI drives the exported checkpoint surface
+// end to end — scenario-built engines, topology-aware locality
+// re-homing (the "rehome" snapshot section), domain SLO alerts, a zone
+// partition with lossy delivery — and pins the headline invariant: a
+// run crashed mid-flight and resumed from its last checkpoint finishes
+// with exactly the uninterrupted run's Result, and every checkpoint it
+// writes is byte-identical to the baseline's.
+func TestCheckpointResumePublicAPI(t *testing.T) {
+	const n = 120
+	topo, err := SynthTopology(n, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() DynamicScenario {
+		return DynamicScenario{
+			Graph:    CompleteGraph(n),
+			Protocol: UserBased,
+			Epsilon:  0.5,
+			Rounds:   160,
+			Window:   40,
+			Arrivals: PoissonArrivals(0.85*n/1.95, ParetoDist(2, 20)),
+			Service:  WeightProportionalService(1),
+			Seed:     11,
+			Workers:  4,
+			Churn:    ChurnSpec{LeaveProb: 0.2, JoinProb: 0.2, MinUp: n / 2},
+			Rehome:   LocalityRehome(topo),
+			Domains:  ObsDomains(topo),
+			Faults: &FaultPlan{
+				Loss: 0.1, RetryBase: 1, RetryCap: 4, Timeout: 12,
+				Partitions: []FaultPartition{PartitionZone(topo, 1, 40, 100)},
+			},
+			AlertBudget:     0.25,
+			AlertWindows:    2,
+			CheckpointEvery: 50,
+			Obs:             NewObsBroker(),
+		}
+	}
+
+	run := func(crashAt int, resume []byte) (DynamicResult, map[int][]byte, error) {
+		sc := build()
+		snaps := map[int][]byte{}
+		sc.CrashAfterRound = crashAt
+		sc.OnCheckpoint = func(round int, data []byte) error {
+			snaps[round] = append([]byte(nil), data...)
+			return nil
+		}
+		var res DynamicResult
+		var err error
+		if resume != nil {
+			var eng *DynamicEngine
+			if eng, err = sc.Resume(bytes.NewReader(resume)); err == nil {
+				res, err = eng.Run()
+				eng.Close()
+			}
+		} else {
+			res, err = sc.Run()
+		}
+		sc.Obs.Close()
+		return res, snaps, err
+	}
+
+	ref, baseSnaps, err := run(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseSnaps) != 3 {
+		t.Fatalf("baseline wrote %d checkpoints, want 3", len(baseSnaps))
+	}
+
+	_, crashSnaps, err := run(120, nil)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash run error = %v, want ErrCrashed", err)
+	}
+	for r, b := range crashSnaps {
+		if !bytes.Equal(b, baseSnaps[r]) {
+			t.Fatalf("crashed run's round-%d checkpoint differs from the baseline's", r)
+		}
+	}
+
+	res, resSnaps, err := run(0, crashSnaps[100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Fatalf("resumed Result differs from baseline:\n%+v\nvs\n%+v", res, ref)
+	}
+	if !bytes.Equal(resSnaps[150], baseSnaps[150]) {
+		t.Fatal("post-resume checkpoint differs from the baseline's")
+	}
+}
+
+// TestManualEngineSnapshotFile drives the hand-stepped path: Engine()
+// before any round, Checkpoint into an atomically-written file,
+// Resume from that file, and a Result equal to the plain Run's.
+func TestManualEngineSnapshotFile(t *testing.T) {
+	build := func() DynamicScenario {
+		return DynamicScenario{
+			Graph:    CompleteGraph(50),
+			Protocol: UserBased,
+			Epsilon:  0.5,
+			Rounds:   60,
+			Window:   30,
+			Arrivals: PoissonArrivals(0.8*50/1.95, ParetoDist(2, 20)),
+			Service:  WeightProportionalService(1),
+			Seed:     7,
+			Workers:  2,
+		}
+	}
+	ref, err := build().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := build().Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+
+	path := filepath.Join(t.TempDir(), "ckpt.snap")
+	if err := WriteSnapshotFile(path, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := build().Resume(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng2.Run()
+	eng2.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Fatalf("resumed-from-round-0 Result differs from plain Run:\n%+v\nvs\n%+v", res, ref)
+	}
+}

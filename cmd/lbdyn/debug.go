@@ -67,6 +67,19 @@ func (d *debugRenderer) apply(ev *obs.Event) {
 			d.phases[p] += ns
 		}
 		d.flush()
+	case obs.KindAlert:
+		// Domain SLO transitions render immediately — an alert should
+		// never wait for the next telemetry window to flush.
+		a := ev.Alert
+		state := "FIRING"
+		if a.Cleared {
+			state = "cleared"
+		}
+		fmt.Fprintf(d.w, "[alert] round %d %s %s %q overload=%.1f%% budget=%.1f%% windows=%d\n",
+			ev.Round, state, a.Level, a.Name, 100*a.OverloadFrac, 100*a.Budget, a.Windows)
+	case obs.KindCheckpoint:
+		c := ev.Checkpoint
+		fmt.Fprintf(d.w, "[ckpt] round %d snapshot %d bytes\n", c.Round, c.Bytes)
 	case obs.KindFaults:
 		// The fault snapshot trails the phase profile that closed the
 		// window, so it renders directly rather than via the buffer.

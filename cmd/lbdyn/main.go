@@ -39,6 +39,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -46,6 +47,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -123,6 +125,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics, expvar and pprof on this address for the duration of the run (e.g. :9090)")
 		eventsOut   = fs.String("events-out", "", "stream the engine's event feed (windows, lanes, phases, recovery episodes) as JSONL to this file (- = stdout)")
+
+		alertBudget  = fs.Float64("alert-budget", 0, "domain SLO overload budget: alert when a rack/zone window overload fraction exceeds this for -alert-windows consecutive windows (0 = off; needs a topology)")
+		alertWindows = fs.Int("alert-windows", 3, "consecutive over-budget windows before a domain alert fires")
+
+		checkpointEvery = fs.Int("checkpoint-every", 0, "write a full engine checkpoint every this many rounds (0 = off)")
+		checkpointDir   = fs.String("checkpoint-dir", "", "directory for ckpt-<round>.snap files (atomic writes; default with -checkpoint-every: current directory)")
+		resumePath      = fs.String("resume", "", "resume from a checkpoint file instead of starting at round 0 (flags must rebuild the checkpointed scenario)")
+		crashAtRound    = fs.Int("crash-at-round", 0, "kill the run after this round and exit nonzero — crash-injection for checkpoint/resume drills (0 = off)")
 
 		loss       = fs.Float64("loss", 0, "per-migration loss probability (lost moves are ledgered and retried with backoff)")
 		delayProb  = fs.Float64("delayprob", 0, "per-migration delay probability (delayed moves deliver 1..delaymax rounds late)")
@@ -334,15 +344,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if topo == nil {
 				return fmt.Errorf("-partition needs -topology or -synthracks to name racks")
 			}
+			// Each entry is DOMAIN:START:END where DOMAIN is a rack index
+			// or a rack/zone name from the topology inventory ("rack3",
+			// "zone1", or whatever the CSV/JSONL loader recorded).
 			for _, ent := range strings.Split(*partition, ",") {
-				rack, start, end, err := parseTriple(ent)
-				if err != nil {
-					return fmt.Errorf("-partition: %w (want RACK:START:END)", err)
+				dom, span, ok := strings.Cut(ent, ":")
+				if !ok {
+					return fmt.Errorf("-partition %q: want DOMAIN:START:END", ent)
 				}
-				if rack < 0 || rack >= topo.Racks() {
-					return fmt.Errorf("-partition %q: rack %d out of range [0,%d)", ent, rack, topo.Racks())
+				dom = strings.TrimSpace(dom)
+				var start, end int
+				if _, err := fmt.Sscanf(span, "%d:%d", &start, &end); err != nil {
+					return fmt.Errorf("-partition %q: bad START:END %q", ent, span)
 				}
-				plan.Partitions = append(plan.Partitions, lb.PartitionRack(topo, rack, start, end))
+				if rack, err := strconv.Atoi(dom); err == nil {
+					if rack < 0 || rack >= topo.Racks() {
+						return fmt.Errorf("-partition %q: rack %d out of range [0,%d)", ent, rack, topo.Racks())
+					}
+					plan.Partitions = append(plan.Partitions, lb.PartitionRack(topo, rack, start, end))
+					continue
+				}
+				members, ok := topo.Resolve(dom)
+				if !ok {
+					return fmt.Errorf("-partition %q: no rack or zone named %q in the topology", ent, dom)
+				}
+				plan.Partitions = append(plan.Partitions, lb.FaultPartition{Start: start, End: end, Members: members})
 			}
 		}
 		if err := plan.Validate(g.N()); err != nil {
@@ -407,10 +433,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sc.Domains = lb.ObsDomains(topo)
 	}
 
+	if *alertBudget > 0 {
+		if topo == nil {
+			return fmt.Errorf("-alert-budget needs -topology or -synthracks (alerts are per failure domain)")
+		}
+		sc.AlertBudget = *alertBudget
+		sc.AlertWindows = *alertWindows
+	}
+
+	sc.CheckpointEvery = *checkpointEvery
+	sc.CrashAfterRound = *crashAtRound
+	if *checkpointDir != "" && *checkpointEvery <= 0 {
+		return fmt.Errorf("-checkpoint-dir needs -checkpoint-every")
+	}
+	if *checkpointEvery > 0 {
+		dir := *checkpointDir
+		if dir == "" {
+			dir = "."
+		}
+		sc.OnCheckpoint = func(round int, data []byte) error {
+			return lb.WriteSnapshotFile(filepath.Join(dir, fmt.Sprintf("ckpt-%06d.snap", round)), data)
+		}
+	}
+
 	// Observability attachments share one broker; each consumer gets
 	// its own bounded subscription, so a slow one drops its own events
-	// without stalling the round loop or the other consumers.
-	needObs := *shardDebug || *metricsAddr != "" || *eventsOut != ""
+	// without stalling the round loop or the other consumers. Domain
+	// alerts ride the same broker, so arming them attaches one too.
+	needObs := *shardDebug || *metricsAddr != "" || *eventsOut != "" || *alertBudget > 0
 	if needObs {
 		sc.Obs = lb.NewObsBroker()
 	}
@@ -419,7 +469,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *shardDebug {
 		debug = newDebugRenderer(stderr, sc.Subscribe(lb.ObsSubOptions{
 			Capacity: 4096,
-			Kinds:    obs.Mask(obs.KindLanes, obs.KindShardCost, obs.KindPhase, obs.KindFaults),
+			Kinds:    obs.Mask(obs.KindLanes, obs.KindShardCost, obs.KindPhase, obs.KindFaults, obs.KindAlert, obs.KindCheckpoint),
 		}))
 	}
 
@@ -500,6 +550,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if metricsURL != "" {
 		fmt.Fprintf(stdout, "metrics:   %s/metrics (expvar /debug/vars, pprof /debug/pprof/)\n", metricsURL)
 	}
+	if *alertBudget > 0 {
+		fmt.Fprintf(stdout, "alerts:    budget=%g%% windows=%d per rack/zone\n", 100**alertBudget, *alertWindows)
+	}
+	if *checkpointEvery > 0 || *resumePath != "" {
+		fmt.Fprintf(stdout, "ckpt:      every=%d", *checkpointEvery)
+		if *checkpointEvery > 0 {
+			dir := *checkpointDir
+			if dir == "" {
+				dir = "."
+			}
+			fmt.Fprintf(stdout, " dir=%s", dir)
+		}
+		if *resumePath != "" {
+			fmt.Fprintf(stdout, " resume=%s", *resumePath)
+		}
+		if *crashAtRound > 0 {
+			fmt.Fprintf(stdout, " crash-at=%d", *crashAtRound)
+		}
+		fmt.Fprintln(stdout)
+	}
 	p99Label := "p99load"
 	if speeds != nil {
 		p99Label = "p99 x/s"
@@ -507,7 +577,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "%8s %10s %10s %10s %10s %10s %10s %6s\n",
 		"rounds", "overload%", "mig/round", "arr/round", "dep/round", p99Label, "W-inflight", "up")
 
-	res, runErr := sc.Run()
+	var res lb.DynamicResult
+	var runErr error
+	if *resumePath != "" {
+		res, runErr = resumeRun(sc, *resumePath)
+	} else {
+		res, runErr = sc.Run()
+	}
 
 	// Shut down the observability consumers in dependency order: close
 	// the broker so drains see EOF, join the renderer and sink pumps,
@@ -530,6 +606,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		srv.Close()
 	}
 	if runErr != nil {
+		if errors.Is(runErr, lb.ErrCrashed) {
+			return fmt.Errorf("crashed after round %d by -crash-at-round; resume from the last checkpoint with -resume", *crashAtRound)
+		}
 		return runErr
 	}
 
@@ -574,6 +653,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, "steady overload: run at least 3 windows for a warmed-up figure")
 	}
 	return nil
+}
+
+// resumeRun restores a checkpoint into the configured scenario and
+// runs it to completion. The flags must rebuild the checkpointed
+// scenario (same graph, seed, horizon, fault plan, ...); any drift is
+// a structured restore error, never a silently different run.
+func resumeRun(sc lb.DynamicScenario, path string) (lb.DynamicResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return lb.DynamicResult{}, fmt.Errorf("-resume: %w", err)
+	}
+	eng, err := sc.Resume(f)
+	f.Close()
+	if err != nil {
+		return lb.DynamicResult{}, fmt.Errorf("-resume %s: %w", path, err)
+	}
+	defer eng.Close()
+	return eng.Run()
 }
 
 // parseTriple parses a colon-separated "A:B:C" integer triple, the

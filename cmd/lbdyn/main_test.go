@@ -149,6 +149,124 @@ func TestEventsOut(t *testing.T) {
 	}
 }
 
+// TestCheckpointCrashResume: a run killed by -crash-at-round exits
+// with an error, its checkpoint files are byte-identical to the
+// uninterrupted run's, and resuming from the last one reproduces the
+// baseline summary and every later checkpoint exactly.
+func TestCheckpointCrashResume(t *testing.T) {
+	dir := t.TempDir()
+	baseDir := filepath.Join(dir, "base")
+	crashDir := filepath.Join(dir, "crash")
+	resDir := filepath.Join(dir, "res")
+	for _, d := range []string{baseDir, crashDir, resDir} {
+		if err := os.Mkdir(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	common := []string{
+		"-graph", "complete", "-n", "96", "-rounds", "120", "-window", "40",
+		"-workers", "2", "-seed", "4", "-churn", "0.1",
+		"-synthracks", "4", "-synthzones", "2", "-rehome", "locality",
+		"-loss", "0.1", "-retry", "1:4:12", "-partition", "zone1:30:80",
+		"-alert-budget", "0.3", "-alert-windows", "2",
+		"-checkpoint-every", "40",
+	}
+	base, _, err := runCLI(t, append([]string{"-checkpoint-dir", baseDir}, common...)...)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	_, _, err = runCLI(t, append([]string{"-checkpoint-dir", crashDir, "-crash-at-round", "100"}, common...)...)
+	if err == nil || !strings.Contains(err.Error(), "crash-at-round") {
+		t.Fatalf("crash run error = %v, want the -crash-at-round notice", err)
+	}
+	readSnap := func(dir, name string) []byte {
+		t.Helper()
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	for _, name := range []string{"ckpt-000040.snap", "ckpt-000080.snap"} {
+		if !bytes.Equal(readSnap(baseDir, name), readSnap(crashDir, name)) {
+			t.Fatalf("crashed run's %s differs from the baseline's", name)
+		}
+	}
+	snap := filepath.Join(crashDir, "ckpt-000080.snap")
+	resumed, _, err := runCLI(t, append([]string{"-checkpoint-dir", resDir, "-resume", snap}, common...)...)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	cut := func(s string) string {
+		t.Helper()
+		i := strings.Index(s, "arrived:")
+		if i < 0 {
+			t.Fatalf("no summary in output:\n%s", s)
+		}
+		return s[i:]
+	}
+	if cut(base) != cut(resumed) {
+		t.Fatalf("resumed summary differs from baseline:\nbase:\n%s\nresumed:\n%s", cut(base), cut(resumed))
+	}
+	if !bytes.Equal(readSnap(baseDir, "ckpt-000120.snap"), readSnap(resDir, "ckpt-000120.snap")) {
+		t.Fatal("post-resume checkpoint differs from the baseline's")
+	}
+
+	// Corruption and config drift must fail the resume loudly.
+	trunc := filepath.Join(dir, "trunc.snap")
+	if err := os.WriteFile(trunc, readSnap(crashDir, "ckpt-000080.snap")[:100], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := runCLI(t, append([]string{"-resume", trunc}, common...)...); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("truncated snapshot resume error = %v, want a checksum failure", err)
+	}
+	drift := append([]string{"-resume", snap}, common...)
+	for i, a := range drift {
+		if a == "-seed" {
+			drift[i+1] = "5"
+		}
+	}
+	if _, _, err := runCLI(t, drift...); err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("seed-drift resume error = %v, want a seed mismatch", err)
+	}
+}
+
+// TestAlertsSurface: domain SLO alerts render on -sharddebug stderr
+// and export as Prometheus series alongside the checkpoint counters.
+func TestAlertsSurface(t *testing.T) {
+	var body string
+	metricsHook = func(base string) { body = httpGet(t, base+"/metrics") }
+	defer func() { metricsHook = nil }()
+
+	dir := t.TempDir()
+	args := []string{
+		"-sharddebug", "-metrics-addr", "127.0.0.1:0",
+		"-graph", "complete", "-n", "100", "-rounds", "150", "-window", "50",
+		"-workers", "2", "-seed", "2", "-rho", "0.95",
+		"-synthracks", "4", "-alert-budget", "0.01", "-alert-windows", "1",
+		"-checkpoint-every", "50", "-checkpoint-dir", dir,
+	}
+	_, stderr, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stderr, "[alert]") || !strings.Contains(stderr, "FIRING") {
+		t.Errorf("stderr missing [alert] lines:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "[ckpt]") {
+		t.Errorf("stderr missing [ckpt] lines:\n%s", stderr)
+	}
+	for _, want := range []string{
+		"lbdyn_alerts_fired_total ",
+		"lbdyn_checkpoints_total ",
+		"lbdyn_checkpoint_last_round ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s\n%s", want, body)
+		}
+	}
+}
+
 // TestBadFlag: flag errors surface as errors, not os.Exit, and name
 // the flag on stderr.
 func TestBadFlag(t *testing.T) {

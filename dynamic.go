@@ -10,6 +10,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/recovery"
+	"repro/internal/snapshot"
 	"repro/internal/task"
 	"repro/internal/walk"
 )
@@ -145,6 +146,21 @@ func PartitionRack(topo *Topology, rack, start, end int) FaultPartition {
 	return FaultPartition{Start: start, End: end, Members: topo.RackList(rack, nil)}
 }
 
+// PartitionZone builds the partition window that cuts one topology zone
+// off the fleet during rounds [start, end) — the zone-level sibling of
+// PartitionRack (a zone loss is the classic cloud incident shape).
+func PartitionZone(topo *Topology, zone, start, end int) FaultPartition {
+	return FaultPartition{Start: start, End: end, Members: topo.ZoneList(zone, nil)}
+}
+
+// LoadFaultPlanTopo is LoadFaultPlan with the topology's rack and zone
+// names resolvable in partition member lists: a directive may say
+// "partition,100,200,rack3" or mix names with index ranges
+// ("0-15;zone1").
+func LoadFaultPlanTopo(path string, n int, topo *Topology) (*FaultPlan, error) {
+	return faults.LoadPlanFileNamed(path, n, topo.Resolve)
+}
+
 // UniformRehome re-homes each evacuated task to a uniformly random up
 // resource — the engine's default (and original) evacuation rule.
 func UniformRehome() RehomePolicy { return dynamic.UniformRehome{} }
@@ -228,14 +244,20 @@ const (
 	KindRecoveryEnd   = obs.KindRecoveryEnd
 	KindFaults        = obs.KindFaults
 	KindQuarantine    = obs.KindQuarantine
+	KindAlert         = obs.KindAlert
+	KindCheckpoint    = obs.KindCheckpoint
 )
 
 // FaultStats is the cumulative message-fault snapshot carried by
 // KindFaults events; QuarantineEvent is the per-transition payload of
-// KindQuarantine events.
+// KindQuarantine events; AlertEvent is the domain SLO alert payload of
+// KindAlert events; CheckpointEvent announces each written checkpoint
+// on KindCheckpoint events.
 type (
 	FaultStats      = obs.FaultStats
 	QuarantineEvent = obs.QuarantineEvent
+	AlertEvent      = obs.AlertEvent
+	CheckpointEvent = obs.CheckpointEvent
 )
 
 // ObsMask builds a subscription kind filter from event kinds.
@@ -474,6 +496,29 @@ type DynamicScenario struct {
 	// per-domain window events on Obs; see ObsDomains. Ignored when Obs
 	// is nil.
 	Domains []DomainLabels
+	// AlertBudget arms domain-level SLO alerts: when a rack's or zone's
+	// window overload fraction exceeds the budget for AlertWindows
+	// consecutive windows, a KindAlert event fires on Obs (and a
+	// Cleared event when the domain returns within budget). 0 disables;
+	// otherwise must lie in (0,1). Requires Obs and Domains.
+	AlertBudget float64
+	// AlertWindows is the consecutive-breach count that fires an alert;
+	// 0 selects 1 (alert on the first breached window).
+	AlertWindows int
+	// CheckpointEvery writes a checkpoint of the complete engine state
+	// every that many rounds (0 disables), delivered to OnCheckpoint. A
+	// run resumed from a checkpoint finishes byte-identical to the
+	// uninterrupted one, at any worker count. See Resume.
+	CheckpointEvery int
+	// OnCheckpoint receives each checkpoint: the byte slice aliases an
+	// internal buffer reused by the next checkpoint, so persist it (see
+	// WriteSnapshotFile) or copy it before returning. A non-nil error
+	// aborts the run.
+	OnCheckpoint func(round int, data []byte) error
+	// CrashAfterRound, when > 0, kills the run with ErrCrashed after
+	// that many rounds — after the boundary's checkpoint, so the
+	// crash-recovery path is testable end to end.
+	CrashAfterRound int
 }
 
 // Subscribe attaches a subscription to the scenario's event stream,
@@ -490,26 +535,66 @@ func (sc *DynamicScenario) Subscribe(o ObsSubOptions) *ObsSubscription {
 
 // Run executes the open-system scenario.
 func (sc DynamicScenario) Run() (DynamicResult, error) {
+	cfg, err := sc.config()
+	if err != nil {
+		return DynamicResult{}, err
+	}
+	return dynamic.Run(cfg)
+}
+
+// Engine builds the scenario's resumable engine without starting it:
+// call Run once, Checkpoint to snapshot manually, and Close when done.
+// Most callers want plain Run (or Resume); the explicit engine exists
+// for harnesses that checkpoint outside the CheckpointEvery cadence.
+func (sc DynamicScenario) Engine() (*DynamicEngine, error) {
+	cfg, err := sc.config()
+	if err != nil {
+		return nil, err
+	}
+	return dynamic.NewEngine(cfg)
+}
+
+// Resume reads a checkpoint written by a run of this scenario and
+// returns the engine that continues it: its Run() enters the round
+// loop at the checkpointed boundary and finishes byte-identical to the
+// uninterrupted run, at any worker count, including under active fault
+// plans. The scenario must be equivalent to the one that wrote the
+// checkpoint (the snapshot rejects detectable mismatches with a
+// structured error — corrupted, truncated or reordered snapshots never
+// load silently).
+func (sc DynamicScenario) Resume(r io.Reader) (*DynamicEngine, error) {
+	cfg, err := sc.config()
+	if err != nil {
+		return nil, err
+	}
+	return dynamic.Resume(r, cfg)
+}
+
+// config validates the scenario and assembles the engine configuration
+// shared by Run, Engine and Resume. Stateful components (tuner,
+// re-home policy state) are built fresh on every call, as checkpoint
+// restore requires.
+func (sc DynamicScenario) config() (dynamic.Config, error) {
 	if sc.Graph == nil {
-		return DynamicResult{}, errors.New("thresholdlb: DynamicScenario.Graph is required")
+		return dynamic.Config{}, errors.New("thresholdlb: DynamicScenario.Graph is required")
 	}
 	if sc.Graph.N() == 0 {
-		return DynamicResult{}, errors.New("thresholdlb: graph has no resources")
+		return dynamic.Config{}, errors.New("thresholdlb: graph has no resources")
 	}
 	if !sc.Graph.Connected() {
-		return DynamicResult{}, errors.New("thresholdlb: graph must be connected")
+		return dynamic.Config{}, errors.New("thresholdlb: graph must be connected")
 	}
 	if sc.Arrivals == nil {
-		return DynamicResult{}, errors.New("thresholdlb: DynamicScenario.Arrivals is required")
+		return dynamic.Config{}, errors.New("thresholdlb: DynamicScenario.Arrivals is required")
 	}
 	if sc.Service == nil {
-		return DynamicResult{}, errors.New("thresholdlb: DynamicScenario.Service is required")
+		return dynamic.Config{}, errors.New("thresholdlb: DynamicScenario.Service is required")
 	}
 	if sc.Rounds <= 0 {
-		return DynamicResult{}, errors.New("thresholdlb: DynamicScenario.Rounds must be > 0")
+		return dynamic.Config{}, errors.New("thresholdlb: DynamicScenario.Rounds must be > 0")
 	}
 	if sc.Epsilon < 0 {
-		return DynamicResult{}, errors.New("thresholdlb: Epsilon must be non-negative")
+		return dynamic.Config{}, errors.New("thresholdlb: Epsilon must be non-negative")
 	}
 	eps := sc.Epsilon
 	if eps == 0 {
@@ -520,11 +605,11 @@ func (sc DynamicScenario) Run() (DynamicResult, error) {
 		alpha = 1
 	}
 	if alpha < 0 {
-		return DynamicResult{}, errors.New("thresholdlb: Alpha must be positive")
+		return dynamic.Config{}, errors.New("thresholdlb: Alpha must be positive")
 	}
 	for i, w := range sc.InitialWeights {
 		if !task.ValidWeight(w) {
-			return DynamicResult{}, fmt.Errorf("thresholdlb: initial weight %v at index %d is below 1 (or not finite)", w, i)
+			return dynamic.Config{}, fmt.Errorf("thresholdlb: initial weight %v at index %d is below 1 (or not finite)", w, i)
 		}
 	}
 
@@ -541,7 +626,7 @@ func (sc DynamicScenario) Run() (DynamicResult, error) {
 		proto = core.ResourceControlled{Kernel: mkKernel()}
 	case UserBased:
 		if !isComplete(sc.Graph) {
-			return DynamicResult{}, errors.New("thresholdlb: UserBased requires the complete graph (the paper's model); use UserBasedGraph for other topologies")
+			return dynamic.Config{}, errors.New("thresholdlb: UserBased requires the complete graph (the paper's model); use UserBasedGraph for other topologies")
 		}
 		proto = core.UserControlled{Alpha: alpha}
 	case UserBasedGraph:
@@ -553,7 +638,7 @@ func (sc DynamicScenario) Run() (DynamicResult, error) {
 			Period: 2,
 		}
 	default:
-		return DynamicResult{}, fmt.Errorf("thresholdlb: unknown protocol %v", sc.Protocol)
+		return dynamic.Config{}, fmt.Errorf("thresholdlb: unknown protocol %v", sc.Protocol)
 	}
 
 	var tuner dynamic.Tuner
@@ -561,7 +646,7 @@ func (sc DynamicScenario) Run() (DynamicResult, error) {
 		tuner = &dynamic.OracleTuner{Eps: eps, Every: sc.TunerEvery}
 	} else {
 		if sc.Graph.MaxDegree() == 0 {
-			return DynamicResult{}, errors.New("thresholdlb: self-tuned thresholds need a graph with at least one edge to diffuse over; set OracleThresholds for a single resource")
+			return dynamic.Config{}, errors.New("thresholdlb: self-tuned thresholds need a graph with at least one edge to diffuse over; set OracleThresholds for a single resource")
 		}
 		st := dynamic.NewSelfTuner(walk.NewLazy(walk.NewMaxDegree(sc.Graph)), eps)
 		if sc.TunerDecay > 0 {
@@ -576,14 +661,22 @@ func (sc DynamicScenario) Run() (DynamicResult, error) {
 		tuner = st
 	}
 
-	return dynamic.Run(dynamic.Config{
+	rehome := sc.Rehome
+	if loc, ok := rehome.(*recovery.Locality); ok && loc != nil {
+		// Checkpoint restore (and back-to-back runs) need fresh policy
+		// state; the Locality value itself carries run state, so clone
+		// the configuration without the membership lists.
+		rehome = &recovery.Locality{Topo: loc.Topo}
+	}
+
+	return dynamic.Config{
 		Graph:            sc.Graph,
 		Speeds:           sc.Speeds,
 		Protocol:         proto,
 		Arrivals:         sc.Arrivals,
 		Service:          sc.Service,
 		Dispatch:         sc.Dispatch,
-		Rehome:           sc.Rehome,
+		Rehome:           rehome,
 		Tuner:            tuner,
 		Churn:            sc.Churn,
 		Faults:           sc.Faults,
@@ -601,5 +694,25 @@ func (sc DynamicScenario) Run() (DynamicResult, error) {
 		OnWindow:         sc.OnWindow,
 		Obs:              sc.Obs,
 		Domains:          sc.Domains,
-	})
+		AlertBudget:      sc.AlertBudget,
+		AlertWindows:     sc.AlertWindows,
+		CheckpointEvery:  sc.CheckpointEvery,
+		OnCheckpoint:     sc.OnCheckpoint,
+		CrashAfterRound:  sc.CrashAfterRound,
+	}, nil
+}
+
+// DynamicEngine is the resumable form of DynamicScenario.Run — built
+// by DynamicScenario.Engine or DynamicScenario.Resume.
+type DynamicEngine = dynamic.Engine
+
+// ErrCrashed is returned by a run cut short by CrashAfterRound (the
+// crash-injection harness's simulated kill).
+var ErrCrashed = dynamic.ErrCrashed
+
+// WriteSnapshotFile persists one checkpoint atomically: the bytes land
+// under a temporary name, are fsynced, and are renamed into place, so
+// a crash mid-write never leaves a truncated snapshot at path.
+func WriteSnapshotFile(path string, data []byte) error {
+	return snapshot.WriteFileAtomic(path, data)
 }

@@ -1,0 +1,39 @@
+package core
+
+// Checkpoint export/restore for State. The exported slices alias the
+// state's internals (read-only use expected); the restore entry point
+// takes exact recorded values for every incrementally-maintained
+// float (threshold vector, live-wmax cache, in-flight ledger weight)
+// so a resumed run continues bit-for-bit where the checkpointed one
+// stopped. The overloaded set is the one piece of derived state that
+// is recomputed instead of serialized — it is pure comparison, no
+// float accumulation, so recounting cannot drift.
+
+// SnapshotThresholds exposes the threshold vector for serialization.
+func (s *State) SnapshotThresholds() []float64 { return s.thr }
+
+// SnapshotLoc exposes the task→location vector for serialization
+// (indexed by task ID; LocInFlight marks ledgered moves).
+func (s *State) SnapshotLoc() []int32 { return s.loc }
+
+// SnapshotLiveWMax exposes the live-wmax cache triple.
+func (s *State) SnapshotLiveWMax() (wmax float64, count int, dirty bool) {
+	return s.liveWMax, s.liveWMaxCount, s.liveWMaxDirty
+}
+
+// RestoreSnapshot installs a checkpointed state: the round counter,
+// threshold vector, task locations, live-wmax cache and in-flight
+// ledger, then recounts the overloaded set from the (already
+// restored) stacks. Callers must restore every stack — via
+// Stack(r).Restore — and the task set before calling this.
+func (s *State) RestoreSnapshot(round int, thr []float64, loc []int32, liveWMax float64, liveWMaxCount int, liveWMaxDirty bool, inflightN int, inflightW float64) {
+	s.round = round
+	s.thr = append(s.thr[:0], thr...)
+	s.loc = loc
+	s.liveWMax = liveWMax
+	s.liveWMaxCount = liveWMaxCount
+	s.liveWMaxDirty = liveWMaxDirty
+	s.inflightN = inflightN
+	s.inflightW = inflightW
+	s.recountOverloaded()
+}

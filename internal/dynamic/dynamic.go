@@ -366,6 +366,34 @@ type Config struct {
 	// per-domain window events on the Obs broker. Ignored when Obs is
 	// nil; validated against the resource count.
 	Domains []obs.Domains
+	// AlertBudget enables domain-level SLO alerting: when a failure
+	// domain's windowed overload fraction exceeds the budget for
+	// AlertWindows consecutive metrics windows, the engine publishes a
+	// KindAlert event for that domain (and a matching Cleared event the
+	// first window it returns to budget). 0 disables alerting; requires
+	// Obs and Domains to have any effect. Must lie in [0, 1).
+	AlertBudget float64
+	// AlertWindows is the consecutive-window count K a breach must
+	// persist before the alert fires; 0 selects 1 (alert on the first
+	// over-budget window).
+	AlertWindows int
+	// CheckpointEvery, when > 0, snapshots the complete engine state
+	// every CheckpointEvery rounds (at the round boundary, after the
+	// window flush and telemetry hooks) and hands the encoded snapshot
+	// to OnCheckpoint. A run resumed from any such snapshot (see Resume)
+	// finishes byte-identical to the uninterrupted run, for every worker
+	// count, including under active fault plans.
+	CheckpointEvery int
+	// OnCheckpoint receives each completed checkpoint: the boundary
+	// round the snapshot captured and the encoded bytes. The slice
+	// aliases an engine-owned buffer reused across checkpoints — copy or
+	// write it out before returning. A non-nil error aborts the run.
+	OnCheckpoint func(round int, data []byte) error
+	// CrashAfterRound, when > 0, makes the run return ErrCrashed after
+	// completing that many rounds (after the boundary's checkpoint, if
+	// one is due) — the crash-injection hook of the recovery test
+	// harness and lbdyn's -crash-at-round flag.
+	CrashAfterRound int
 }
 
 // WindowStats summarises one metrics window of an open-system run.
@@ -568,6 +596,20 @@ func validate(cfg Config) error {
 	}
 	if q := cfg.Quarantine; q.Flaps < 0 || q.Window < 0 || q.Cooloff < 0 {
 		return fmt.Errorf("dynamic: Config.Quarantine fields must be non-negative (%+v)", q)
+	}
+	if cfg.AlertBudget < 0 || cfg.AlertBudget >= 1 {
+		if cfg.AlertBudget != 0 {
+			return fmt.Errorf("dynamic: Config.AlertBudget %v must lie in [0, 1)", cfg.AlertBudget)
+		}
+	}
+	if cfg.AlertWindows < 0 {
+		return fmt.Errorf("dynamic: Config.AlertWindows %d must be non-negative", cfg.AlertWindows)
+	}
+	if cfg.CheckpointEvery < 0 {
+		return fmt.Errorf("dynamic: Config.CheckpointEvery %d must be non-negative", cfg.CheckpointEvery)
+	}
+	if cfg.CrashAfterRound < 0 || cfg.CrashAfterRound > cfg.Rounds {
+		return fmt.Errorf("dynamic: Config.CrashAfterRound %d must lie in [0, Rounds]", cfg.CrashAfterRound)
 	}
 	for i, d := range cfg.Domains {
 		if err := d.Validate(cfg.Graph.N()); err != nil {

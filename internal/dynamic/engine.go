@@ -10,6 +10,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
+	"repro/internal/snapshot"
 	"repro/internal/stats"
 	"repro/internal/task"
 )
@@ -183,6 +184,23 @@ type engine struct {
 	windowStart                                   int
 	loadBuf, sortBuf, normBuf                     []float64
 
+	// Checkpointing (Config.CheckpointEvery / Engine.Checkpoint): the
+	// encoder persists across checkpoints so steady-state rounds stay
+	// allocation-free once its buffer reaches its high-water mark.
+	// startRound is where run() enters the loop (non-zero after Resume);
+	// nextRound tracks the boundary a manual Checkpoint would capture.
+	ckptEnc    *snapshot.Encoder
+	startRound int
+	nextRound  int
+
+	// Domain SLO alert tracker (Config.AlertBudget): per level, per
+	// domain, the consecutive-window over-budget streak and whether an
+	// alert is currently firing. Sequential flush-phase state.
+	alertBudget float64
+	alertK      int
+	alertCnt    [][]int32
+	alertActive [][]bool
+
 	// Phase closures, bound once so pool dispatch allocates nothing.
 	serviceFn, proposeFn, deliverFn, evacFn func(int)
 }
@@ -334,6 +352,19 @@ func newEngine(cfg Config) *engine {
 		for i := range e.domains {
 			e.domAgg[i] = make([]domAgg, len(e.domains[i].Names))
 		}
+		if cfg.AlertBudget > 0 && len(e.domains) > 0 {
+			e.alertBudget = cfg.AlertBudget
+			e.alertK = cfg.AlertWindows
+			if e.alertK <= 0 {
+				e.alertK = 1
+			}
+			e.alertCnt = make([][]int32, len(e.domains))
+			e.alertActive = make([][]bool, len(e.domains))
+			for i := range e.domains {
+				e.alertCnt[i] = make([]int32, len(e.domains[i].Names))
+				e.alertActive[i] = make([]bool, len(e.domains[i].Names))
+			}
+		}
 	}
 	if core.CanPropose(cfg.Protocol) {
 		e.proto = cfg.Protocol.(core.RangeProposer)
@@ -356,12 +387,14 @@ func newEngine(cfg Config) *engine {
 // close releases the pool's goroutines.
 func (e *engine) close() { e.pool.Close() }
 
-// run executes the configured number of rounds.
+// run executes the configured number of rounds (entering at startRound
+// when the engine was restored from a checkpoint).
 func (e *engine) run() (Result, error) {
-	for t := 0; t < e.cfg.Rounds; t++ {
+	for t := e.startRound; t < e.cfg.Rounds; t++ {
 		if err := e.round(t); err != nil {
 			return e.res, err
 		}
+		e.nextRound = t + 1
 		if (t+1)%e.window == 0 {
 			e.flush(t + 1)
 		}
@@ -379,6 +412,18 @@ func (e *engine) run() (Result, error) {
 		}
 		if doTel || doReb {
 			e.resetTelemetry()
+		}
+		// Checkpoint at the boundary, after the flush/telemetry/rebalance
+		// hooks, so the snapshot captures a fully settled round. The crash
+		// check runs after the checkpoint: a run killed at its checkpoint
+		// round still leaves that round's snapshot behind.
+		if e.cfg.CheckpointEvery > 0 && (t+1)%e.cfg.CheckpointEvery == 0 {
+			if err := e.checkpoint(t + 1); err != nil {
+				return e.res, err
+			}
+		}
+		if e.cfg.CrashAfterRound > 0 && t+1 == e.cfg.CrashAfterRound {
+			return e.res, ErrCrashed
 		}
 	}
 	e.flush(e.cfg.Rounds)
@@ -1282,6 +1327,46 @@ func (e *engine) emitDomainWindows(end int) {
 			}
 			e.ev = obs.Event{Kind: obs.KindDomainWindow, Round: end, DomainWindow: dws}
 			e.broker.Publish(&e.ev)
+			if e.alertCnt != nil {
+				e.noteDomainAlert(li, k, &dws, end)
+			}
 		}
 	}
+}
+
+// noteDomainAlert feeds one domain's closed window into the SLO alert
+// tracker: an overload fraction above the budget extends the domain's
+// consecutive-breach streak and fires a KindAlert event the window the
+// streak reaches Config.AlertWindows; the first in-budget window ends
+// the streak and, if an alert was firing, publishes its clear. A fully
+// down domain (no up resources) reports OverloadFrac 0 and therefore
+// counts as in budget — the outage is already visible through
+// DownResources and the recovery events; the alert tracks overload,
+// not membership. All inputs are partition-invariant, so alert streams
+// replay bit-identically for every worker count.
+func (e *engine) noteDomainAlert(li, k int, dws *obs.DomainWindowStats, end int) {
+	cnt, active := e.alertCnt[li], e.alertActive[li]
+	if dws.OverloadFrac > e.alertBudget {
+		cnt[k]++
+		if int(cnt[k]) == e.alertK && !active[k] {
+			active[k] = true
+			e.ev = obs.Event{Kind: obs.KindAlert, Round: end, Alert: obs.AlertEvent{
+				Level: dws.Level, Domain: k, Name: dws.Name,
+				OverloadFrac: dws.OverloadFrac, Budget: e.alertBudget,
+				Windows: int(cnt[k]),
+			}}
+			e.broker.Publish(&e.ev)
+		}
+		return
+	}
+	if active[k] {
+		active[k] = false
+		e.ev = obs.Event{Kind: obs.KindAlert, Round: end, Alert: obs.AlertEvent{
+			Level: dws.Level, Domain: k, Name: dws.Name,
+			OverloadFrac: dws.OverloadFrac, Budget: e.alertBudget,
+			Windows: int(cnt[k]), Cleared: true,
+		}}
+		e.broker.Publish(&e.ev)
+	}
+	cnt[k] = 0
 }

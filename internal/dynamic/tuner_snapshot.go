@@ -1,0 +1,77 @@
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/snapshot"
+)
+
+// SelfTuner checkpoint support. The tuner's persistent state is small:
+// the decaying load estimates, the push-sum companion (up/speed mass)
+// and the churned latch. Everything else — the diffusion ping-pong
+// buffers, the threshold scratch, the bound shard closures — is
+// refresh-time scratch the decode path rebuilds, exactly as the lazy
+// first-Refresh init would. The estimates are bit patterns of
+// incrementally decayed sums, so they are stored as exact float bits
+// and never recomputed.
+//
+// OracleTuner deliberately does not implement SnapshotStater: its only
+// field is a threshold scratch vector fully rewritten from core state
+// at each refresh round, so a fresh oracle resumes bit-identically.
+
+// EncodeSnapshot implements SnapshotStater.
+func (st *SelfTuner) EncodeSnapshot(enc *snapshot.Encoder) {
+	enc.Bool(st.est != nil)
+	if st.est == nil {
+		return
+	}
+	enc.Float64s(st.est)
+	enc.Float64s(st.upw)
+	enc.Bool(st.churned)
+}
+
+// DecodeSnapshot implements SnapshotStater. The receiver must be a
+// fresh tuner (same configuration as the checkpointed run, speeds
+// already applied by the engine); restore rebuilds the refresh scratch
+// and closures the first Refresh would otherwise lazily allocate.
+func (st *SelfTuner) DecodeSnapshot(sec *snapshot.Section) error {
+	if st.est != nil {
+		return errors.New("dynamic: SelfTuner snapshot restore requires a fresh tuner")
+	}
+	inited := sec.Bool()
+	if err := sec.Err(); err != nil {
+		return err
+	}
+	if !inited {
+		return nil
+	}
+	st.est = sec.Float64s(nil)
+	st.upw = sec.Float64s(nil)
+	st.churned = sec.Bool()
+	if err := sec.Err(); err != nil {
+		return err
+	}
+	n := len(st.est)
+	if len(st.upw) != n {
+		return fmt.Errorf("dynamic: SelfTuner snapshot has %d mass entries for %d estimates", len(st.upw), n)
+	}
+	if st.speeds != nil && len(st.speeds) != n {
+		return fmt.Errorf("dynamic: SelfTuner snapshot covers %d resources, speed profile has %d", n, len(st.speeds))
+	}
+	st.thr = make([]float64, n)
+	st.zEst = make([]float64, n)
+	st.zEstNext = make([]float64, n)
+	st.decayFn = st.decayShard
+	st.diffuseFn = st.diffuseShard
+	st.thrFn = st.thresholdShard
+	st.churned = st.churned || st.speeds != nil
+	if st.churned {
+		st.zUp = make([]float64, n)
+		st.zUpNext = make([]float64, n)
+	}
+	return nil
+}
+
+// Interface conformance, pinned at compile time.
+var _ SnapshotStater = (*SelfTuner)(nil)

@@ -36,9 +36,22 @@ import (
 // partition window that isolates the whole fleet is a load error
 // naming its line, not a mid-run surprise.
 
+// MemberResolver maps a failure-domain name (a rack or zone label) to
+// its member resources, letting partition directives say
+// "partition,100,200,rack3" instead of spelling out index ranges.
+// recovery.(*Topology).Resolve satisfies it.
+type MemberResolver func(name string) ([]int, bool)
+
 // ReadPlanCSV parses kind,a,b,c fault directives from r for an
 // n-resource fleet.
 func ReadPlanCSV(r io.Reader, n int) (*Plan, error) {
+	return ReadPlanCSVNamed(r, n, nil)
+}
+
+// ReadPlanCSVNamed is ReadPlanCSV with a failure-domain name resolver:
+// partition member lists may mix index ranges with rack/zone names
+// ("0-99;rack3;zone1"). A nil resolver accepts indices only.
+func ReadPlanCSVNamed(r io.Reader, n int, resolve MemberResolver) (*Plan, error) {
 	cr := csv.NewReader(r)
 	cr.Comment = '#'
 	cr.FieldsPerRecord = -1 // row arity depends on the directive kind
@@ -126,7 +139,7 @@ func ReadPlanCSV(r io.Reader, n int) (*Plan, error) {
 			if w.End, err = parseCount(args[1]); err != nil {
 				return nil, bad("%v", err)
 			}
-			if w.Members, err = ParseMembers(args[2]); err != nil {
+			if w.Members, err = parseMembersWith(args[2], resolve); err != nil {
 				return nil, bad("%v", err)
 			}
 			p.Partitions = append(p.Partitions, w)
@@ -169,6 +182,13 @@ type partitionRecord struct {
 // ReadPlanJSONL parses one fault-directive object per line for an
 // n-resource fleet.
 func ReadPlanJSONL(r io.Reader, n int) (*Plan, error) {
+	return ReadPlanJSONLNamed(r, n, nil)
+}
+
+// ReadPlanJSONLNamed is ReadPlanJSONL with a failure-domain name
+// resolver: a partition's "ranges" string may mix index ranges with
+// rack/zone names. A nil resolver accepts indices only.
+func ReadPlanJSONLNamed(r io.Reader, n int, resolve MemberResolver) (*Plan, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	p := &Plan{}
@@ -233,7 +253,7 @@ func ReadPlanJSONL(r io.Reader, n int) (*Plan, error) {
 			members := pr.Members
 			if pr.Ranges != "" {
 				var err error
-				if members, err = ParseMembers(pr.Ranges); err != nil {
+				if members, err = parseMembersWith(pr.Ranges, resolve); err != nil {
 					return nil, fmt.Errorf("faults: plan jsonl line %d: %v", line, err)
 				}
 			}
@@ -288,22 +308,46 @@ func LoadPlanFile(path string, n int) (*Plan, error) {
 	}
 }
 
+// LoadPlanFileNamed is LoadPlanFile with a failure-domain name
+// resolver for the partition member lists.
+func LoadPlanFileNamed(path string, n int, resolve MemberResolver) (*Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("faults: plan: %w", err)
+	}
+	defer f.Close()
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".csv":
+		return ReadPlanCSVNamed(f, n, resolve)
+	case ".jsonl", ".ndjson", ".json":
+		return ReadPlanJSONLNamed(f, n, resolve)
+	default:
+		return nil, fmt.Errorf("faults: plan %s: unknown extension %q (want .csv, .jsonl, .ndjson or .json)", path, ext)
+	}
+}
+
 // ParseMembers parses the loader's member-range syntax — semicolon- or
 // space-separated entries, each a single resource ID "256" or an
 // inclusive range "0-99" — into a member list.
 func ParseMembers(spec string) ([]int, error) {
+	return parseMembersWith(spec, nil)
+}
+
+// parseMembersWith parses member entries, resolving non-numeric
+// entries as failure-domain names when a resolver is supplied.
+func parseMembersWith(spec string, resolve MemberResolver) ([]int, error) {
 	var members []int
 	for _, part := range strings.FieldsFunc(spec, func(r rune) bool { return r == ';' || r == ' ' }) {
-		lo, hi, ok := strings.Cut(part, "-")
-		a, err := strconv.Atoi(strings.TrimSpace(lo))
-		if err != nil {
-			return nil, fmt.Errorf("bad member range %q", part)
-		}
-		b := a
-		if ok {
-			if b, err = strconv.Atoi(strings.TrimSpace(hi)); err != nil {
-				return nil, fmt.Errorf("bad member range %q", part)
+		a, b, numeric := parseIndexRange(part)
+		if !numeric {
+			if resolve != nil {
+				if domain, ok := resolve(part); ok {
+					members = append(members, domain...)
+					continue
+				}
+				return nil, fmt.Errorf("member entry %q is neither an index range nor a known rack/zone name", part)
 			}
+			return nil, fmt.Errorf("bad member range %q", part)
 		}
 		if b < a {
 			return nil, fmt.Errorf("member range %q runs backwards", part)
@@ -319,6 +363,25 @@ func ParseMembers(spec string) ([]int, error) {
 		return nil, fmt.Errorf("empty member list %q", spec)
 	}
 	return members, nil
+}
+
+// parseIndexRange parses "256" or "0-99" into an inclusive [a, b]
+// index pair; numeric is false when the entry is not index-shaped
+// (e.g. a domain name like "rack3", including names containing
+// hyphens).
+func parseIndexRange(part string) (a, b int, numeric bool) {
+	lo, hi, cut := strings.Cut(part, "-")
+	a, err := strconv.Atoi(strings.TrimSpace(lo))
+	if err != nil {
+		return 0, 0, false
+	}
+	b = a
+	if cut {
+		if b, err = strconv.Atoi(strings.TrimSpace(hi)); err != nil {
+			return 0, 0, false
+		}
+	}
+	return a, b, true
 }
 
 // parseProb parses a probability field (any float; range-checked by

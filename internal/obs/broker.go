@@ -114,6 +114,19 @@ func (b *Broker) Published() uint64 {
 	return b.seq
 }
 
+// ResumeSeq fast-forwards the publish sequence counter to seq (no-op
+// if the broker is already past it). Checkpoint resume uses it so a
+// resumed run's event stream continues the numbering the interrupted
+// run left off at — concatenating the pre-crash and post-resume
+// streams reproduces the uninterrupted stream byte for byte.
+func (b *Broker) ResumeSeq(seq uint64) {
+	b.mu.Lock()
+	if seq > b.seq {
+		b.seq = seq
+	}
+	b.mu.Unlock()
+}
+
 // Dropped sums the drop counters over all attached subscriptions.
 func (b *Broker) Dropped() uint64 {
 	b.mu.Lock()

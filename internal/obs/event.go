@@ -63,6 +63,14 @@ const (
 	// that flapped past the hysteresis bound entering its cool-off, or
 	// rejoining when the cool-off expires.
 	KindQuarantine
+	// KindAlert marks a domain-level SLO transition: a rack or zone
+	// whose per-window overload fraction exceeded the configured budget
+	// for K consecutive windows (firing), or dropped back under it
+	// (clearing).
+	KindAlert
+	// KindCheckpoint marks a completed engine checkpoint: the round it
+	// captured and the snapshot size.
+	KindCheckpoint
 
 	numKinds
 )
@@ -78,6 +86,8 @@ var kindNames = [numKinds]string{
 	KindRecoveryEnd:   "recovery_end",
 	KindFaults:        "faults",
 	KindQuarantine:    "quarantine",
+	KindAlert:         "alert",
+	KindCheckpoint:    "checkpoint",
 }
 
 // String returns the wire name of the kind (the JSONL "kind" field).
@@ -352,6 +362,37 @@ type QuarantineEvent struct {
 	Until int `json:"until"`
 }
 
+// AlertEvent describes one domain-level SLO transition. An alert
+// fires when a domain's per-window overload fraction has exceeded the
+// budget for K consecutive windows, and clears on the first window
+// back under budget; both transitions publish one event.
+type AlertEvent struct {
+	// Level / Domain / Name identify the failure domain, matching the
+	// DomainWindowStats labelling.
+	Level  string `json:"level"`
+	Domain int    `json:"domain"`
+	Name   string `json:"name"`
+	// OverloadFrac is the transition window's overload fraction;
+	// Budget the configured limit it is judged against.
+	OverloadFrac float64 `json:"overload_frac"`
+	Budget       float64 `json:"budget"`
+	// Windows counts the consecutive over-budget windows at the
+	// transition (the K that tripped it on fire; the streak length the
+	// clear ends).
+	Windows int `json:"windows"`
+	// Cleared is false for a firing alert, true for its resolution.
+	Cleared bool `json:"cleared"`
+}
+
+// CheckpointEvent marks one completed engine checkpoint.
+type CheckpointEvent struct {
+	// Round is the boundary the snapshot captured: a resume from it
+	// re-enters the loop at exactly this round.
+	Round int `json:"round"`
+	// Bytes is the encoded snapshot size.
+	Bytes int `json:"bytes"`
+}
+
 // Event is the broker's fixed-size typed message: Kind selects which
 // payload field is meaningful. A union of value structs (no pointers,
 // no slices) keeps publishing a single struct copy, so the hot path
@@ -374,6 +415,8 @@ type Event struct {
 	Recovery     RecoveryEvent     // KindRecoveryStart / KindRecoveryEnd
 	Faults       FaultStats        // KindFaults
 	Quarantine   QuarantineEvent   // KindQuarantine
+	Alert        AlertEvent        // KindAlert
+	Checkpoint   CheckpointEvent   // KindCheckpoint
 }
 
 // Domains labels every resource with a failure domain on one hierarchy

@@ -46,6 +46,22 @@ type Exporter struct {
 	faults    FaultStats // latest cumulative fault counters
 	hasFaults bool
 	quar      quarantineCounters
+	alerts    alertCounters
+	alertOn   []AlertEvent // currently-firing alerts, one per domain
+	ckpt      checkpointCounters
+}
+
+// alertCounters aggregates the domain SLO alert stream.
+type alertCounters struct {
+	Fired   int64      `json:"fired"`
+	Cleared int64      `json:"cleared"`
+	Last    AlertEvent `json:"last"`
+}
+
+// checkpointCounters aggregates the engine checkpoint stream.
+type checkpointCounters struct {
+	Written int64           `json:"written"`
+	Last    CheckpointEvent `json:"last"`
 }
 
 // quarantineCounters aggregates the flapping-quarantine event stream.
@@ -160,6 +176,36 @@ func (x *Exporter) applyLocked(ev *Event) {
 			x.quar.Exited++
 		}
 		x.quar.Last = ev.Quarantine
+	case KindAlert:
+		a := ev.Alert
+		x.alerts.Last = a
+		for i := range x.alertOn {
+			if x.alertOn[i].Level == a.Level && x.alertOn[i].Domain == a.Domain {
+				if a.Cleared {
+					x.alerts.Cleared++
+					x.alertOn = append(x.alertOn[:i], x.alertOn[i+1:]...)
+				} else {
+					x.alerts.Fired++
+					x.alertOn[i] = a
+				}
+				return
+			}
+		}
+		if a.Cleared {
+			x.alerts.Cleared++
+			return
+		}
+		x.alerts.Fired++
+		x.alertOn = append(x.alertOn, a)
+		sort.Slice(x.alertOn, func(i, j int) bool {
+			if x.alertOn[i].Level != x.alertOn[j].Level {
+				return x.alertOn[i].Level < x.alertOn[j].Level
+			}
+			return x.alertOn[i].Domain < x.alertOn[j].Domain
+		})
+	case KindCheckpoint:
+		x.ckpt.Written++
+		x.ckpt.Last = ev.Checkpoint
 	}
 }
 
@@ -342,6 +388,32 @@ func (x *Exporter) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "lbdyn_quarantine_entered_total %d\n", x.quar.Entered)
 	counter("lbdyn_quarantine_exited_total", "Quarantined resources released after their cool-off.")
 	fmt.Fprintf(w, "lbdyn_quarantine_exited_total %d\n", x.quar.Exited)
+
+	counter("lbdyn_alerts_fired_total", "Domain SLO alerts fired (overload over budget for K consecutive windows).")
+	fmt.Fprintf(w, "lbdyn_alerts_fired_total %d\n", x.alerts.Fired)
+	counter("lbdyn_alerts_cleared_total", "Domain SLO alerts resolved (first window back under budget).")
+	fmt.Fprintf(w, "lbdyn_alerts_cleared_total %d\n", x.alerts.Cleared)
+	if len(x.alertOn) > 0 {
+		gauge("lbdyn_domain_alert_active", "1 while the failure domain's SLO alert is firing.")
+		for i := range x.alertOn {
+			a := &x.alertOn[i]
+			fmt.Fprintf(w, "lbdyn_domain_alert_active{level=%q,domain=%q} 1\n", a.Level, a.Name)
+		}
+		gauge("lbdyn_domain_alert_overload_frac", "Overload fraction of the window that tripped the firing alert.")
+		for i := range x.alertOn {
+			a := &x.alertOn[i]
+			fmt.Fprintf(w, "lbdyn_domain_alert_overload_frac{level=%q,domain=%q} %g\n", a.Level, a.Name, a.OverloadFrac)
+		}
+	}
+
+	counter("lbdyn_checkpoints_total", "Engine checkpoints written.")
+	fmt.Fprintf(w, "lbdyn_checkpoints_total %d\n", x.ckpt.Written)
+	if x.ckpt.Written > 0 {
+		gauge("lbdyn_checkpoint_last_round", "Round boundary of the most recent checkpoint.")
+		fmt.Fprintf(w, "lbdyn_checkpoint_last_round %d\n", x.ckpt.Last.Round)
+		gauge("lbdyn_checkpoint_last_bytes", "Encoded size of the most recent checkpoint.")
+		fmt.Fprintf(w, "lbdyn_checkpoint_last_bytes %d\n", x.ckpt.Last.Bytes)
+	}
 }
 
 func (x *Exporter) seqTotal() int64 {
@@ -362,6 +434,9 @@ type exporterVars struct {
 	Recovery  recoveryCounters    `json:"recovery"`
 	Faults    *FaultStats         `json:"faults,omitempty"`
 	Quar      quarantineCounters  `json:"quarantine"`
+	Alerts    alertCounters       `json:"alerts"`
+	Active    []AlertEvent        `json:"active_alerts,omitempty"`
+	Ckpt      checkpointCounters  `json:"checkpoints"`
 }
 
 // vars drains the subscription and snapshots the expvar view.
@@ -376,6 +451,9 @@ func (x *Exporter) vars() exporterVars {
 		Domains:   append([]DomainWindowStats(nil), x.doms...),
 		Recovery:  x.recovery,
 		Quar:      x.quar,
+		Alerts:    x.alerts,
+		Active:    append([]AlertEvent(nil), x.alertOn...),
+		Ckpt:      x.ckpt,
 	}
 	if x.hasWindow {
 		wCopy := x.window

@@ -38,6 +38,8 @@ type wireEvent struct {
 	Recovery     *RecoveryEvent     `json:"recovery,omitempty"`
 	Faults       *FaultStats        `json:"faults,omitempty"`
 	Quarantine   *QuarantineEvent   `json:"quarantine,omitempty"`
+	Alert        *AlertEvent        `json:"alert,omitempty"`
+	Checkpoint   *CheckpointEvent   `json:"checkpoint,omitempty"`
 }
 
 // wirePhase flattens a PhaseStats nanos array into named per-phase
@@ -105,6 +107,12 @@ func toWire(ev *Event) (wireEvent, error) {
 	case KindQuarantine:
 		p := ev.Quarantine
 		w.Quarantine = &p
+	case KindAlert:
+		p := ev.Alert
+		w.Alert = &p
+	case KindCheckpoint:
+		p := ev.Checkpoint
+		w.Checkpoint = &p
 	default:
 		return w, fmt.Errorf("obs: cannot encode event of unknown kind %d", ev.Kind)
 	}
@@ -234,6 +242,20 @@ func fromWire(we *wireEvent) (Event, error) {
 		ev.Quarantine = *we.Quarantine
 		if k != KindQuarantine {
 			return Event{}, fmt.Errorf("kind %q carries a %q payload", we.Kind, "quarantine")
+		}
+	}
+	if we.Alert != nil {
+		payloads++
+		ev.Alert = *we.Alert
+		if k != KindAlert {
+			return Event{}, fmt.Errorf("kind %q carries a %q payload", we.Kind, "alert")
+		}
+	}
+	if we.Checkpoint != nil {
+		payloads++
+		ev.Checkpoint = *we.Checkpoint
+		if k != KindCheckpoint {
+			return Event{}, fmt.Errorf("kind %q carries a %q payload", we.Kind, "checkpoint")
 		}
 	}
 	if payloads != 1 {

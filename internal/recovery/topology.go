@@ -150,6 +150,35 @@ func (t *Topology) RackList(k int, dst []int) []int {
 	return dst
 }
 
+// ZoneList returns zone z's members as ints, appended to dst — the
+// zone-level sibling of RackList, so "partition zone z" or "kill zone
+// z at round T" is one call.
+func (t *Topology) ZoneList(z int, dst []int) []int {
+	for _, r := range t.zoneMembers[z] {
+		dst = append(dst, int(r))
+	}
+	return dst
+}
+
+// Resolve maps a rack or zone name to its member resources — the
+// failure-domain name resolver the fault-plan loaders accept
+// (faults.MemberResolver), so partition directives can say "rack3" or
+// "zone1" instead of index ranges. Racks are checked before zones;
+// the loaders reject topologies only if a queried name is unknown.
+func (t *Topology) Resolve(name string) ([]int, bool) {
+	for k, rn := range t.rackNames {
+		if rn == name {
+			return t.RackList(k, nil), true
+		}
+	}
+	for z, zn := range t.zoneNames {
+		if zn == name {
+			return t.ZoneList(z, nil), true
+		}
+	}
+	return nil, false
+}
+
 // ClusterGraph builds a communication graph that mirrors the failure
 // domains, reusing the internal/graph generators' CSR machinery: every
 // resource links to up to intraDeg random rack-mates (dense local

@@ -1,0 +1,14 @@
+package stack
+
+import "repro/internal/task"
+
+// Restore replaces the stack's entire contents for checkpoint
+// recovery: tasks become the stack bottom-to-top and load is set to
+// the exact recorded bit pattern rather than recomputed, because the
+// engine's resume invariant requires the incrementally-accumulated
+// load float to continue from precisely where the checkpointed run
+// left it (a fresh summation could differ in the last ulp).
+func (s *Stack) Restore(tasks []task.Task, load float64) {
+	s.tasks = append(s.tasks[:0], tasks...)
+	s.load = load
+}

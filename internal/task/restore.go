@@ -1,0 +1,31 @@
+package task
+
+// Checkpoint export/restore for Set. The free list and the removed
+// flags serialize verbatim — task-ID assignment is a pure function of
+// the LIFO free-list order, so a resumed run hands out exactly the
+// IDs the uninterrupted run would have. The weight aggregates (total,
+// wmax, wmin) restore as recorded bit patterns, never recomputed:
+// total is accumulated incrementally round by round and a fresh
+// summation could land on a different last ulp, breaking the
+// byte-identical resume invariant.
+
+// SnapshotState exposes the set's complete internal state for
+// serialization. The returned slices alias the set's internals; the
+// caller must not modify them.
+func (s *Set) SnapshotState() (tasks []Task, removed []bool, free []int, live, liveTop int, total, wmax, wmin float64) {
+	return s.tasks, s.removed, s.free, s.live, s.liveTop, s.total, s.wmax, s.wmin
+}
+
+// RestoreState replaces the set's complete internal state with a
+// previously exported snapshot. The set takes ownership of the
+// slices.
+func (s *Set) RestoreState(tasks []Task, removed []bool, free []int, live, liveTop int, total, wmax, wmin float64) {
+	s.tasks = tasks
+	s.removed = removed
+	s.free = free
+	s.live = live
+	s.liveTop = liveTop
+	s.total = total
+	s.wmax = wmax
+	s.wmin = wmin
+}
