@@ -25,6 +25,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/recovery"
 	"repro/internal/rng"
+	"repro/internal/serve"
 	"repro/internal/task"
 	"repro/internal/walk"
 )
@@ -593,3 +594,47 @@ func BenchmarkResume10k(b *testing.B) {
 }
 
 func newBenchRand() *rng.Rand { return rng.NewSeeded(0x9e3779b97f4a7c15) }
+
+// BenchmarkLiveIngest10k: the live serving runtime's hot path — 10k
+// tasks pushed through Runtime.Ingest in 1000-task batches, then the
+// round stepped through the lockstep engine (arrivals dispatched,
+// service, tuner, propose/deliver). One op is one full live round with
+// 10k admitted arrivals on the warm 10000-resource fleet.
+func BenchmarkLiveIngest10k(b *testing.B) {
+	g := graph.RandomRegular(10_000, 16, newBenchRand())
+	cfg := checkpointBenchConfig(g, 1<<30)
+	cfg.Arrivals = dynamic.External{}
+	eng, err := dynamic.NewEngine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	rt := serve.New(eng, "uniform", serve.Options{})
+	batch := make([]float64, 1000)
+	for i := range batch {
+		batch[i] = 1 + float64(i%7)/2
+	}
+	// Warm the fleet and the runtime's buffers.
+	for r := 0; r < 20; r++ {
+		for j := 0; j < 10; j++ {
+			if _, err := rt.Ingest(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := rt.StepRound(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 10; j++ {
+			if _, err := rt.Ingest(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := rt.StepRound(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

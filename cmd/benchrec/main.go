@@ -63,7 +63,7 @@ var benchLine = regexp.MustCompile(
 
 func main() {
 	var (
-		bench      = flag.String("bench", "BenchmarkDynamicRound|BenchmarkDeliver|BenchmarkMassChurn|BenchmarkRackLossRecover|BenchmarkCheckpoint|BenchmarkResume", "benchmark regex passed to go test -bench")
+		bench      = flag.String("bench", "BenchmarkDynamicRound|BenchmarkDeliver|BenchmarkMassChurn|BenchmarkRackLossRecover|BenchmarkCheckpoint|BenchmarkResume|BenchmarkLiveIngest", "benchmark regex passed to go test -bench")
 		benchtime  = flag.String("benchtime", "1s", "go test -benchtime value")
 		pkg        = flag.String("pkg", ".", "package to benchmark")
 		out        = flag.String("out", "BENCH_dynamic.json", "JSON report to write (empty = don't write)")

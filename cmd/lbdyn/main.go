@@ -446,6 +446,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *checkpointDir != "" && *checkpointEvery <= 0 {
 		return fmt.Errorf("-checkpoint-dir needs -checkpoint-every")
 	}
+	if *resumePath != "" && *crashAtRound > 0 {
+		return fmt.Errorf("-resume and -crash-at-round are mutually exclusive: the crash drill scripts the run that writes the checkpoint; resume without it (or rerun the original flags to crash again)")
+	}
 	if *checkpointEvery > 0 {
 		dir := *checkpointDir
 		if dir == "" {

@@ -298,3 +298,43 @@ func httpGet(t *testing.T, url string) string {
 	}
 	return string(b)
 }
+
+// TestCheckpointFlagValidation pins the error message for each invalid
+// checkpoint-flag combination — in particular the mutually-exclusive
+// -resume + -crash-at-round pair, where the crash drill belongs to the
+// run that WRITES the checkpoint: a resumed run at or past the crash
+// round would silently never fire it.
+func TestCheckpointFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		extra   []string
+		wantErr string
+	}{
+		{
+			name:    "checkpoint-dir without cadence",
+			extra:   []string{"-checkpoint-dir", t.TempDir()},
+			wantErr: "-checkpoint-dir needs -checkpoint-every",
+		},
+		{
+			name:    "resume with crash drill",
+			extra:   []string{"-resume", "no-such.snap", "-crash-at-round", "10"},
+			wantErr: "-resume and -crash-at-round are mutually exclusive: the crash drill scripts the run that writes the checkpoint; resume without it (or rerun the original flags to crash again)",
+		},
+		{
+			name:    "resume with crash drill and cadence",
+			extra:   []string{"-resume", "no-such.snap", "-crash-at-round", "60", "-checkpoint-every", "50"},
+			wantErr: "-resume and -crash-at-round are mutually exclusive",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := runCLI(t, append(append([]string{}, smallRun...), tc.extra...)...)
+			if err == nil {
+				t.Fatalf("run accepted %v", tc.extra)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %q, want it to contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}

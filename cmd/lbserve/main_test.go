@@ -1,0 +1,273 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	lb "repro"
+	"repro/internal/snapshot"
+)
+
+// server drives one run() invocation: it installs the readyHook seam,
+// runs the CLI in a goroutine, and hands back the base URL plus a stop
+// function that SIGTERMs the process (the real shutdown path — the
+// signal handler is registered before readyHook fires) and waits for
+// the graceful exit.
+type server struct {
+	url  string
+	out  *bytes.Buffer
+	errc chan error
+}
+
+func startServer(t *testing.T, args ...string) *server {
+	t.Helper()
+	s := &server{out: &bytes.Buffer{}, errc: make(chan error, 1)}
+	ready := make(chan string, 1)
+	readyHook = func(baseURL string) { ready <- baseURL }
+	t.Cleanup(func() { readyHook = nil })
+	go func() { s.errc <- run(args, s.out, io.Discard) }()
+	select {
+	case s.url = <-ready:
+	case err := <-s.errc:
+		t.Fatalf("server exited before ready: %v\n%s", err, s.out)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	return s
+}
+
+func (s *server) stop(t *testing.T) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-s.errc:
+		if err != nil {
+			t.Fatalf("run: %v\n%s", err, s.out)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not shut down on SIGTERM")
+	}
+}
+
+func postJSON(t *testing.T, url string, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(data)
+}
+
+func ingestBatch(t *testing.T, baseURL string, weights []float64) {
+	t.Helper()
+	body, _ := json.Marshal(weights)
+	code, resp := postJSON(t, baseURL+"/ingest", string(body))
+	if code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", code, resp)
+	}
+}
+
+var arrivedRe = regexp.MustCompile(`arrived:\s+(\d+) tasks`)
+
+func parseArrived(t *testing.T, out string) int {
+	t.Helper()
+	m := arrivedRe.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no arrived line in output:\n%s", out)
+	}
+	n, _ := strconv.Atoi(m[1])
+	return n
+}
+
+// TestServeSIGTERMCheckpointResume is the graceful-shutdown e2e: a
+// SIGTERM mid-run drains the backlog, writes a snapshot the container
+// decoder validates and a consecutive round log, loses zero tasks, and
+// a reboot with the same flags resumes from the snapshot and carries
+// the counters forward.
+func TestServeSIGTERMCheckpointResume(t *testing.T) {
+	tmp := t.TempDir()
+	logPath := filepath.Join(tmp, "run.jsonl")
+	snapPath := filepath.Join(tmp, "lbserve.snap")
+	args := []string{
+		"-addr", "127.0.0.1:0", "-graph", "complete", "-n", "64",
+		"-proto", "user", "-seed", "3", "-workers", "2", "-window", "25",
+		"-max-rounds", "4096", "-batch", "32", "-max-interval", "2ms",
+		"-roundlog", logPath, "-snapshot", snapPath,
+	}
+
+	s := startServer(t, args...)
+	const batches, perBatch = 40, 25
+	for i := 0; i < batches; i++ {
+		ws := make([]float64, perBatch)
+		for j := range ws {
+			ws[j] = 1 + float64((i+j)%4)
+		}
+		ingestBatch(t, s.url, ws)
+	}
+	// The obs endpoints share the front door's listener.
+	if resp, err := http.Get(s.url + "/debug/vars"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	time.Sleep(20 * time.Millisecond) // let a few rounds tick mid-burst
+	s.stop(t)
+
+	sent := batches * perBatch
+	if got := parseArrived(t, s.out.String()); got != sent {
+		t.Fatalf("first run arrived %d tasks, ingested %d — tasks lost\n%s", got, sent, s.out)
+	}
+
+	// The snapshot must validate under the existing container decoder.
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatalf("no snapshot after SIGTERM: %v", err)
+	}
+	if _, err := snapshot.NewDecoder(data); err != nil {
+		t.Fatalf("snapshot rejected by the container decoder: %v", err)
+	}
+	// The round log must parse, be consecutive (ReadRoundLog enforces
+	// it) and account for every ingested task.
+	f, err := os.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := lb.ReadRoundLog(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("round log: %v", err)
+	}
+	logged := 0
+	for i := range recs {
+		logged += len(recs[i].Weights)
+	}
+	if logged != sent {
+		t.Fatalf("round log records %d arrivals, ingested %d", logged, sent)
+	}
+
+	// Reboot with the same flags: resume-on-boot.
+	s2 := startServer(t, args...)
+	if !strings.Contains(s2.out.String(), "resumed at round") {
+		t.Fatalf("second boot did not resume:\n%s", s2.out)
+	}
+	const moreBatches = 10
+	for i := 0; i < moreBatches; i++ {
+		ws := make([]float64, perBatch)
+		for j := range ws {
+			ws[j] = 2
+		}
+		ingestBatch(t, s2.url, ws)
+	}
+	s2.stop(t)
+	// Resume restores the books: the final total spans both runs.
+	total := sent + moreBatches*perBatch
+	if got := parseArrived(t, s2.out.String()); got != total {
+		t.Fatalf("resumed run arrived %d tasks, want %d across both runs\n%s", got, total, s2.out)
+	}
+}
+
+// TestServeLoadE2E pushes >=100k arrivals through the HTTP front door
+// from concurrent clients, asserts zero task loss via the conservation
+// line, and records a throughput/latency table into RESULTS_serve.txt
+// at the repo root.
+func TestServeLoadE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load e2e skipped in -short")
+	}
+	s := startServer(t,
+		"-addr", "127.0.0.1:0", "-graph", "complete", "-n", "256",
+		"-proto", "user", "-seed", "1", "-window", "100",
+		"-max-rounds", "1048576", "-batch", "8192", "-max-interval", "5ms",
+		"-dispatch", "power-of-2",
+	)
+
+	const (
+		clients  = 8
+		requests = 13 // per client
+		perBatch = 1000
+	)
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+	)
+	body, _ := json.Marshal(func() []float64 {
+		ws := make([]float64, perBatch)
+		for i := range ws {
+			ws[i] = 1 + float64(i%7)/2
+		}
+		return ws
+	}())
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, requests)
+			for i := 0; i < requests; i++ {
+				t0 := time.Now()
+				resp, err := http.Post(s.url+"/ingest", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("ingest: %d", resp.StatusCode)
+					return
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if t.Failed() {
+		t.FailNow()
+	}
+	sent := clients * requests * perBatch // 104k
+
+	s.stop(t)
+	if got := parseArrived(t, s.out.String()); got != sent {
+		t.Fatalf("arrived %d tasks, ingested %d — tasks lost\n%s", got, sent, s.out)
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	q := func(p float64) time.Duration { return latencies[int(p*float64(len(latencies)-1))] }
+	var table strings.Builder
+	fmt.Fprintf(&table, "# serve — lbserve HTTP load e2e (regenerated by: go test ./cmd/lbserve -run TestServeLoadE2E)\n")
+	fmt.Fprintf(&table, "# n=256 complete graph, user protocol, power-of-2 dispatch, adaptive rounds (batch 8192, max-interval 5ms)\n")
+	fmt.Fprintf(&table, "# %d concurrent clients x %d requests x %d tasks/batch; zero task loss asserted via arrived == ingested\n\n", clients, requests, perBatch)
+	fmt.Fprintf(&table, "tasks ingested     %d\n", sent)
+	fmt.Fprintf(&table, "wall time          %v\n", elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&table, "throughput         %.0f tasks/sec\n", float64(sent)/elapsed.Seconds())
+	fmt.Fprintf(&table, "request latency    p50 %v  p95 %v  p99 %v  max %v\n",
+		q(0.50).Round(time.Microsecond), q(0.95).Round(time.Microsecond),
+		q(0.99).Round(time.Microsecond), latencies[len(latencies)-1].Round(time.Microsecond))
+	fmt.Fprintf(&table, "task loss          0 (conservation: arrived == ingested at shutdown)\n")
+	if err := os.WriteFile(filepath.Join("..", "..", "RESULTS_serve.txt"), []byte(table.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", table.String())
+}

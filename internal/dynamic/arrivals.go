@@ -179,6 +179,19 @@ func (tr Trace) Name() string {
 	return fmt.Sprintf("trace(%d rounds)", len(tr.Rounds))
 }
 
+// External marks a run whose arrivals are pushed in from outside via
+// Engine.Step (the live runtime and its lockstep replay twin). The
+// engine never consults it for weights — Step stages each round's
+// admitted batch directly — so Next always emits nothing; it exists to
+// satisfy validation and to name the mode in reports.
+type External struct{}
+
+// Next implements Arrivals; external-input rounds never draw from it.
+func (External) Next(t int, r *rng.Rand) []float64 { return nil }
+
+// Name identifies the process.
+func (External) Name() string { return "external" }
+
 // None emits no arrivals — a drain scenario: seed the system via
 // Config.Initial* and watch departures and balancing empty it.
 type None struct{}

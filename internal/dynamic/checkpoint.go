@@ -114,6 +114,13 @@ func Resume(r io.Reader, cfg Config) (*Engine, error) {
 		e.close()
 		return nil, err
 	}
+	// The crash drill fires when round CrashAfterRound completes; a
+	// snapshot already at or past it would otherwise resume into a run
+	// where the scripted crash silently never happens.
+	if cfg.CrashAfterRound > 0 && e.startRound >= cfg.CrashAfterRound {
+		e.close()
+		return nil, fmt.Errorf("dynamic: snapshot resumes at round %d, at or past Config.CrashAfterRound %d — the scripted crash can never fire; drop CrashAfterRound to resume", e.startRound, cfg.CrashAfterRound)
+	}
 	return &Engine{e: e}, nil
 }
 

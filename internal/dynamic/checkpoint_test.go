@@ -451,3 +451,45 @@ func TestResumeSteadyStateZeroAllocs(t *testing.T) {
 			allocs, res.AllocedBytesPerOp())
 	}
 }
+
+// TestResumeRejectsSpentCrashDrill pins the Resume-side guard for the
+// mutually-exclusive resume + crash-drill combination: a snapshot at or
+// past Config.CrashAfterRound must be rejected with a message saying
+// the scripted crash can never fire, while a drill still ahead of the
+// snapshot round stays allowed.
+func TestResumeRejectsSpentCrashDrill(t *testing.T) {
+	snap := writeSmallSnapshot(t) // captures round 20 of a 40-round run
+	cases := []struct {
+		name    string
+		crashAt int
+		wantErr string // "" = must resume cleanly
+	}{
+		{"crash round already passed", 10,
+			"dynamic: snapshot resumes at round 20, at or past Config.CrashAfterRound 10 — the scripted crash can never fire; drop CrashAfterRound to resume"},
+		{"crash round equals snapshot round", 20,
+			"dynamic: snapshot resumes at round 20, at or past Config.CrashAfterRound 20 — the scripted crash can never fire; drop CrashAfterRound to resume"},
+		{"crash round still ahead", 30, ""},
+		{"no crash drill", 0, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallCkptConfig()
+			cfg.CrashAfterRound = tc.crashAt
+			eng, err := Resume(bytes.NewReader(snap), cfg)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Resume: %v", err)
+				}
+				eng.Close()
+				return
+			}
+			if err == nil {
+				eng.Close()
+				t.Fatalf("Resume accepted a spent crash drill (CrashAfterRound=%d)", tc.crashAt)
+			}
+			if err.Error() != tc.wantErr {
+				t.Fatalf("error = %q, want %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -165,6 +165,16 @@ type engine struct {
 	remaining  []float64 // task ID → remaining service work
 	weightsBuf []float64 // this round's arrival weights
 
+	// External-input mode (Engine.Step): the live runtime stages the
+	// round's admitted arrival weights and reconfiguration ops here and
+	// round(t) consumes them in place of cfg.Arrivals / ahead of
+	// cfg.Churn. The arrival stream (arrRand) is never touched in this
+	// mode, so a lockstep replay of the recorded inputs reproduces the
+	// live run bit-for-bit.
+	extActive      bool
+	extWeights     []float64
+	extDown, extUp []int
+
 	initialWeight float64
 	res           Result
 
@@ -388,57 +398,81 @@ func newEngine(cfg Config) *engine {
 func (e *engine) close() { e.pool.Close() }
 
 // run executes the configured number of rounds (entering at startRound
-// when the engine was restored from a checkpoint).
+// when the engine was restored from a checkpoint). It is a thin loop
+// over the shared step/finish pair so the live runtime (internal/serve)
+// and the lockstep simulator advance through the EXACT same code —
+// that identity is what the twin-equivalence suite pins.
 func (e *engine) run() (Result, error) {
 	for t := e.startRound; t < e.cfg.Rounds; t++ {
-		if err := e.round(t); err != nil {
+		if err := e.step(t); err != nil {
 			return e.res, err
 		}
-		e.nextRound = t + 1
-		if (t+1)%e.window == 0 {
-			e.flush(t + 1)
-		}
-		// Telemetry emission and measured-cost rebalancing share one
-		// cadence (and one accumulator reset): a shared period means a
-		// lane/phase report always describes exactly one rebalance
-		// window, never a partial one.
-		doTel := e.telemetryEvery > 0 && (t+1)%e.telemetryEvery == 0
-		doReb := e.rebalanceEvery > 0 && (t+1)%e.rebalanceEvery == 0
-		if doTel {
-			e.emitTelemetry(t + 1)
-		}
-		if doReb {
-			e.rebalance(t + 1)
-		}
-		if doTel || doReb {
-			e.resetTelemetry()
-		}
-		// Checkpoint at the boundary, after the flush/telemetry/rebalance
-		// hooks, so the snapshot captures a fully settled round. The crash
-		// check runs after the checkpoint: a run killed at its checkpoint
-		// round still leaves that round's snapshot behind.
-		if e.cfg.CheckpointEvery > 0 && (t+1)%e.cfg.CheckpointEvery == 0 {
-			if err := e.checkpoint(t + 1); err != nil {
-				return e.res, err
-			}
-		}
-		if e.cfg.CrashAfterRound > 0 && t+1 == e.cfg.CrashAfterRound {
-			return e.res, ErrCrashed
+	}
+	return e.finish()
+}
+
+// step runs round t plus all of its boundary work — window flush,
+// telemetry/rebalance, checkpoint, scripted crash — and advances
+// nextRound. It is the single round-granularity unit both run() and
+// the external-input Engine.Step drive.
+func (e *engine) step(t int) error {
+	if err := e.round(t); err != nil {
+		return err
+	}
+	e.nextRound = t + 1
+	if (t+1)%e.window == 0 {
+		e.flush(t + 1)
+	}
+	// Telemetry emission and measured-cost rebalancing share one
+	// cadence (and one accumulator reset): a shared period means a
+	// lane/phase report always describes exactly one rebalance
+	// window, never a partial one.
+	doTel := e.telemetryEvery > 0 && (t+1)%e.telemetryEvery == 0
+	doReb := e.rebalanceEvery > 0 && (t+1)%e.rebalanceEvery == 0
+	if doTel {
+		e.emitTelemetry(t + 1)
+	}
+	if doReb {
+		e.rebalance(t + 1)
+	}
+	if doTel || doReb {
+		e.resetTelemetry()
+	}
+	// Checkpoint at the boundary, after the flush/telemetry/rebalance
+	// hooks, so the snapshot captures a fully settled round. The crash
+	// check runs after the checkpoint: a run killed at its checkpoint
+	// round still leaves that round's snapshot behind.
+	if e.cfg.CheckpointEvery > 0 && (t+1)%e.cfg.CheckpointEvery == 0 {
+		if err := e.checkpoint(t + 1); err != nil {
+			return err
 		}
 	}
-	e.flush(e.cfg.Rounds)
+	if e.cfg.CrashAfterRound > 0 && t+1 == e.cfg.CrashAfterRound {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// finish closes the run after the last stepped round (nextRound): the
+// final window flush, censored recovery episodes, trailing telemetry,
+// the fault counters and the conservation check. A run driven by
+// Engine.Step may finish before cfg.Rounds — every tail computation
+// uses the actually-reached round, so an early finish is exact.
+func (e *engine) finish() (Result, error) {
+	end := e.nextRound
+	e.flush(end)
 	if e.recOpen {
 		e.res.Recoveries = append(e.res.Recoveries, e.recCur) // censored by run end
-		e.emitRecovery(obs.KindRecoveryEnd, e.cfg.Rounds)
+		e.emitRecovery(obs.KindRecoveryEnd, end)
 		e.recOpen = false
 	}
 	// A trailing partial telemetry window still gets reported, so short
 	// runs (and the tail of any run) see lane and phase series.
-	if e.telemetryEvery > 0 && e.cfg.Rounds%e.telemetryEvery != 0 {
-		e.emitTelemetry(e.cfg.Rounds)
+	if e.telemetryEvery > 0 && end%e.telemetryEvery != 0 {
+		e.emitTelemetry(end)
 		e.resetTelemetry()
 	}
-	e.res.Rounds = e.cfg.Rounds
+	e.res.Rounds = end
 	e.res.FinalInFlight = e.ts.Live()
 	e.res.FinalWeight = e.s.InFlightWeight()
 	if e.inj != nil {
@@ -498,8 +532,16 @@ func (e *engine) round(t int) error {
 	// failed resources' tasks — the expensive part of a mass failure —
 	// is sharded below.
 	downsThis, eventDowns := 0, 0
+	// Externally scripted reconfiguration (Engine.Step ops) applies
+	// ahead of config-driven churn, with scripted-event semantics:
+	// drains open recovery episodes, MinUp is respected.
+	if e.extActive && (len(e.extDown) > 0 || len(e.extUp) > 0) {
+		downsThis, eventDowns = e.applyExtOps()
+	}
 	if e.cfg.Churn.enabled() {
-		downsThis, eventDowns = e.applyChurn(t)
+		d, ed := e.applyChurn(t)
+		downsThis += d
+		eventDowns += ed
 	}
 	downsThis += e.quarForcedDown
 	downed := downsThis > 0
@@ -517,7 +559,13 @@ func (e *engine) round(t int) error {
 	// after its pick. The work is O(arrivals) with O(1) per-task cost,
 	// far below the O(n) sweeps the shards absorb.
 	arrStart := e.seqStart()
-	e.weightsBuf = appendNext(e.cfg.Arrivals, t, e.arrRand, e.weightsBuf[:0])
+	if e.extActive {
+		// External-input mode: this round's batch was admitted by the
+		// caller (Engine.Step). The arrival stream stays untouched.
+		e.weightsBuf = append(e.weightsBuf[:0], e.extWeights...)
+	} else {
+		e.weightsBuf = appendNext(e.cfg.Arrivals, t, e.arrRand, e.weightsBuf[:0])
+	}
 	// During a partition window arrivals route into the reachable (main)
 	// component only; if churn emptied it, fall back to the full up set
 	// rather than stranding the round.
@@ -740,6 +788,34 @@ func (e *engine) applyChurn(t int) (downs, eventDowns int) {
 	}
 	if c.JoinProb > 0 && up.DownN() > 0 && e.churnRand.Bool(c.JoinProb) {
 		e.upResource(up.RandomDown(e.churnRand))
+	}
+	return downs, eventDowns
+}
+
+// applyExtOps applies one Step call's scripted reconfiguration: all
+// drains first (each respecting MinUp and skipping already-down
+// resources, exactly like a scripted churn event's DownList), then all
+// adds (skipping already-up resources). Drains count as event downs so
+// they open recovery episodes, matching scripted-churn semantics. Runs
+// on no randomness at all, so it is trivially replayable.
+func (e *engine) applyExtOps() (downs, eventDowns int) {
+	up := e.up
+	for _, r := range e.extDown {
+		if up.N() <= e.minUp {
+			break
+		}
+		if !up.Contains(r) {
+			continue
+		}
+		e.downResource(r)
+		downs++
+		eventDowns++
+	}
+	for _, r := range e.extUp {
+		if up.Contains(r) {
+			continue
+		}
+		e.upResource(r)
 	}
 	return downs, eventDowns
 }

@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundLog hammers the round-log parser with arbitrary bytes: it
+// must never panic, and any log it accepts must round-trip — re-encode
+// the parsed records and the parser must accept THAT byte-for-byte on a
+// second pass (encode∘decode is the identity on canonical logs).
+func FuzzRoundLog(f *testing.F) {
+	f.Add([]byte(``))
+	f.Add([]byte(`{"t":0}` + "\n"))
+	f.Add([]byte(`{"t":0,"w":[1,2.5,3.0009765625]}` + "\n" + `{"t":1,"down":[3],"up":[7],"dispatch":"power-of-2"}` + "\n"))
+	f.Add([]byte(`{"t":0,"dispatch":"hotspot:4"}` + "\n\n" + `{"t":1,"dispatch":"speed-weighted"}` + "\n"))
+	f.Add([]byte(`{"t":5}` + "\n"))
+	f.Add([]byte(`{"t":0,"w":[0.25]}` + "\n"))
+	f.Add([]byte(`{"t":0,"bogus":1}` + "\n"))
+	f.Add([]byte(`{not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadRoundLog(bytes.NewReader(data))
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		var canon bytes.Buffer
+		for i := range recs {
+			if err := AppendRecord(&canon, &recs[i]); err != nil {
+				t.Fatalf("re-encoding accepted records: %v", err)
+			}
+		}
+		recs2, err := ReadRoundLog(bytes.NewReader(canon.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical re-encoding rejected: %v\nlog:\n%s", err, canon.Bytes())
+		}
+		var canon2 bytes.Buffer
+		for i := range recs2 {
+			if err := AppendRecord(&canon2, &recs2[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !bytes.Equal(canon.Bytes(), canon2.Bytes()) {
+			t.Fatalf("round log is not canonical after one encode pass:\nfirst:\n%s\nsecond:\n%s",
+				canon.Bytes(), canon2.Bytes())
+		}
+	})
+}

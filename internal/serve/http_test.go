@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func frontDoor(t *testing.T, rt *Runtime) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	Routes(mux, rt)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func post(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(data)
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(data)
+}
+
+func TestHTTPIngest(t *testing.T) {
+	rt := testRuntime(t, Options{})
+	srv := frontDoor(t, rt)
+
+	code, body := post(t, srv.URL+"/ingest", "[1, 2.5, 3]")
+	if code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", code, body)
+	}
+	var resp struct {
+		Accepted int `json:"accepted"`
+		Round    int `json:"round"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 3 || resp.Round != 0 {
+		t.Fatalf("ingest response %+v, want accepted=3 round=0", resp)
+	}
+	if st := rt.Stats(); st.Pending != 3 {
+		t.Fatalf("pending %d after ingest, want 3", st.Pending)
+	}
+
+	if code, body := post(t, srv.URL+"/ingest", "[0.5]"); code != http.StatusBadRequest ||
+		!strings.Contains(body, "violates wmin >= 1") {
+		t.Fatalf("invalid weight: %d %s, want 400 with the weight message", code, body)
+	}
+	if code, _ := post(t, srv.URL+"/ingest", "{not json"); code != http.StatusBadRequest {
+		t.Fatalf("malformed body: %d, want 400", code)
+	}
+	// GET on a POST-only route is rejected by the method-aware mux.
+	if code, _ := get(t, srv.URL+"/ingest"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /ingest: %d, want 405", code)
+	}
+}
+
+func TestHTTPIngestOverloadIs503(t *testing.T) {
+	rt := testRuntime(t, Options{MaxPending: 2})
+	srv := frontDoor(t, rt)
+	if code, _ := post(t, srv.URL+"/ingest", "[1,1]"); code != http.StatusOK {
+		t.Fatalf("fill: %d, want 200", code)
+	}
+	code, body := post(t, srv.URL+"/ingest", "[1]")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "backlog full") {
+		t.Fatalf("overflow: %d %s, want 503 backlog full", code, body)
+	}
+}
+
+func TestHTTPReconfigAndStatus(t *testing.T) {
+	rt := testRuntime(t, Options{})
+	srv := frontDoor(t, rt)
+
+	code, body := post(t, srv.URL+"/reconfig", `{"down":[2],"dispatch":"power-of-2"}`)
+	if code != http.StatusOK || !strings.Contains(body, `"staged":true`) {
+		t.Fatalf("reconfig: %d %s", code, body)
+	}
+	if code, body := post(t, srv.URL+"/reconfig", `{"dispatch":"bogus"}`); code != http.StatusBadRequest ||
+		!strings.Contains(body, "unknown dispatch policy") {
+		t.Fatalf("bad reconfig: %d %s, want 400", code, body)
+	}
+	if err := rt.StepRound(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body = get(t, srv.URL+"/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("statusz: %d %s", code, body)
+	}
+	var st Stats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.NextRound != 1 || st.UpResources != twinN-1 || st.Dispatch != "power-of-2" {
+		t.Fatalf("statusz %+v: want next_round=1, one drained resource, the swapped dispatch", st)
+	}
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	rt := testRuntime(t, Options{})
+	srv := frontDoor(t, rt)
+	if code, body := get(t, srv.URL+"/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := rt.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get(t, srv.URL+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", code)
+	}
+	if code, body := post(t, srv.URL+"/ingest", "[1]"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "draining") {
+		t.Fatalf("ingest while draining: %d %s, want 503 draining", code, body)
+	}
+}
+
+func TestHTTPBodyLimit(t *testing.T) {
+	rt := testRuntime(t, Options{})
+	srv := frontDoor(t, rt)
+	// A body past maxBody truncates mid-array and fails to parse.
+	big := bytes.Repeat([]byte("1,"), maxBody)
+	code, _ := post(t, srv.URL+"/ingest", "["+string(big)+"1]")
+	if code != http.StatusBadRequest {
+		t.Fatalf("oversized body: %d, want 400", code)
+	}
+}

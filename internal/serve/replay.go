@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/dynamic"
+)
+
+// Replay drives eng — a fresh (or resumed) engine built from the SAME
+// scenario configuration as the live run — through the recorded
+// rounds in lockstep and returns the finished Result. If the records
+// faithfully describe a live run, the returned Result is bit-identical
+// to the live one: all engine randomness lives in seeded streams, the
+// log pins the admission boundaries, and live and replay share one
+// step function.
+//
+// Replay starts at the engine's next round, so a resumed engine can
+// replay the tail of a log (skip the records before its snapshot
+// round).
+func Replay(eng *dynamic.Engine, recs []RoundRecord) (dynamic.Result, error) {
+	for i := range recs {
+		rec := &recs[i]
+		if rec.Round < eng.NextRound() {
+			continue
+		}
+		if rec.Round != eng.NextRound() {
+			return dynamic.Result{}, fmt.Errorf(
+				"serve: replay gap: record for round %d, engine at round %d", rec.Round, eng.NextRound())
+		}
+		if rec.Dispatch != "" {
+			d, err := ParseDispatch(rec.Dispatch)
+			if err != nil {
+				return dynamic.Result{}, err
+			}
+			if err := eng.SetDispatch(d); err != nil {
+				return dynamic.Result{}, err
+			}
+		}
+		if _, err := eng.Step(dynamic.StepInput{
+			Weights: rec.Weights, Down: rec.Down, Up: rec.Up,
+		}); err != nil {
+			return dynamic.Result{}, fmt.Errorf("serve: replay round %d: %w", rec.Round, err)
+		}
+	}
+	return eng.Finish()
+}

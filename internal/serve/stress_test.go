@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dynamic"
+	"repro/internal/snapshot"
+)
+
+// TestLiveStress exercises the runtime's concurrency contract under
+// the race detector (the CI -race job runs this package): many
+// goroutines ingesting, one reconfiguring, while Run ticks rounds
+// adaptively — then a cancel (the SIGTERM path) drains the backlog and
+// checkpoints. Conservation closes the loop: every admitted task is
+// either arrived-and-counted or still pending, never lost.
+func TestLiveStress(t *testing.T) {
+	cfg := twinCfg("churn", 3, 4)
+	cfg.Rounds = 1 << 20 // effectively unbounded; the cancel stops the run
+	eng, err := dynamic.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap []byte
+	rt := New(eng, "", Options{
+		BatchTarget: 64,
+		MaxInterval: time.Millisecond,
+		OnShutdown: func(data []byte) error {
+			snap = append([]byte(nil), data...)
+			return nil
+		},
+	})
+	defer rt.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- rt.Run(ctx) }()
+
+	const (
+		ingesters  = 8
+		perBatch   = 16
+		iterations = 200
+	)
+	var sent atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			batch := make([]float64, perBatch)
+			for i := range batch {
+				batch[i] = 1 + float64(g%5)
+			}
+			for i := 0; i < iterations; i++ {
+				n, err := rt.Ingest(batch)
+				if err != nil && !errors.Is(err, ErrBackpressure) {
+					t.Errorf("ingester %d: %v", g, err)
+					return
+				}
+				sent.Add(int64(n))
+				if i%25 == 24 {
+					// Yield so round stepping interleaves with live ingest
+					// instead of the backlog arriving in one burst.
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		policies := []string{"power-of-2", "uniform", "hotspot:5", "speed-weighted"}
+		for i := 0; i < 40; i++ {
+			if err := rt.Reconfigure([]int{10 + i%8}, []int{10 + (i+1)%8}, policies[i%len(policies)]); err != nil {
+				t.Errorf("reconfigure %d: %v", i, err)
+				return
+			}
+			_ = rt.Stats() // status endpoint races against everything else
+		}
+	}()
+	wg.Wait()
+	cancel() // SIGTERM: drain, checkpoint, stop
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := snapshot.NewDecoder(snap); err != nil {
+		t.Fatalf("stress-run shutdown snapshot invalid: %v", err)
+	}
+	res, err := rt.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.Accepted != sent.Load() {
+		t.Fatalf("runtime accepted %d, ingesters recorded %d", st.Accepted, sent.Load())
+	}
+	// Zero task loss: everything admitted made it into the engine (the
+	// shutdown drain steps the leftover backlog through).
+	if got := int64(res.Arrived); got != sent.Load() {
+		t.Fatalf("engine arrived %d tasks, runtime admitted %d — tasks lost", got, sent.Load())
+	}
+	// And the engine's own books must balance.
+	if res.Arrived != res.Departed+int64(res.FinalInFlight) {
+		t.Fatalf("conservation: arrived %d != departed %d + in flight %d",
+			res.Arrived, res.Departed, res.FinalInFlight)
+	}
+	t.Logf("stress: %d rounds, %d tasks admitted", res.Rounds, st.Accepted)
+}

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/faults"
+	"repro/internal/graph"
+	"repro/internal/walk"
+)
+
+// The twin-equivalence suite: a live run — arrivals ingested batch by
+// batch, resources drained and added online, the dispatch policy
+// swapped mid-run, churn and message faults active — leaves a round
+// log, and replaying that log through a fresh lockstep engine
+// reproduces the live Result BIT-IDENTICALLY (reflect.DeepEqual over
+// every counter and float), at any worker count. This is the contract
+// that makes the live runtime checkable: anything it serves can be
+// re-derived offline.
+
+const (
+	twinN      = 64 // fleet size
+	twinRounds = 60 // live rounds stepped
+)
+
+// twinCfg builds a FRESH engine config for one scenario — fresh
+// stateful components per call, as engine construction requires.
+func twinCfg(scen string, seed uint64, workers int) dynamic.Config {
+	g := graph.Complete(twinN)
+	cfg := dynamic.Config{
+		Graph:           g,
+		Protocol:        core.UserControlled{Alpha: 1},
+		Arrivals:        dynamic.External{},
+		Service:         dynamic.WeightProportional{Rate: 1},
+		Tuner:           &dynamic.SelfTuner{Eps: 0.5, Steps: 2, Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+		Rounds:          twinRounds + 20, // headroom past the stepped rounds
+		Window:          25,
+		Seed:            seed,
+		Workers:         workers,
+		CheckInvariants: true,
+	}
+	switch scen {
+	case "steady":
+	case "churn":
+		cfg.Churn = dynamic.Churn{LeaveProb: 0.15, JoinProb: 0.15, MinUp: 16}
+	case "reconfigure":
+		cfg.Churn = dynamic.Churn{MinUp: 8}
+	case "fault-plan":
+		cfg.Faults = &faults.Plan{
+			Loss: 0.05, DelayProb: 0.05, DelayMax: 3, DupProb: 0.02,
+			Partitions: []faults.Partition{
+				{Start: 20, End: 35, Members: []int{0, 1, 2, 3, 4, 5, 6, 7}},
+			},
+		}
+	default:
+		panic("unknown twin scenario " + scen)
+	}
+	return cfg
+}
+
+// twinBatch derives round r's arrival weights deterministically from
+// (scen, seed, r): 0–6 tasks with weights in [1, 5). The live runtime
+// treats them as opaque external traffic.
+func twinBatch(seed uint64, r int) []float64 {
+	h := (uint64(r)*2654435761 + seed*0x9e3779b97f4a7c15) | 1
+	cnt := int((h >> 7) % 7)
+	ws := make([]float64, 0, cnt)
+	for i := 0; i < cnt; i++ {
+		h ^= h << 13
+		h ^= h >> 7
+		h ^= h << 17
+		ws = append(ws, 1+float64(h%4096)/1024)
+	}
+	return ws
+}
+
+// twinReconfigure scripts the reconfigure scenario's online ops.
+func twinReconfigure(t *testing.T, rt *Runtime, r int) {
+	t.Helper()
+	var err error
+	switch r {
+	case 10:
+		err = rt.Reconfigure([]int{3, 4, 5}, nil, "")
+	case 20:
+		err = rt.Reconfigure(nil, nil, "power-of-2")
+	case 30:
+		err = rt.Reconfigure(nil, []int{4}, "hotspot:7")
+	case 45:
+		err = rt.Reconfigure([]int{60, 61}, []int{3, 5}, "uniform")
+	}
+	if err != nil {
+		t.Fatalf("reconfigure at round %d: %v", r, err)
+	}
+}
+
+// driveLive runs one live scenario via the runtime (manual round
+// stepping — timing-free, so the test is deterministic) and returns
+// its Result plus the JSONL round log it wrote.
+func driveLive(t *testing.T, scen string, seed uint64, workers int) (dynamic.Result, []byte) {
+	t.Helper()
+	eng, err := dynamic.NewEngine(twinCfg(scen, seed, workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	rt := New(eng, "", Options{LogWriter: &log})
+	defer rt.Close()
+	for r := 0; r < twinRounds; r++ {
+		if ws := twinBatch(seed, r); len(ws) > 0 {
+			if _, err := rt.Ingest(ws); err != nil {
+				t.Fatalf("ingest round %d: %v", r, err)
+			}
+		}
+		if scen == "reconfigure" {
+			twinReconfigure(t, rt, r)
+		}
+		if err := rt.StepRound(); err != nil {
+			t.Fatalf("step round %d: %v", r, err)
+		}
+	}
+	res, err := rt.Finish()
+	if err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	return res, log.Bytes()
+}
+
+// replayLog replays a recorded log at the given worker count.
+func replayLog(t *testing.T, scen string, seed uint64, workers int, recs []RoundRecord) dynamic.Result {
+	t.Helper()
+	eng, err := dynamic.NewEngine(twinCfg(scen, seed, workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	res, err := Replay(eng, recs)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return res
+}
+
+func TestTwinEquivalence(t *testing.T) {
+	for _, scen := range []string{"steady", "churn", "reconfigure", "fault-plan"} {
+		for _, seed := range []uint64{1, 2, 3} {
+			for _, workers := range []int{1, 2, 4} {
+				t.Run(fmt.Sprintf("%s/seed=%d/workers=%d", scen, seed, workers), func(t *testing.T) {
+					live, logBytes := driveLive(t, scen, seed, workers)
+					recs, err := ReadRoundLog(bytes.NewReader(logBytes))
+					if err != nil {
+						t.Fatalf("reading the recorded log back: %v", err)
+					}
+					if len(recs) != twinRounds {
+						t.Fatalf("round log has %d records, want %d", len(recs), twinRounds)
+					}
+					// The replay twin must agree at the live run's worker
+					// count AND sequentially — the log, not the partition,
+					// defines the run.
+					for _, rw := range []int{1, workers} {
+						replayed := replayLog(t, scen, seed, rw, recs)
+						if !reflect.DeepEqual(live, replayed) {
+							t.Errorf("replay at workers=%d diverges from the live Result:\nlive:   %+v\nreplay: %+v",
+								rw, live, replayed)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestTwinEquivalenceAfterJSONRoundTrip pins that the twin property
+// survives the full persistence path: records → JSONL → parsed records
+// (float weights must round-trip bit-exactly through their decimal
+// encoding).
+func TestTwinEquivalenceAfterJSONRoundTrip(t *testing.T) {
+	live, logBytes := driveLive(t, "churn", 7, 2)
+	recs, err := ReadRoundLog(bytes.NewReader(logBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode and re-parse once more to prove encode∘decode is the
+	// identity on the parsed form.
+	var buf bytes.Buffer
+	for i := range recs {
+		if err := AppendRecord(&buf, &recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(buf.Bytes(), logBytes) {
+		t.Fatal("round log is not byte-stable across a decode/encode cycle")
+	}
+	if got := replayLog(t, "churn", 7, 4, recs); !reflect.DeepEqual(live, got) {
+		t.Fatal("replay of the JSON-round-tripped log diverges from the live Result")
+	}
+}
