@@ -14,7 +14,7 @@ test:
 # race job: the exchange and evacuation tests run real multi-worker
 # phases, so the detector sees the concurrent paths).
 race:
-	$(GO) test -race ./internal/core ./internal/dynamic ./internal/faults ./internal/obs ./internal/par ./internal/recovery ./internal/serve ./internal/sim ./internal/snapshot ./internal/stack ./internal/task
+	$(GO) test -race ./internal/core ./internal/dynamic ./internal/faults ./internal/obs ./internal/par ./internal/recovery ./internal/serve ./internal/sim ./internal/snapshot ./internal/stack ./internal/task ./internal/trace
 
 # Coverage-guided fuzz of the trace/speed-profile/topology parsers and
 # the JSONL event-sink reader (mirrors the CI smoke job; go accepts one
@@ -30,6 +30,7 @@ fuzz:
 		$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime 30s ./internal/faults || exit 1; \
 	done
 	$(GO) test -run '^$$' -fuzz '^FuzzReadEventsJSONL$$' -fuzztime 30s ./internal/obs
+	$(GO) test -run '^$$' -fuzz '^FuzzReadRecords$$' -fuzztime 30s ./internal/trace
 	$(GO) test -run '^$$' -fuzz '^FuzzDecoder$$' -fuzztime 30s ./internal/snapshot
 	$(GO) test -run '^$$' -fuzz '^FuzzRoundLog$$' -fuzztime 30s ./internal/serve
 

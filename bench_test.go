@@ -335,6 +335,56 @@ func BenchmarkDynamicRoundFaulty(b *testing.B) {
 	}
 }
 
+// BenchmarkDynamicRoundTraced: the BenchmarkDynamicRound10k workload
+// with task-lifecycle tracing on at a 1/64 sampling rate — an event
+// broker with one actively-draining KindTrace subscription, so every
+// sampled arrival, hop and departure is hashed, recorded and
+// published. One op is one simulated round; the delta against
+// BenchmarkDynamicRound10k is the full cost of sampled tracing (the
+// always-on histograms are included in the untraced figure already).
+func BenchmarkDynamicRoundTraced(b *testing.B) {
+	const n = 10_000
+	g := graph.RandomRegular(n, 16, newBenchRand())
+	broker := obs.NewBroker()
+	sub := broker.Subscribe(obs.SubOptions{
+		Kinds: obs.Mask(obs.KindTrace, obs.KindTraceHist), Capacity: 8192})
+	done := make(chan struct{})
+	seen := 0
+	go func() {
+		defer close(done)
+		buf := make([]obs.Event, 0, 256)
+		for evs := sub.Wait(buf); evs != nil; evs = sub.Wait(buf) {
+			seen += len(evs)
+		}
+	}()
+	cfg := dynamic.Config{
+		Graph:    g,
+		Protocol: core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+		Arrivals: dynamic.Poisson{Rate: 0.8 * float64(n) / 1.95,
+			Weights: task.Pareto{Alpha: 2, Cap: 20}},
+		Service: dynamic.WeightProportional{Rate: 1},
+		Tuner: &dynamic.SelfTuner{Eps: 0.5, Steps: 2,
+			Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+		Obs:         broker,
+		TraceSample: 1.0 / 64,
+		Rounds:      b.N,
+		Window:      1 << 30,
+		Seed:        0x9e3779b97f4a7c15,
+		Workers:     runtime.GOMAXPROCS(0),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := dynamic.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	broker.Close()
+	<-done
+	if b.N > 100 && seen == 0 {
+		b.Fatal("trace subscription saw no events")
+	}
+}
+
 // BenchmarkDynamicRound100k: the n = 10⁵ regime of Goldsztajn et al.
 // that the sequential engine could not reach practically — a 16-regular
 // expander with 100000 resources, ~41000 arrivals per round, sharded

@@ -125,6 +125,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics, expvar and pprof on this address for the duration of the run (e.g. :9090)")
 		eventsOut   = fs.String("events-out", "", "stream the engine's event feed (windows, lanes, phases, recovery episodes) as JSONL to this file (- = stdout)")
+		traceSample = fs.Float64("trace-sample", 0, "per-task lifecycle trace sampling probability in [0,1] (stateless hash of the task ID — worker-count invariant; 0 = off)")
+		traceOut    = fs.String("trace-out", "", "write sampled task-lifecycle records (arrivals, hops with causes, retries, departures) as JSONL to this file (- = stdout; needs -trace-sample)")
+		traceSeed   = fs.Uint64("trace-seed", 0, "trace sampling seed, decoupled from -seed so repeated passes can sample different task subsets")
 
 		alertBudget  = fs.Float64("alert-budget", 0, "domain SLO overload budget: alert when a rack/zone window overload fraction exceeds this for -alert-windows consecutive windows (0 = off; needs a topology)")
 		alertWindows = fs.Int("alert-windows", 3, "consecutive over-budget windows before a domain alert fires")
@@ -399,6 +402,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		nWorkers = runtime.GOMAXPROCS(0)
 	}
 
+	if *traceSample < 0 || *traceSample > 1 {
+		return fmt.Errorf("-trace-sample %g must lie in [0, 1]", *traceSample)
+	}
+	if *traceOut != "" && *traceSample == 0 {
+		return fmt.Errorf("-trace-out needs -trace-sample > 0 (no tasks are sampled otherwise)")
+	}
+
 	sc := lb.DynamicScenario{
 		Graph:            g,
 		Speeds:           speeds,
@@ -441,6 +451,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sc.AlertWindows = *alertWindows
 	}
 
+	sc.TraceSample = *traceSample
+	sc.TraceSeed = *traceSeed
+
 	sc.CheckpointEvery = *checkpointEvery
 	sc.CrashAfterRound = *crashAtRound
 	if *checkpointDir != "" && *checkpointEvery <= 0 {
@@ -463,7 +476,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// its own bounded subscription, so a slow one drops its own events
 	// without stalling the round loop or the other consumers. Domain
 	// alerts ride the same broker, so arming them attaches one too.
-	needObs := *shardDebug || *metricsAddr != "" || *eventsOut != "" || *alertBudget > 0
+	needObs := *shardDebug || *metricsAddr != "" || *eventsOut != "" || *alertBudget > 0 || *traceOut != ""
 	if needObs {
 		sc.Obs = lb.NewObsBroker()
 	}
@@ -487,6 +500,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 			w = f
 		}
 		sink = obs.NewSink(w, sc.Obs, obs.SubOptions{Capacity: 8192})
+		defer func() {
+			if f != nil {
+				f.Close()
+			}
+		}()
+	}
+
+	var tsink *obs.TraceSink
+	if *traceOut != "" {
+		w := io.Writer(stdout)
+		var f *os.File
+		if *traceOut != "-" {
+			if f, err = os.Create(*traceOut); err != nil {
+				return err
+			}
+			w = f
+		}
+		tsink = obs.NewTraceSink(w, sc.Obs, 8192)
 		defer func() {
 			if f != nil {
 				f.Close()
@@ -553,6 +584,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if metricsURL != "" {
 		fmt.Fprintf(stdout, "metrics:   %s/metrics (expvar /debug/vars, pprof /debug/pprof/)\n", metricsURL)
 	}
+	if *traceSample > 0 {
+		fmt.Fprintf(stdout, "trace:     sample=%g seed=%d", *traceSample, *traceSeed)
+		if *traceOut != "" {
+			fmt.Fprintf(stdout, " out=%s", *traceOut)
+		}
+		fmt.Fprintln(stdout)
+	}
 	if *alertBudget > 0 {
 		fmt.Fprintf(stdout, "alerts:    budget=%g%% windows=%d per rack/zone\n", 100**alertBudget, *alertWindows)
 	}
@@ -602,6 +640,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 			runErr = fmt.Errorf("-events-out: %w", err)
 		}
 	}
+	if tsink != nil {
+		if err := tsink.Close(); err != nil && runErr == nil {
+			runErr = fmt.Errorf("-trace-out: %w", err)
+		}
+	}
 	if srv != nil {
 		if metricsHook != nil {
 			metricsHook(metricsURL)
@@ -619,6 +662,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "departed:   %d tasks (weight %.0f)\n", res.Departed, res.DepartedWeight)
 	fmt.Fprintf(stdout, "in flight:  %d tasks (weight %.0f)\n", res.FinalInFlight, res.FinalWeight)
 	fmt.Fprintf(stdout, "migrations: %d (weight %.0f)\n", res.Migrations, res.MovedWeight)
+	if res.Departed > 0 {
+		fmt.Fprintf(stdout, "sojourn:    p50 %.0f p99 %.0f rounds | hops p99 %.0f\n",
+			res.Sojourn.Quantile(0.50), res.Sojourn.Quantile(0.99), res.Hops.Quantile(0.99))
+	}
 	if res.Rehomed > 0 || res.Downs > 0 {
 		fmt.Fprintf(stdout, "churn:      %d downs, %d ups, %d tasks re-homed (weight %.0f)\n",
 			res.Downs, res.Ups, res.Rehomed, res.RehomedWeight)

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // runCLI invokes run() with stdout/stderr captured.
@@ -336,5 +337,81 @@ func TestCheckpointFlagValidation(t *testing.T) {
 				t.Fatalf("error = %q, want it to contain %q", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestSojournSummaryAlwaysOn: the sojourn/hops percentile line comes
+// from the always-on lifecycle histograms — no tracing flags needed.
+func TestSojournSummaryAlwaysOn(t *testing.T) {
+	stdout, _, err := runCLI(t, smallRun...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stdout, "sojourn:    p50 ") || !strings.Contains(stdout, "| hops p99 ") {
+		t.Errorf("summary missing the sojourn/hops percentile line:\n%s", stdout)
+	}
+}
+
+// TestTraceOut: -trace-sample/-trace-out record sampled lifecycles as
+// JSONL that the trace reader parses back, and the byte stream is
+// identical for every worker count.
+func TestTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	runTrace := func(workers string) string {
+		t.Helper()
+		path := filepath.Join(dir, "trace-w"+workers+".jsonl")
+		args := append([]string{"-trace-sample", "0.25", "-trace-out", path}, smallRun...)
+		args = append(args, "-workers", workers) // later flag wins
+		stdout, _, err := runCLI(t, args...)
+		if err != nil {
+			t.Fatalf("run (workers=%s): %v", workers, err)
+		}
+		if !strings.Contains(stdout, "trace:     sample=0.25") {
+			t.Errorf("header missing the trace line:\n%s", stdout)
+		}
+		return path
+	}
+	p2 := runTrace("2")
+	f, err := os.Open(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.ReadRecords(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("ReadRecords of -trace-out file: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("trace file is empty at sample=0.25")
+	}
+	ops := map[trace.Op]int{}
+	for i := range recs {
+		ops[recs[i].Op]++
+	}
+	if ops[trace.OpArrive] == 0 || ops[trace.OpDepart] == 0 {
+		t.Errorf("trace stream lacks arrivals or departures (ops: %v)", ops)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := os.ReadFile(runTrace("8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b2, b8) {
+		t.Error("trace stream differs between -workers 2 and -workers 8")
+	}
+}
+
+// TestTraceFlagValidation pins the tracing flag errors.
+func TestTraceFlagValidation(t *testing.T) {
+	if _, _, err := runCLI(t, append([]string{"-trace-out", "x.jsonl"}, smallRun...)...); err == nil ||
+		!strings.Contains(err.Error(), "-trace-out needs -trace-sample") {
+		t.Errorf("-trace-out without sampling: got %v", err)
+	}
+	if _, _, err := runCLI(t, append([]string{"-trace-sample", "1.5"}, smallRun...)...); err == nil ||
+		!strings.Contains(err.Error(), "must lie in [0, 1]") {
+		t.Errorf("-trace-sample 1.5: got %v", err)
 	}
 }

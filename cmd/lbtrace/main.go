@@ -1,0 +1,260 @@
+// Command lbtrace queries a task-lifecycle trace stream recorded by
+// lbdyn -trace-out (bare trace records as JSONL: arrivals, migration
+// hops with their causes, retries, departures). It filters by task,
+// resource, round range and hop cause, renders per-task timelines, and
+// summarises exact sojourn/hop percentiles over the departures that
+// survive the filter.
+//
+// Usage examples:
+//
+//	lbdyn -graph complete -n 1000 -trace-sample 0.05 -trace-out run.trace
+//	lbtrace run.trace                      # listing + summary
+//	lbtrace -task 1234 -timeline run.trace # one task's life story
+//	lbtrace -cause retry run.trace         # every ledger-retry event
+//	lbtrace -resource 17 -rounds 100:200 run.trace
+//	lbtrace -summary run.trace             # percentiles only
+//
+// Unlike the engine's always-on histograms (bucketed to a power-of-two
+// ladder), the percentiles here are exact: computed from the sampled
+// departure records themselves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "lbtrace:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lbtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		taskID   = fs.Int("task", -1, "only this task's records (-1 = all)")
+		resource = fs.Int("resource", -1, "only records touching this resource as source or destination (-1 = all)")
+		rounds   = fs.String("rounds", "", "only rounds in the half-open range A:B (either side may be empty)")
+		cause    = fs.String("cause", "", "only hop/loss/retry records with this cause: protocol|evac|bounce|partition|delay|retry|timeout")
+		timeline = fs.Bool("timeline", false, "group the listing into per-task timelines")
+		summary  = fs.Bool("summary", false, "suppress the listing; print only the percentile summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 1 {
+		return fmt.Errorf("want at most one input file, got %v", fs.Args())
+	}
+
+	var causeFilter trace.Cause
+	filterCause := *cause != ""
+	if filterCause {
+		c, ok := trace.CauseFromString(*cause)
+		if !ok || c == trace.CauseNone {
+			return fmt.Errorf("-cause %q: unknown cause", *cause)
+		}
+		causeFilter = c
+	}
+	lo, hi, err := parseRange(*rounds)
+	if err != nil {
+		return fmt.Errorf("-rounds: %w", err)
+	}
+
+	in := io.Reader(os.Stdin)
+	name := "stdin"
+	if fs.NArg() == 1 && fs.Arg(0) != "-" {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in, name = f, fs.Arg(0)
+	}
+	all, err := trace.ReadRecords(in)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+
+	recs := all[:0:0]
+	for i := range all {
+		r := &all[i]
+		if *taskID >= 0 && r.Task != *taskID {
+			continue
+		}
+		if *resource >= 0 && int(r.From) != *resource && int(r.To) != *resource {
+			continue
+		}
+		if r.Round < lo || r.Round >= hi {
+			continue
+		}
+		if filterCause && r.Cause != causeFilter {
+			continue
+		}
+		recs = append(recs, *r)
+	}
+
+	switch {
+	case *summary:
+		// listing suppressed
+	case *timeline:
+		printTimelines(stdout, recs)
+	default:
+		for i := range recs {
+			fmt.Fprintln(stdout, formatRecord(&recs[i], true))
+		}
+	}
+	printSummary(stdout, recs, len(all))
+	return nil
+}
+
+// parseRange parses the half-open "A:B" round range; empty sides mean
+// unbounded, an empty spec means everything.
+func parseRange(s string) (lo, hi int, err error) {
+	lo, hi = math.MinInt, math.MaxInt
+	if s == "" {
+		return lo, hi, nil
+	}
+	a, b, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("%q is not an A:B range", s)
+	}
+	if a = strings.TrimSpace(a); a != "" {
+		if lo, err = strconv.Atoi(a); err != nil {
+			return 0, 0, fmt.Errorf("bad start %q", a)
+		}
+	}
+	if b = strings.TrimSpace(b); b != "" {
+		if hi, err = strconv.Atoi(b); err != nil {
+			return 0, 0, fmt.Errorf("bad end %q", b)
+		}
+	}
+	if lo > hi {
+		return 0, 0, fmt.Errorf("empty range %q", s)
+	}
+	return lo, hi, nil
+}
+
+// formatRecord renders one record as a fixed-ish width line; withTask
+// drops the task column in per-task timelines where it is redundant.
+func formatRecord(r *trace.Record, withTask bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "r%-7d", r.Round)
+	if withTask {
+		fmt.Fprintf(&b, " task %-9d", r.Task)
+	}
+	fmt.Fprintf(&b, " %-7s", r.Op)
+	switch r.Op {
+	case trace.OpArrive:
+		fmt.Fprintf(&b, "      -> %-6d w=%.4g", r.To, r.Weight)
+	case trace.OpDepart:
+		fmt.Fprintf(&b, " %5d ->        w=%.4g hops=%d sojourn=%d", r.From, r.Weight, r.Hops, r.Sojourn)
+	default:
+		fmt.Fprintf(&b, " %5d -> %-6d", r.From, r.To)
+	}
+	if r.Cause != trace.CauseNone {
+		fmt.Fprintf(&b, " cause=%s", r.Cause)
+	}
+	if r.Op == trace.OpHop {
+		fmt.Fprintf(&b, " hops=%d", r.Hops)
+	}
+	if r.Attempt > 0 {
+		fmt.Fprintf(&b, " attempt=%d", r.Attempt)
+	}
+	if r.Latency > 0 {
+		fmt.Fprintf(&b, " latency=%d", r.Latency)
+	}
+	return b.String()
+}
+
+// printTimelines groups records per task (ascending ID, stream order
+// within a task — the stream is already round-ordered).
+func printTimelines(w io.Writer, recs []trace.Record) {
+	byTask := map[int][]*trace.Record{}
+	ids := []int{}
+	for i := range recs {
+		id := recs[i].Task
+		if _, seen := byTask[id]; !seen {
+			ids = append(ids, id)
+		}
+		byTask[id] = append(byTask[id], &recs[i])
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		tl := byTask[id]
+		fmt.Fprintf(w, "task %d (%d records):\n", id, len(tl))
+		for _, r := range tl {
+			fmt.Fprintf(w, "  %s\n", formatRecord(r, false))
+		}
+	}
+}
+
+// printSummary counts records by op, hops by cause, and computes exact
+// percentiles over the filtered departures.
+func printSummary(w io.Writer, recs []trace.Record, total int) {
+	var opCount [8]int
+	causeCount := map[trace.Cause]int{}
+	var sojourns, hops []int
+	tasks := map[int]struct{}{}
+	for i := range recs {
+		r := &recs[i]
+		opCount[r.Op]++
+		tasks[r.Task] = struct{}{}
+		if r.Op == trace.OpHop {
+			causeCount[r.Cause]++
+		}
+		if r.Op == trace.OpDepart {
+			sojourns = append(sojourns, int(r.Sojourn))
+			hops = append(hops, int(r.Hops))
+		}
+	}
+	fmt.Fprintf(w, "records:  %d of %d match (%d tasks)\n", len(recs), total, len(tasks))
+	fmt.Fprintf(w, "ops:      arrive=%d hop=%d depart=%d loss=%d retry=%d\n",
+		opCount[trace.OpArrive], opCount[trace.OpHop], opCount[trace.OpDepart],
+		opCount[trace.OpLoss], opCount[trace.OpRetry])
+	if len(causeCount) > 0 {
+		keys := make([]trace.Cause, 0, len(causeCount))
+		for c := range causeCount {
+			keys = append(keys, c)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		fmt.Fprintf(w, "hops:    ")
+		for _, c := range keys {
+			fmt.Fprintf(w, " %s=%d", c, causeCount[c])
+		}
+		fmt.Fprintln(w)
+	}
+	if len(sojourns) == 0 {
+		fmt.Fprintln(w, "sojourn:  no departures in the filtered set")
+		return
+	}
+	sort.Ints(sojourns)
+	sort.Ints(hops)
+	fmt.Fprintf(w, "sojourn:  p50=%d p95=%d p99=%d max=%d rounds (over %d departures, exact)\n",
+		pct(sojourns, 0.50), pct(sojourns, 0.95), pct(sojourns, 0.99), sojourns[len(sojourns)-1], len(sojourns))
+	fmt.Fprintf(w, "hops/task: p50=%d p95=%d p99=%d max=%d\n",
+		pct(hops, 0.50), pct(hops, 0.95), pct(hops, 0.99), hops[len(hops)-1])
+}
+
+// pct is the exact order statistic: the smallest value with at least
+// q·n observations at or below it (sorted input).
+func pct(sorted []int, q float64) int {
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

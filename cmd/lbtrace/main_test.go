@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, err error) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	err = run(args, &out, &errw)
+	return out.String(), errw.String(), err
+}
+
+// writeFixture persists a two-task trace: task 3 arrives, hops twice
+// (protocol then a retried redelivery) and departs; task 9 arrives on
+// resource 7 and departs without moving.
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	recs := []trace.Record{
+		{Round: 0, Task: 3, Op: trace.OpArrive, From: -1, To: 4, Weight: 2.5},
+		{Round: 1, Task: 9, Op: trace.OpArrive, From: -1, To: 7, Weight: 1},
+		{Round: 2, Task: 3, Op: trace.OpHop, Cause: trace.CauseProtocol, From: 4, To: 6, Hops: 1},
+		{Round: 3, Task: 3, Op: trace.OpLoss, Cause: trace.CauseRetry, From: 6, To: 2},
+		{Round: 5, Task: 3, Op: trace.OpRetry, Cause: trace.CauseRetry, From: 6, To: 2, Attempt: 1},
+		{Round: 5, Task: 3, Op: trace.OpHop, Cause: trace.CauseRetry, From: 6, To: 2, Hops: 2, Latency: 2},
+		{Round: 6, Task: 9, Op: trace.OpDepart, From: 7, To: -1, Weight: 1, Sojourn: 5},
+		{Round: 9, Task: 3, Op: trace.OpDepart, From: 2, To: -1, Weight: 2.5, Hops: 2, Sojourn: 9},
+	}
+	path := filepath.Join(t.TempDir(), "fixture.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteRecords(f, recs); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestListingAndSummary(t *testing.T) {
+	stdout, stderr, err := runCLI(t, writeFixture(t))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if stderr != "" {
+		t.Errorf("unexpected stderr:\n%s", stderr)
+	}
+	for _, want := range []string{
+		"records:  8 of 8 match (2 tasks)",
+		"ops:      arrive=2 hop=2 depart=2 loss=1 retry=1",
+		"protocol=1",
+		"retry=1",
+		"sojourn:  p50=5 p95=9 p99=9 max=9 rounds (over 2 departures, exact)",
+		"hops/task: p50=0 p95=2 p99=2 max=2",
+		"cause=retry hops=2 latency=2",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestTaskTimeline(t *testing.T) {
+	stdout, _, err := runCLI(t, "-task", "3", "-timeline", writeFixture(t))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stdout, "task 3 (6 records):") {
+		t.Errorf("missing task 3 timeline header:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "task 9") {
+		t.Errorf("-task 3 leaked task 9 records:\n%s", stdout)
+	}
+	// The timeline keeps stream order: arrive, hop, loss, retry, hop,
+	// depart.
+	idx := -1
+	for _, step := range []string{"arrive", "hop", "loss", "retry", "hop", "depart"} {
+		j := strings.Index(stdout[idx+1:], step)
+		if j < 0 {
+			t.Fatalf("timeline missing %q after offset %d:\n%s", step, idx, stdout)
+		}
+		idx += 1 + j
+	}
+}
+
+func TestFilters(t *testing.T) {
+	path := writeFixture(t)
+
+	stdout, _, err := runCLI(t, "-cause", "retry", "-summary", path)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stdout, "records:  3 of 8 match (1 tasks)") {
+		t.Errorf("-cause retry summary wrong:\n%s", stdout)
+	}
+
+	stdout, _, err = runCLI(t, "-resource", "7", "-summary", path)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stdout, "records:  2 of 8 match (1 tasks)") {
+		t.Errorf("-resource 7 summary wrong:\n%s", stdout)
+	}
+
+	stdout, _, err = runCLI(t, "-rounds", "2:6", "-summary", path)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stdout, "records:  4 of 8 match (1 tasks)") {
+		t.Errorf("-rounds 2:6 summary wrong:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "sojourn:  no departures in the filtered set") {
+		t.Errorf("-rounds 2:6 should have no departures:\n%s", stdout)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	path := writeFixture(t)
+	for _, args := range [][]string{
+		{"-cause", "gremlins", path},
+		{"-rounds", "10", path},
+		{"-rounds", "9:2", path},
+		{path, "extra"},
+		{filepath.Join(t.TempDir(), "missing.trace")},
+	} {
+		if _, _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v: want error, got nil", args)
+		}
+	}
+	bad := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(bad, []byte("{\"op\":\"warp\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := runCLI(t, bad)
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("malformed line: want line-numbered error, got %v", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/recovery"
 	"repro/internal/snapshot"
 	"repro/internal/task"
+	"repro/internal/trace"
 	"repro/internal/walk"
 )
 
@@ -246,6 +247,8 @@ const (
 	KindQuarantine    = obs.KindQuarantine
 	KindAlert         = obs.KindAlert
 	KindCheckpoint    = obs.KindCheckpoint
+	KindTrace         = obs.KindTrace
+	KindTraceHist     = obs.KindTraceHist
 )
 
 // FaultStats is the cumulative message-fault snapshot carried by
@@ -302,6 +305,39 @@ func WriteObsEvents(w io.Writer, evs []ObsEvent) error { return obs.WriteEvents(
 // ReadObsEvents reads a JSONL event stream back; errors carry line
 // numbers and never panic (the reader is fuzzed).
 func ReadObsEvents(r io.Reader) ([]ObsEvent, error) { return obs.ReadEvents(r) }
+
+// TraceRecord is one sampled task-lifecycle event (arrival, migration
+// hop with its cause, retry attempt, loss, departure), carried by
+// KindTrace events and by the JSONL trace streams lbdyn writes and
+// lbtrace reads.
+type TraceRecord = trace.Record
+
+// TraceSnapshot is the always-on lifecycle histogram triple (sojourn
+// rounds, migration hops per task, ledger retry latency) carried by
+// KindTraceHist events at every metrics-window boundary.
+type TraceSnapshot = trace.Snapshot
+
+// ObsTraceSink pumps a broker's KindTrace stream to an io.Writer as
+// bare-record JSONL on its own goroutine — the run never blocks on the
+// writer. The sink clears the broker sequence number, so the byte
+// stream is identical for every worker count.
+type ObsTraceSink = obs.TraceSink
+
+// NewObsTraceSink attaches a trace-record JSONL sink to the broker
+// (capacity <= 0 uses the default ring size). Returns nil if the broker
+// is closed.
+func NewObsTraceSink(w io.Writer, b *ObsBroker, capacity int) *ObsTraceSink {
+	return obs.NewTraceSink(w, b, capacity)
+}
+
+// ReadTraceRecords parses a bare-record trace JSONL stream back (one
+// record per line, blank lines and # comments skipped); errors carry
+// line numbers and never panic (the reader is fuzzed).
+func ReadTraceRecords(r io.Reader) ([]TraceRecord, error) { return trace.ReadRecords(r) }
+
+// WriteTraceRecords writes records in the format ReadTraceRecords
+// parses.
+func WriteTraceRecords(w io.Writer, recs []TraceRecord) error { return trace.WriteRecords(w, recs) }
 
 // WeightDist generates task weights (each ≥ 1) for arrival processes.
 type WeightDist = task.Distribution
@@ -496,6 +532,20 @@ type DynamicScenario struct {
 	// per-domain window events on Obs; see ObsDomains. Ignored when Obs
 	// is nil.
 	Domains []DomainLabels
+	// TraceSample samples per-task lifecycle tracing: each arriving task
+	// is traced with this probability, decided by a stateless hash of
+	// (Seed, TraceSeed, task ID) — never by the shard split — so the
+	// record stream is bit-identical for every worker count. Sampled
+	// tasks publish KindTrace events (arrival, every migration hop with
+	// its cause, retries, departure) on Obs; 0 disables record
+	// publication. The sojourn/hop/retry-latency histograms in the
+	// Result are always on regardless. Must lie in [0, 1]; requires Obs
+	// for the records to go anywhere.
+	TraceSample float64
+	// TraceSeed decouples the sampling hash from the run seed, so
+	// several trace passes over one scenario can sample different task
+	// subsets. 0 is a fine default.
+	TraceSeed uint64
 	// AlertBudget arms domain-level SLO alerts: when a rack's or zone's
 	// window overload fraction exceeds the budget for AlertWindows
 	// consecutive windows, a KindAlert event fires on Obs (and a
@@ -694,6 +744,8 @@ func (sc DynamicScenario) config() (dynamic.Config, error) {
 		OnWindow:         sc.OnWindow,
 		Obs:              sc.Obs,
 		Domains:          sc.Domains,
+		TraceSample:      sc.TraceSample,
+		TraceSeed:        sc.TraceSeed,
 		AlertBudget:      sc.AlertBudget,
 		AlertWindows:     sc.AlertWindows,
 		CheckpointEvery:  sc.CheckpointEvery,

@@ -9,6 +9,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/snapshot"
 	"repro/internal/task"
+	"repro/internal/trace"
 )
 
 // Checkpoint/restore for the open-system engine. A checkpoint captures
@@ -330,6 +331,11 @@ func (e *engine) encodeState(nextRound int) []byte {
 	// partition-dependent and outside the determinism contract.
 	enc.End()
 
+	enc.Begin("trace")
+	enc.Int32s(e.arrT)
+	enc.Int32s(e.hopCnt)
+	enc.End()
+
 	enc.Begin("result")
 	encodeResult(enc, &e.res)
 	enc.End()
@@ -602,6 +608,20 @@ func (e *engine) decodeState(data []byte) error {
 		return err
 	}
 
+	sec, err = d.Section("trace")
+	if err != nil {
+		return err
+	}
+	e.arrT = sec.Int32s(e.arrT)
+	e.hopCnt = sec.Int32s(e.hopCnt)
+	if err := sec.Done(); err != nil {
+		return err
+	}
+	if len(e.arrT) != len(e.hopCnt) {
+		return fmt.Errorf("dynamic: snapshot trace state has %d arrival rounds for %d hop counters",
+			len(e.arrT), len(e.hopCnt))
+	}
+
 	sec, err = d.Section("result")
 	if err != nil {
 		return err
@@ -683,6 +703,24 @@ func encodeResult(enc *snapshot.Encoder, res *Result) {
 	enc.Int(res.Quarantined)
 	enc.Int(res.FinalLedger)
 	enc.Float64(res.FinalLedgerWeight)
+	encodeHist(enc, &res.Sojourn)
+	encodeHist(enc, &res.Hops)
+	encodeHist(enc, &res.RetryLat)
+}
+
+// encodeHist/decodeHist persist one fixed-bucket lifecycle histogram.
+func encodeHist(enc *snapshot.Encoder, h *trace.Hist) {
+	for _, c := range h.Counts {
+		enc.Int64(c)
+	}
+	enc.Int64(h.Sum)
+}
+
+func decodeHist(sec *snapshot.Section, h *trace.Hist) {
+	for i := range h.Counts {
+		h.Counts[i] = sec.Int64()
+	}
+	h.Sum = sec.Int64()
 }
 
 // decodeResult restores the Result written by encodeResult.
@@ -745,5 +783,8 @@ func decodeResult(sec *snapshot.Section, res *Result) error {
 	res.Quarantined = sec.Int()
 	res.FinalLedger = sec.Int()
 	res.FinalLedgerWeight = sec.Float64()
+	decodeHist(sec, &res.Sojourn)
+	decodeHist(sec, &res.Hops)
+	decodeHist(sec, &res.RetryLat)
 	return sec.Err()
 }

@@ -24,7 +24,8 @@ import (
 // state.
 var detKinds = obs.Mask(obs.KindWindow, obs.KindDomainWindow,
 	obs.KindRecoveryStart, obs.KindRecoveryEnd, obs.KindFaults,
-	obs.KindQuarantine, obs.KindAlert, obs.KindCheckpoint)
+	obs.KindQuarantine, obs.KindAlert, obs.KindCheckpoint,
+	obs.KindTraceHist)
 
 // ckptCapture is one observed run: its Result, the deterministic-kind
 // event stream, and every checkpoint it wrote (bytes copied).

@@ -33,6 +33,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Churn configures resource join/leave dynamics. Each round at most
@@ -394,6 +395,21 @@ type Config struct {
 	// one is due) — the crash-injection hook of the recovery test
 	// harness and lbdyn's -crash-at-round flag.
 	CrashAfterRound int
+	// TraceSample, in [0, 1], is the task-lifecycle sampling rate:
+	// each task is traced iff a stateless hash of (trace seed, task ID)
+	// falls below it, so the traced set never depends on the shard
+	// partition and a traced run's Result stays bit-identical to the
+	// untraced run. Sampled tasks publish KindTrace records (arrival,
+	// every migration hop with its cause, fault losses/retries,
+	// departure) on the Obs broker in canonical order. 0 disables record
+	// emission and keeps the hot path allocation-free; the sojourn /
+	// hops / retry-latency histograms in Result are maintained
+	// regardless. Requires Obs to have any effect.
+	TraceSample float64
+	// TraceSeed decorrelates the sampled-task set from the run's other
+	// randomness; two runs with the same Seed but different TraceSeeds
+	// trace different tasks while producing identical Results.
+	TraceSeed uint64
 }
 
 // WindowStats summarises one metrics window of an open-system run.
@@ -474,6 +490,18 @@ type Result struct {
 	Quarantined       int
 	FinalLedger       int
 	FinalLedgerWeight float64
+
+	// Always-on task-lifecycle histograms over the fixed power-of-two
+	// ladder (trace.Bounds): rounds from arrival to departure and
+	// migration hops per task, both observed at every departure, and
+	// the rounds a lost migration spent in the retry ledger before it
+	// resolved (retry success or timeout). Every observation is an
+	// integer increment made in canonical order, so the histograms are
+	// bit-identical for every worker count and ride the same golden
+	// and checkpoint guarantees as the scalar totals.
+	Sojourn  trace.Hist
+	Hops     trace.Hist
+	RetryLat trace.Hist
 }
 
 // PeakPostFailureOverload returns the worst per-round overload
@@ -610,6 +638,9 @@ func validate(cfg Config) error {
 	}
 	if cfg.CrashAfterRound < 0 || cfg.CrashAfterRound > cfg.Rounds {
 		return fmt.Errorf("dynamic: Config.CrashAfterRound %d must lie in [0, Rounds]", cfg.CrashAfterRound)
+	}
+	if cfg.TraceSample < 0 || cfg.TraceSample > 1 {
+		return fmt.Errorf("dynamic: Config.TraceSample %v must lie in [0, 1]", cfg.TraceSample)
 	}
 	for i, d := range cfg.Domains {
 		if err := d.Validate(cfg.Graph.N()); err != nil {

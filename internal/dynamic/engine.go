@@ -13,6 +13,7 @@ import (
 	"repro/internal/snapshot"
 	"repro/internal/stats"
 	"repro/internal/task"
+	"repro/internal/trace"
 )
 
 // The sharded round pipeline. The n resources are partitioned into
@@ -75,8 +76,10 @@ type shard struct {
 	lo, hi    int
 	depIdx    []int            // service departure-index scratch
 	departed  []task.Task      // tasks departed this round, resource-ascending
+	depFrom   []int32          // each departure's resource (locations clear on removal)
 	evacTasks []task.Task      // evacuation pop scratch
 	evacMoves []core.Migration // evacuation re-home moves
+	traceRecs []trace.Record   // sampled-task records found in this shard's parallel phase
 	sc        core.ProposeScratch
 }
 
@@ -210,6 +213,21 @@ type engine struct {
 	alertK      int
 	alertCnt    [][]int32
 	alertActive [][]bool
+
+	// Task-lifecycle tracing. arrT and hopCnt are the ALWAYS-ON
+	// histogram state — task ID → arrival round and migration hops so
+	// far, recycled with the ID — feeding Result.Sojourn/Hops at every
+	// departure. traceOn (TraceSample > 0 with a broker attached)
+	// additionally publishes KindTrace records for the sampled tasks:
+	// whether a task is sampled is a stateless hash of (traceSeed, ID),
+	// never the shard split, and every record is emitted from a
+	// sequential section — parallel phases stage theirs in shard
+	// scratch, drained in a canonical partition-invariant order.
+	traceOn   bool
+	traceSeed uint64
+	arrT      []int32
+	hopCnt    []int32
+	traceBuf  []trace.Record // evacuation-record drain scratch (sorted by task ID)
 
 	// Phase closures, bound once so pool dispatch allocates nothing.
 	serviceFn, proposeFn, deliverFn, evacFn func(int)
@@ -387,11 +405,65 @@ func newEngine(cfg Config) *engine {
 	if e.speeds != nil {
 		e.normBuf = make([]float64, 0, n)
 	}
+	// Lifecycle-histogram state always runs; record emission only with a
+	// sampling rate and a broker. The trace seed is decorrelated from
+	// every other stream of the run by its own salt.
+	e.traceSeed = rng.Hash3(cfg.Seed, cfg.TraceSeed, 0x7ace5eed, 0)
+	e.traceOn = cfg.TraceSample > 0 && e.broker != nil
+	e.arrT = make([]int32, e.ts.M())
+	e.hopCnt = make([]int32, e.ts.M())
+	if e.traceOn && e.inj != nil {
+		e.inj.SetTraceHook(e.traceHook)
+	}
 	e.serviceFn = e.serviceShard
 	e.proposeFn = e.proposeShard
 	e.deliverFn = e.deliverShard
 	e.evacFn = e.evacShard
 	return e
+}
+
+// sampled reports whether task id's lifecycle is traced — a stateless
+// draw, identical for every worker count and across checkpoint/resume.
+func (e *engine) sampled(id int) bool {
+	return trace.Sampled(e.traceSeed, id, e.cfg.TraceSample)
+}
+
+// noteArrival resets task id's lifecycle state (IDs are recycled),
+// growing the ID-indexed vectors alongside remaining.
+func (e *engine) noteArrival(id, t int) {
+	for id >= len(e.arrT) {
+		e.arrT = append(e.arrT, 0)
+		e.hopCnt = append(e.hopCnt, 0)
+	}
+	e.arrT[id] = int32(t)
+	e.hopCnt[id] = 0
+}
+
+// emitTrace publishes one sampled-task lifecycle record. Sequential
+// sections only.
+func (e *engine) emitTrace(rec *trace.Record) {
+	e.ev = obs.Event{Kind: obs.KindTrace, Round: rec.Round, Trace: *rec}
+	e.broker.Publish(&e.ev)
+}
+
+// traceHook observes the injector's sequential fault events (Collect's
+// losses and delay parks, Tick's retry attempts) for sampled tasks.
+// The task is still in flight at every hook point, so its location
+// entry still names the source resource.
+func (e *engine) traceHook(kind faults.HookKind, round int, tk task.Task, src, dest int32, attempt int32) {
+	if !e.sampled(tk.ID) {
+		return
+	}
+	rec := trace.Record{Round: round, Task: tk.ID, From: src, To: dest, Attempt: attempt}
+	switch kind {
+	case faults.HookLoss:
+		rec.Op, rec.Cause = trace.OpLoss, trace.CauseRetry
+	case faults.HookDelay:
+		rec.Op, rec.Cause = trace.OpLoss, trace.CauseDelay
+	case faults.HookRetry:
+		rec.Op, rec.Cause = trace.OpRetry, trace.CauseRetry
+	}
+	e.emitTrace(&rec)
 }
 
 // close releases the pool's goroutines.
@@ -577,11 +649,16 @@ func (e *engine) round(t int) error {
 		dest := e.dispatch.Pick(s, reach, e.speeds, w, e.dispRand)
 		tk := s.InsertTask(w, dest)
 		e.setRemaining(tk.ID, w)
+		e.noteArrival(tk.ID, t)
 		e.res.Arrived++
 		e.res.ArrivedWeight += w
 		e.wArrivals++
 		if e.wShardArr != nil {
 			e.wShardArr[sort.SearchInts(e.bounds, dest+1)-1]++
+		}
+		if e.traceOn && e.sampled(tk.ID) {
+			e.emitTrace(&trace.Record{Round: t, Task: tk.ID, Op: trace.OpArrive,
+				From: -1, To: int32(dest), Weight: w})
 		}
 	}
 	e.seqDone(obs.PhaseArrivals, arrStart)
@@ -597,13 +674,22 @@ func (e *engine) round(t int) error {
 		if e.wShardDep != nil {
 			e.wShardDep[i] += int64(len(sh.departed))
 		}
-		for _, tk := range sh.departed {
+		for j, tk := range sh.departed {
+			soj, hops := int32(t)-e.arrT[tk.ID], e.hopCnt[tk.ID]
+			e.res.Sojourn.Observe(int64(soj))
+			e.res.Hops.Observe(int64(hops))
+			if e.traceOn && e.sampled(tk.ID) {
+				e.emitTrace(&trace.Record{Round: t, Task: tk.ID, Op: trace.OpDepart,
+					From: sh.depFrom[j], To: -1, Weight: tk.Weight,
+					Hops: hops, Sojourn: soj})
+			}
 			s.SettleDeparture(tk)
 			e.res.Departed++
 			e.res.DepartedWeight += tk.Weight
 			e.wDepartures++
 		}
 		sh.departed = sh.departed[:0]
+		sh.depFrom = sh.depFrom[:0]
 	}
 
 	// Settle the live-wmax cache at this consistent point (all
@@ -637,6 +723,18 @@ func (e *engine) round(t int) error {
 	var st core.StepStats
 	if e.proto != nil {
 		e.pool.Run(len(e.shards), e.proposeFn)
+		if e.traceOn {
+			// Shards are contiguous and ordered, so a shard-ascending
+			// drain is resource-ascending — the same canonical order for
+			// every partition.
+			for i := range e.shards {
+				sh := &e.shards[i]
+				for j := range sh.traceRecs {
+					e.emitTrace(&sh.traceRecs[j])
+				}
+				sh.traceRecs = sh.traceRecs[:0]
+			}
+		}
 		e.pool.Run(len(e.shards), e.deliverFn)
 		st = e.exch.Finish(s, true)
 		e.noteInbound()
@@ -657,6 +755,7 @@ func (e *engine) round(t int) error {
 	if e.inj != nil {
 		e.inj.Collect(t, s)
 		if due := e.inj.Tick(t, s, up); len(due) > 0 {
+			e.noteDue(t, due)
 			e.exch.Route(0, due)
 			for i := 1; i < len(e.shards); i++ {
 				e.exch.Route(i, nil)
@@ -947,6 +1046,43 @@ func (e *engine) evacPending() bool {
 	return false
 }
 
+// noteDue folds the fault layer's due batch — delay-wheel deliveries,
+// retry successes, timeout re-homes — into the lifecycle accounting
+// before the batch is routed. The tasks are still in flight, so each
+// location entry names the original source; a timeout re-home delivers
+// back to it (no hop). Sequential; the batch order is canonical.
+func (e *engine) noteDue(t int, due []core.Migration) {
+	info := e.inj.DueInfo()
+	for k := range due {
+		mv := &due[k]
+		id := mv.Task.ID
+		// The task is still marked in flight (no stack location), so the
+		// provenance comes from the injector's due metadata. A timeout
+		// re-home delivers back to its source — not a hop.
+		src := info[k].Src
+		hop := mv.Dest != src
+		if hop {
+			e.hopCnt[id]++
+		}
+		if info[k].Kind != faults.DueDelay {
+			// A ledger resolution: how long the lost message was held.
+			e.res.RetryLat.Observe(int64(info[k].Latency))
+		}
+		if e.traceOn && e.sampled(id) {
+			cause := trace.CauseDelay
+			switch info[k].Kind {
+			case faults.DueRetry:
+				cause = trace.CauseRetry
+			case faults.DueTimeout:
+				cause = trace.CauseTimeout
+			}
+			e.emitTrace(&trace.Record{Round: t, Task: id, Op: trace.OpHop,
+				Cause: cause, From: src, To: mv.Dest, Hops: e.hopCnt[id],
+				Attempt: info[k].Attempt, Latency: info[k].Latency})
+		}
+	}
+}
+
 // evacuate re-homes every task stranded on a down resource through the
 // exchange: a sharded pop-and-route phase, a barrier, and a sharded
 // per-destination delivery phase. Identical for every worker count —
@@ -957,6 +1093,28 @@ func (e *engine) evacPending() bool {
 // of the shared Rehomed totals.
 func (e *engine) evacuate(bounce bool) {
 	e.pool.Run(len(e.shards), e.evacFn)
+	if e.traceOn {
+		// The down list's entry order is global state, but each shard
+		// filters it to its own range, so shard concatenation is NOT
+		// partition-invariant here — sorting by task ID (unique within
+		// the batch) restores one canonical order. The cause is batch-
+		// wide and known only here, so it is stamped on the way out.
+		cause := trace.CauseEvac
+		if bounce {
+			cause = trace.CauseBounce
+		}
+		e.traceBuf = e.traceBuf[:0]
+		for i := range e.shards {
+			sh := &e.shards[i]
+			e.traceBuf = append(e.traceBuf, sh.traceRecs...)
+			sh.traceRecs = sh.traceRecs[:0]
+		}
+		sort.Slice(e.traceBuf, func(a, b int) bool { return e.traceBuf[a].Task < e.traceBuf[b].Task })
+		for j := range e.traceBuf {
+			e.traceBuf[j].Cause = cause
+			e.emitTrace(&e.traceBuf[j])
+		}
+	}
 	e.pool.Run(len(e.shards), e.deliverFn)
 	st := e.exch.Finish(e.s, false)
 	e.noteInbound()
@@ -1005,7 +1163,11 @@ func (e *engine) serviceShard(i int) {
 		if len(sh.depIdx) == 0 {
 			continue
 		}
+		prev := len(sh.departed)
 		sh.departed = s.RemoveForDeparture(r, sh.depIdx, sh.departed)
+		for range sh.departed[prev:] {
+			sh.depFrom = append(sh.depFrom, int32(r))
+		}
 	}
 	e.phaseDone(i, obs.PhaseService, start)
 }
@@ -1024,6 +1186,28 @@ func (e *engine) proposeShard(i int) {
 		// bounce the move back to its source. Draw keys are (task, round),
 		// so the outcome is identical for every shard partition.
 		moves = e.inj.FilterShard(i, e.curRound, e.s, moves)
+	}
+	// Lifecycle accounting for the moves entering this delivery batch.
+	// The tasks are off their stacks but undelivered, so each location
+	// entry still names its source; a move whose destination equals its
+	// source is a partition bounce, not a hop. The writes are safe in
+	// the parallel phase — a shard's moves come off its own resources,
+	// so the touched task IDs are disjoint across shards.
+	for _, mv := range moves {
+		src := int32(e.s.Location(mv.Task.ID))
+		hop := mv.Dest != src
+		if hop {
+			e.hopCnt[mv.Task.ID]++
+		}
+		if e.traceOn && e.sampled(mv.Task.ID) {
+			cause := trace.CauseProtocol
+			if !hop {
+				cause = trace.CausePartition
+			}
+			sh.traceRecs = append(sh.traceRecs, trace.Record{Round: e.curRound,
+				Task: mv.Task.ID, Op: trace.OpHop, Cause: cause,
+				From: src, To: mv.Dest, Hops: e.hopCnt[mv.Task.ID]})
+		}
 	}
 	e.exch.Route(i, moves)
 	e.phaseDone(i, obs.PhasePropose, start)
@@ -1060,6 +1244,16 @@ func (e *engine) evacShard(i int) {
 			if !up.Contains(dest) {
 				panic(fmt.Sprintf("dynamic: rehome policy %q picked non-up resource %d for a task off %d",
 					e.rehome.Name(), dest, r))
+			}
+			// An evacuation always moves the task (its source is down, the
+			// destination is up), so it is unconditionally a hop. The IDs a
+			// shard touches come off its own resources — disjoint writes.
+			e.hopCnt[tk.ID]++
+			if e.traceOn && e.sampled(tk.ID) {
+				// Cause (evac vs bounce) is stamped at the sequential drain.
+				sh.traceRecs = append(sh.traceRecs, trace.Record{Round: e.curRound,
+					Task: tk.ID, Op: trace.OpHop, From: int32(r), To: int32(dest),
+					Hops: e.hopCnt[tk.ID]})
 			}
 			sh.evacMoves = append(sh.evacMoves,
 				core.Migration{Task: tk, Dest: int32(dest)})
@@ -1289,6 +1483,9 @@ func (e *engine) flush(end int) {
 	}
 	if e.broker != nil {
 		e.ev = obs.Event{Kind: obs.KindWindow, Round: end, Window: ws}
+		e.broker.Publish(&e.ev)
+		e.ev = obs.Event{Kind: obs.KindTraceHist, Round: end, TraceHist: trace.Snapshot{
+			Sojourn: e.res.Sojourn, Hops: e.res.Hops, RetryLat: e.res.RetryLat}}
 		e.broker.Publish(&e.ev)
 		e.emitShardWindows(end, rounds)
 		e.emitDomainWindows(end)

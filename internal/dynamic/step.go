@@ -78,12 +78,19 @@ func (en *Engine) NextRound() int { return en.e.nextRound }
 func (en *Engine) Rounds() int { return en.e.cfg.Rounds }
 
 // LiveStats is a point-in-time view of the engine for serving-status
-// endpoints.
+// endpoints. The sojourn and hop percentiles come from the always-on
+// lifecycle histograms (trace.Hist over the power-of-two ladder), so
+// they are bucket-resolution estimates; all are 0 until the first
+// departure.
 type LiveStats struct {
 	NextRound      int
 	InFlight       int
 	InFlightWeight float64
 	UpResources    int
+	SojournP50     float64
+	SojournP95     float64
+	SojournP99     float64
+	HopsP99        float64
 }
 
 // Stats reports the engine's current occupancy. Not safe concurrently
@@ -95,6 +102,10 @@ func (en *Engine) Stats() LiveStats {
 		InFlight:       e.ts.Live(),
 		InFlightWeight: e.s.InFlightWeight(),
 		UpResources:    e.up.N(),
+		SojournP50:     e.res.Sojourn.Quantile(0.50),
+		SojournP95:     e.res.Sojourn.Quantile(0.95),
+		SojournP99:     e.res.Sojourn.Quantile(0.99),
+		HopsP99:        e.res.Hops.Quantile(0.99),
 	}
 }
 

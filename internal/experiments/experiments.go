@@ -128,6 +128,7 @@ var Registry = []struct {
 	{"dynscale", "Open system: sharded-engine worker scaling + determinism check", DynamicScale},
 	{"dynrecover", "Failure recovery: rack-loss re-home policies (uniform/power2/locality/speed)", DynamicRecover},
 	{"dynfaults", "Unreliable network: message-loss sweep x retry policies (graceful degradation)", DynamicFaults},
+	{"dynsojourn", "Task lifecycles: sojourn and hop percentiles vs load and loss (always-on histograms)", DynamicSojourn},
 }
 
 // Lookup returns the driver for id, or nil.

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/dynamic"
+	"repro/internal/faults"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/walk"
+)
+
+// DynamicSojourn measures the per-task experience of the open system:
+// how long a task stays in the system (sojourn rounds) and how often
+// the protocol moves it (migration hops) as the offered load ρ climbs
+// toward saturation, on a homogeneous fleet and on a heterogeneous
+// 1/2/4/10-speed mix — then again under message loss at ρ = 0.8. The
+// percentiles come from the engine's always-on lifecycle histograms
+// (power-of-two buckets), so every departed task of every trial is
+// counted, not just a sampled subset. The table answers: does the
+// balancer keep the task-level tail flat until deep saturation, how
+// many hops does tail latency cost, and how much sojourn does an
+// unreliable network add (a lost move parks its task in the retry
+// ledger until redelivery or timeout).
+type sojournSummary struct {
+	p50, p95, p99 float64 // sojourn percentiles, rounds
+	hops99        float64 // hops/task p99
+	retry99       float64 // ledger resolution latency p99 (rounds)
+	departed      float64
+	ok            bool
+}
+
+// DynamicSojourn is the dynsojourn experiment driver.
+func DynamicSojourn(cfg Config) *Table {
+	cfg = cfg.Defaults()
+	n, rounds, window := 1000, 600, 100
+	rhos := []float64{0.5, 0.7, 0.8, 0.9, 0.95}
+	losses := []float64{0.001, 0.01, 0.05}
+	if cfg.Quick {
+		n, rounds, window = 200, 300, 50
+		rhos = []float64{0.5, 0.8, 0.95}
+		losses = []float64{0.01}
+	}
+	g := graph.RandomRegular(n, 8, rng.NewSeeded(cfg.Seed))
+	speeds := make([]float64, n)
+	totalSpeed := 0.0
+	for r := range speeds {
+		speeds[r] = []float64{1, 2, 4, 10}[r%4]
+		totalSpeed += speeds[r]
+	}
+
+	t := &Table{
+		ID: "dynsojourn",
+		Title: f("task lifecycles: sojourn and hop percentiles vs load and loss (n=%d, %d rounds; always-on lifecycle histograms, power-of-two buckets)",
+			n, rounds),
+		Header: []string{"fleet", "rho", "loss%", "sojourn p50", "sojourn p95", "sojourn p99", "hops p99", "retry-lat p99", "dep/round"},
+	}
+
+	row := func(fleet string, rho, loss float64) {
+		fleetSpeeds, cap := []float64(nil), float64(n)
+		if fleet == "hetero" {
+			fleetSpeeds, cap = speeds, totalSpeed
+		}
+		var fplan *faults.Plan
+		if loss > 0 {
+			fplan = &faults.Plan{Loss: loss, RetryBase: 1, RetryCap: 8, Timeout: 30}
+		}
+		out := sim.Run(cfg.Trials, cfg.Workers, func(trial int, seed uint64) sojournSummary {
+			res, err := dynamic.Run(dynamic.Config{
+				Graph:    g,
+				Speeds:   fleetSpeeds,
+				Protocol: core.ResourceControlled{Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+				Arrivals: dynamic.Poisson{Rate: rho * cap / dynParetoMean,
+					Weights: task.Pareto{Alpha: 2, Cap: 20}},
+				Service: dynamic.WeightProportional{Rate: 1},
+				Tuner: &dynamic.SelfTuner{Eps: 0.5, Decay: 0.8, Every: 10, Steps: 2,
+					Kernel: walk.NewLazy(walk.NewMaxDegree(g))},
+				Faults:          fplan,
+				Rounds:          rounds,
+				Window:          window,
+				Seed:            seed,
+				CheckInvariants: true,
+			})
+			if err != nil {
+				return sojournSummary{}
+			}
+			return sojournSummary{
+				p50:      res.Sojourn.Quantile(0.50),
+				p95:      res.Sojourn.Quantile(0.95),
+				p99:      res.Sojourn.Quantile(0.99),
+				hops99:   res.Hops.Quantile(0.99),
+				retry99:  res.RetryLat.Quantile(0.99),
+				departed: float64(res.Departed) / float64(rounds),
+				ok:       true,
+			}
+		}, cfg.Seed)
+		var p50, p95, p99, hops99, retry99, dep stats.Online
+		broken := 0
+		for _, s := range out {
+			if !s.ok {
+				broken++
+				continue
+			}
+			p50.Add(s.p50)
+			p95.Add(s.p95)
+			p99.Add(s.p99)
+			hops99.Add(s.hops99)
+			retry99.Add(s.retry99)
+			dep.Add(s.departed)
+		}
+		retryCell := "-"
+		if loss > 0 {
+			retryCell = meanCell(retry99)
+		}
+		t.AddRow(fleet, f("%g", rho), f("%g", 100*loss), meanCell(p50), meanCell(p95),
+			meanCell(p99), meanCell(hops99), retryCell, meanCell(dep))
+		if broken > 0 {
+			t.AddNote("fleet %s rho %g loss %g: %d/%d trials failed and were excluded",
+				fleet, rho, loss, broken, len(out))
+		}
+	}
+
+	for _, fleet := range []string{"homog", "hetero"} {
+		for _, rho := range rhos {
+			row(fleet, rho, 0)
+		}
+	}
+	for _, loss := range losses {
+		row("homog", 0.8, loss)
+	}
+
+	t.AddNote("sojourn: rounds from admission to departure; hops: completed migrations per departed task")
+	t.AddNote("percentiles are bucket-resolution (power-of-two ladder 0,1,2,4,...,4096), averaged across trials")
+	t.AddNote("retry-lat p99: rounds a lost move spent in the in-flight ledger before redelivery or timeout re-home")
+	return t
+}

@@ -51,9 +51,45 @@ type flight struct {
 // dropped on arrival.
 type wheelRec struct {
 	tk    task.Task
+	src   int32 // source resource at park time (trace-record provenance)
 	dest  int32
 	due   int32
+	sent  int32  // round the message entered the wheel (delivery latency base)
 	token uint64 // 0 = duplicate copy
+}
+
+// HookKind names the sequential fault events the trace hook observes:
+// a first-send loss entering the retry ledger, a message parked in the
+// delay wheel, and each retry attempt made from the ledger.
+type HookKind uint8
+
+const (
+	HookLoss HookKind = iota + 1
+	HookDelay
+	HookRetry
+)
+
+// DueKind tags one entry of Tick's due-delivery batch with how it
+// resolved: a delay-wheel delivery, a successful retry, or a timeout
+// re-home at the source.
+type DueKind uint8
+
+const (
+	DueDelay DueKind = iota + 1
+	DueRetry
+	DueTimeout
+)
+
+// DueRecord is the per-delivery annotation aligned index-for-index
+// with the batch Tick returns: how the message resolved, how many
+// rounds it was held, and how many retry attempts it took.
+type DueRecord struct {
+	Kind DueKind
+	// Src is the move's source resource when it entered the fault layer
+	// (a task in flight has no stack location to read back).
+	Src     int32
+	Latency int32
+	Attempt int32
 }
 
 // shardScratch buffers one propose shard's fault decisions until the
@@ -95,10 +131,27 @@ type Injector struct {
 	restBuf    []int
 	transition map[int]bool // rounds at which some window starts or ends
 
-	due []core.Migration // Tick's canonical due-delivery batch
+	due     []core.Migration // Tick's canonical due-delivery batch
+	dueInfo []DueRecord      // aligned resolution annotations for due
+
+	// hook, when set, observes the sequential fault events (Collect's
+	// losses and delay parks, Tick's retry attempts) in canonical
+	// order. Nil when tracing is off — the hot path pays nothing.
+	hook func(kind HookKind, round int, tk task.Task, src, dest int32, attempt int32)
 
 	c Counters
 }
+
+// SetTraceHook installs the sequential fault-event observer. The hook
+// runs inside Collect and Tick — engine-loop context, never a propose
+// shard — so observation order is canonical for any worker count.
+func (inj *Injector) SetTraceHook(h func(kind HookKind, round int, tk task.Task, src, dest int32, attempt int32)) {
+	inj.hook = h
+}
+
+// DueInfo returns the resolution annotations for the batch the last
+// Tick returned, aligned index-for-index. Valid until the next Tick.
+func (inj *Injector) DueInfo() []DueRecord { return inj.dueInfo }
 
 // NewInjector compiles plan for an n-resource fleet split into
 // `workers` propose shards. runSeed is the engine's master seed; the
@@ -205,7 +258,7 @@ func (inj *Injector) FilterShard(i, t int, s *core.State, moves []core.Migration
 		}
 		if p.DelayProb > 0 && rng.HashFloat3(inj.seed+saltDelay, id, uint64(t), 0) < p.DelayProb {
 			k := 1 + int32(rng.Hash3(inj.seed+saltDelayK, id, uint64(t), 0)%uint64(p.DelayMax))
-			sc.delayed = append(sc.delayed, wheelRec{tk: mv.Task, dest: mv.Dest, due: int32(t) + k})
+			sc.delayed = append(sc.delayed, wheelRec{tk: mv.Task, src: src, dest: mv.Dest, due: int32(t) + k, sent: int32(t)})
 			continue
 		}
 		if p.DupProb > 0 && rng.HashFloat3(inj.seed+saltDup, id, uint64(t), 0) < p.DupProb {
@@ -213,7 +266,7 @@ func (inj *Injector) FilterShard(i, t int, s *core.State, moves []core.Migration
 			// dedup table drops it.
 			dmax := uint64(len(inj.wheel) - 1)
 			k := 1 + int32(rng.Hash3(inj.seed+saltDupK, id, uint64(t), 0)%dmax)
-			sc.dup = append(sc.dup, wheelRec{tk: mv.Task, dest: mv.Dest, due: int32(t) + k})
+			sc.dup = append(sc.dup, wheelRec{tk: mv.Task, src: src, dest: mv.Dest, due: int32(t) + k})
 		}
 		kept = append(kept, mv)
 	}
@@ -244,6 +297,9 @@ func (inj *Injector) Collect(t int, s *core.State) {
 			s.MarkInFlight(fl.tk)
 			inj.ledger = append(inj.ledger, fl)
 			inj.c.Lost++
+			if inj.hook != nil {
+				inj.hook(HookLoss, t, fl.tk, fl.src, fl.dest, 0)
+			}
 		}
 		sc.lost = sc.lost[:0]
 	}
@@ -257,6 +313,9 @@ func (inj *Injector) Collect(t int, s *core.State) {
 			slot := int(wr.due) % len(inj.wheel)
 			inj.wheel[slot] = append(inj.wheel[slot], wr)
 			inj.c.Delayed++
+			if inj.hook != nil {
+				inj.hook(HookDelay, t, wr.tk, wr.src, wr.dest, 0)
+			}
 		}
 		sc.delayed = sc.delayed[:0]
 	}
@@ -288,6 +347,7 @@ func (inj *Injector) arm(id int, token uint64) {
 // across rounds. Sequential, after Collect.
 func (inj *Injector) Tick(t int, s *core.State, up Membership) []core.Migration {
 	inj.due = inj.due[:0]
+	inj.dueInfo = inj.dueInfo[:0]
 	if len(inj.wheel) > 0 {
 		slot := int(uint(t) % uint(len(inj.wheel)))
 		pending := inj.wheel[slot][:0]
@@ -303,6 +363,7 @@ func (inj *Injector) Tick(t int, s *core.State, up Membership) []core.Migration 
 			inj.pend[wr.tk.ID] = 0
 			s.ClearInFlight(wr.tk)
 			inj.due = append(inj.due, core.Migration{Task: wr.tk, Dest: wr.dest})
+			inj.dueInfo = append(inj.dueInfo, DueRecord{Kind: DueDelay, Src: wr.src, Latency: int32(t) - wr.sent})
 		}
 		inj.wheel[slot] = pending
 	}
@@ -316,10 +377,14 @@ func (inj *Injector) Tick(t int, s *core.State, up Membership) []core.Migration 
 			inj.pend[fl.tk.ID] = 0
 			s.ClearInFlight(fl.tk)
 			inj.due = append(inj.due, core.Migration{Task: fl.tk, Dest: fl.src})
+			inj.dueInfo = append(inj.dueInfo, DueRecord{Kind: DueTimeout, Src: fl.src, Latency: int32(t) - (fl.deadline - int32(inj.plan.Timeout)), Attempt: fl.attempt})
 			inj.c.Timeouts++
 		case t >= int(fl.nextTry):
 			inj.c.Retries++
 			fl.attempt++
+			if inj.hook != nil {
+				inj.hook(HookRetry, t, fl.tk, fl.src, fl.dest, fl.attempt)
+			}
 			destUp := up == nil || up.Contains(int(fl.dest))
 			if destUp && (inj.parted && inj.group[fl.src] != inj.group[fl.dest]) {
 				destUp = false // the cut now crosses this link
@@ -328,6 +393,7 @@ func (inj *Injector) Tick(t int, s *core.State, up Membership) []core.Migration 
 				inj.pend[fl.tk.ID] = 0
 				s.ClearInFlight(fl.tk)
 				inj.due = append(inj.due, core.Migration{Task: fl.tk, Dest: fl.dest})
+				inj.dueInfo = append(inj.dueInfo, DueRecord{Kind: DueRetry, Src: fl.src, Latency: int32(t) - (fl.deadline - int32(inj.plan.Timeout)), Attempt: fl.attempt})
 				break
 			}
 			// Lost again (or the destination is unreachable): back off

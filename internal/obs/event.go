@@ -18,6 +18,8 @@
 // any worker count with subscribers attached.
 package obs
 
+import "repro/internal/trace"
+
 // Kind discriminates the typed events a Broker carries.
 type Kind uint8
 
@@ -71,6 +73,16 @@ const (
 	// KindCheckpoint marks a completed engine checkpoint: the round it
 	// captured and the snapshot size.
 	KindCheckpoint
+	// KindTrace carries one sampled task-lifecycle record (arrival,
+	// migration hop, fault episode, departure). Published from the
+	// engine's sequential sections in canonical order, so the stream is
+	// identical for every worker count.
+	KindTrace
+	// KindTraceHist carries the cumulative lifecycle histograms
+	// (sojourn rounds, hops per task, ledger resolution latency) on the
+	// window cadence — the always-on aggregate the Prometheus exporter
+	// turns into histogram series.
+	KindTraceHist
 
 	numKinds
 )
@@ -88,6 +100,8 @@ var kindNames = [numKinds]string{
 	KindQuarantine:    "quarantine",
 	KindAlert:         "alert",
 	KindCheckpoint:    "checkpoint",
+	KindTrace:         "trace",
+	KindTraceHist:     "trace_hist",
 }
 
 // String returns the wire name of the kind (the JSONL "kind" field).
@@ -417,6 +431,8 @@ type Event struct {
 	Quarantine   QuarantineEvent   // KindQuarantine
 	Alert        AlertEvent        // KindAlert
 	Checkpoint   CheckpointEvent   // KindCheckpoint
+	Trace        trace.Record      // KindTrace
+	TraceHist    trace.Snapshot    // KindTraceHist
 }
 
 // Domains labels every resource with a failure domain on one hierarchy

@@ -3,11 +3,14 @@ package obs
 import (
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/trace"
 )
 
 // The live HTTP export surface. An Exporter subscribes to a broker and
@@ -49,6 +52,8 @@ type Exporter struct {
 	alerts    alertCounters
 	alertOn   []AlertEvent // currently-firing alerts, one per domain
 	ckpt      checkpointCounters
+	hist      trace.Snapshot // latest cumulative lifecycle histograms
+	hasHist   bool
 }
 
 // alertCounters aggregates the domain SLO alert stream.
@@ -206,6 +211,8 @@ func (x *Exporter) applyLocked(ev *Event) {
 	case KindCheckpoint:
 		x.ckpt.Written++
 		x.ckpt.Last = ev.Checkpoint
+	case KindTraceHist:
+		x.hist, x.hasHist = ev.TraceHist, true
 	}
 }
 
@@ -414,6 +421,28 @@ func (x *Exporter) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 		gauge("lbdyn_checkpoint_last_bytes", "Encoded size of the most recent checkpoint.")
 		fmt.Fprintf(w, "lbdyn_checkpoint_last_bytes %d\n", x.ckpt.Last.Bytes)
 	}
+
+	if x.hasHist {
+		writeHistogram(w, "lbdyn_sojourn_rounds", "Rounds from task arrival to departure.", &x.hist.Sojourn)
+		writeHistogram(w, "lbdyn_migration_hops", "Migration hops a task made before departing.", &x.hist.Hops)
+		writeHistogram(w, "lbdyn_retry_latency_rounds", "Rounds a lost migration spent in the retry ledger before resolving.", &x.hist.RetryLat)
+	}
+}
+
+// writeHistogram renders one trace.Hist as a Prometheus histogram:
+// cumulative le-labelled buckets over the fixed power-of-two ladder,
+// a +Inf bucket, and the _sum/_count pair.
+func writeHistogram(w io.Writer, name, help string, h *trace.Hist) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, b := range trace.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b, cum)
+	}
+	cum += h.Counts[trace.NumBuckets-1]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
 }
 
 func (x *Exporter) seqTotal() int64 {
@@ -437,6 +466,7 @@ type exporterVars struct {
 	Alerts    alertCounters       `json:"alerts"`
 	Active    []AlertEvent        `json:"active_alerts,omitempty"`
 	Ckpt      checkpointCounters  `json:"checkpoints"`
+	Trace     *trace.Snapshot     `json:"trace,omitempty"`
 }
 
 // vars drains the subscription and snapshots the expvar view.
@@ -462,6 +492,10 @@ func (x *Exporter) vars() exporterVars {
 	if x.hasFaults {
 		fCopy := x.faults
 		v.Faults = &fCopy
+	}
+	if x.hasHist {
+		hCopy := x.hist
+		v.Trace = &hCopy
 	}
 	return v
 }

@@ -7,6 +7,8 @@ import (
 	"io"
 	"strings"
 	"sync"
+
+	"repro/internal/trace"
 )
 
 // The JSONL event sink: one event object per line, for offline
@@ -40,6 +42,8 @@ type wireEvent struct {
 	Quarantine   *QuarantineEvent   `json:"quarantine,omitempty"`
 	Alert        *AlertEvent        `json:"alert,omitempty"`
 	Checkpoint   *CheckpointEvent   `json:"checkpoint,omitempty"`
+	Trace        *trace.Record      `json:"trace,omitempty"`
+	TraceHist    *trace.Snapshot    `json:"trace_hist,omitempty"`
 }
 
 // wirePhase flattens a PhaseStats nanos array into named per-phase
@@ -113,6 +117,12 @@ func toWire(ev *Event) (wireEvent, error) {
 	case KindCheckpoint:
 		p := ev.Checkpoint
 		w.Checkpoint = &p
+	case KindTrace:
+		p := ev.Trace
+		w.Trace = &p
+	case KindTraceHist:
+		p := ev.TraceHist
+		w.TraceHist = &p
 	default:
 		return w, fmt.Errorf("obs: cannot encode event of unknown kind %d", ev.Kind)
 	}
@@ -256,6 +266,23 @@ func fromWire(we *wireEvent) (Event, error) {
 		ev.Checkpoint = *we.Checkpoint
 		if k != KindCheckpoint {
 			return Event{}, fmt.Errorf("kind %q carries a %q payload", we.Kind, "checkpoint")
+		}
+	}
+	if we.Trace != nil {
+		payloads++
+		ev.Trace = *we.Trace
+		if k != KindTrace {
+			return Event{}, fmt.Errorf("kind %q carries a %q payload", we.Kind, "trace")
+		}
+		if err := ev.Trace.Validate(); err != nil {
+			return Event{}, fmt.Errorf("trace payload: %w", err)
+		}
+	}
+	if we.TraceHist != nil {
+		payloads++
+		ev.TraceHist = *we.TraceHist
+		if k != KindTraceHist {
+			return Event{}, fmt.Errorf("kind %q carries a %q payload", we.Kind, "trace_hist")
 		}
 	}
 	if payloads != 1 {

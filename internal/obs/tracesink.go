@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// TraceSink pumps the KindTrace stream to an io.Writer as bare
+// trace.Record JSON Lines — the format cmd/lbtrace reads — on its own
+// goroutine. It is the Sink pattern specialised to task-lifecycle
+// records: the subscription is masked to KindTrace so no other event
+// kind ever reaches the encoder, and the broker-side Seq is dropped on
+// the way out, which is what makes the written stream byte-identical
+// across worker counts.
+type TraceSink struct {
+	sub  *Subscription
+	done chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewTraceSink subscribes to the broker's KindTrace stream and starts
+// the pump goroutine. Returns nil if the broker is already closed.
+// capacity <= 0 selects the default ring size.
+func NewTraceSink(w io.Writer, b *Broker, capacity int) *TraceSink {
+	sub := b.Subscribe(SubOptions{Capacity: capacity, Kinds: Mask(KindTrace)})
+	if sub == nil {
+		return nil
+	}
+	s := &TraceSink{sub: sub, done: make(chan struct{})}
+	go s.pump(w)
+	return s
+}
+
+func (s *TraceSink) pump(w io.Writer) {
+	defer close(s.done)
+	bw := bufio.NewWriterSize(w, 64*1024)
+	tw := trace.NewWriter(bw)
+	buf := make([]Event, 0, 256)
+	for {
+		evs := s.sub.Wait(buf)
+		if evs == nil {
+			break
+		}
+		for i := range evs {
+			if err := tw.Write(&evs[i].Trace); err != nil {
+				s.setErr(err)
+				for s.sub.Wait(buf) != nil {
+				}
+				return
+			}
+		}
+		buf = evs
+	}
+	if err := tw.Flush(); err != nil {
+		s.setErr(err)
+		return
+	}
+	s.setErr(bw.Flush())
+}
+
+func (s *TraceSink) setErr(err error) {
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = fmt.Errorf("obs: trace sink: %w", err)
+	}
+	s.mu.Unlock()
+}
+
+// Dropped reports how many trace events the sink's bounded ring shed.
+func (s *TraceSink) Dropped() uint64 { return s.sub.Dropped() }
+
+// Close stops the pump after the buffered records drain and returns
+// the first error the sink hit (nil on a clean run). Idempotent.
+func (s *TraceSink) Close() error {
+	s.sub.Close()
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

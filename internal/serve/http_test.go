@@ -148,3 +148,36 @@ func TestHTTPBodyLimit(t *testing.T) {
 		t.Fatalf("oversized body: %d, want 400", code)
 	}
 }
+
+// TestHTTPStatusSojournPercentiles: /statusz carries the engine's
+// always-on lifecycle percentiles once tasks have departed.
+func TestHTTPStatusSojournPercentiles(t *testing.T) {
+	rt := testRuntime(t, Options{})
+	srv := frontDoor(t, rt)
+	if code, _ := post(t, srv.URL+"/ingest", "[1,2,3,1,2]"); code != http.StatusOK {
+		t.Fatalf("ingest: %d, want 200", code)
+	}
+	// Weight-proportional service at rate 1 drains the heaviest ingested
+	// task in 3 rounds; step past that so every task has departed.
+	for i := 0; i < 6; i++ {
+		if err := rt.StepRound(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	code, body := get(t, srv.URL+"/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("statusz: %d %s", code, body)
+	}
+	for _, key := range []string{`"sojourn_p50"`, `"sojourn_p95"`, `"sojourn_p99"`, `"hops_p99"`} {
+		if !strings.Contains(body, key) {
+			t.Errorf("statusz body missing %s:\n%s", key, body)
+		}
+	}
+	var st Stats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SojournP50 <= 0 || st.SojournP99 < st.SojournP50 {
+		t.Errorf("statusz sojourn percentiles %+v: want p50 > 0 and p99 >= p50", st)
+	}
+}

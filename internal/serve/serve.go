@@ -89,6 +89,12 @@ type Stats struct {
 	Rejected       int64   `json:"rejected"`
 	Dispatch       string  `json:"dispatch"`
 	Draining       bool    `json:"draining"`
+	// Lifecycle percentiles from the engine's always-on histograms
+	// (bucket-resolution estimates; 0 until the first departure).
+	SojournP50 float64 `json:"sojourn_p50"`
+	SojournP95 float64 `json:"sojourn_p95"`
+	SojournP99 float64 `json:"sojourn_p99"`
+	HopsP99    float64 `json:"hops_p99"`
 }
 
 // Runtime drives one engine with live inputs. Ingest and Reconfigure
@@ -347,5 +353,9 @@ func (rt *Runtime) Stats() Stats {
 		Rejected:       rt.rejected,
 		Dispatch:       rt.dispatch,
 		Draining:       rt.draining,
+		SojournP50:     rt.stats.SojournP50,
+		SojournP95:     rt.stats.SojournP95,
+		SojournP99:     rt.stats.SojournP99,
+		HopsP99:        rt.stats.HopsP99,
 	}
 }

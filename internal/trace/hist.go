@@ -1,0 +1,122 @@
+package trace
+
+// The always-on histograms. Buckets are fixed at compile time so a
+// Hist is a flat value type — Observe is two integer increments with
+// no allocation, merging is element-wise addition, and the engine can
+// keep one per metric inside Result where checkpointing and the
+// cross-worker golden comparisons pick it up for free. One shared
+// power-of-two ladder serves all three lifecycle metrics (sojourn
+// rounds, hops per task, ledger resolution latency): their ranges
+// differ by orders of magnitude, and a ladder is accurate to a factor
+// of two everywhere without per-metric tuning.
+
+// NumBuckets is the number of counters per histogram: the finite
+// Bounds plus one overflow bucket.
+const NumBuckets = len(Bounds) + 1
+
+// Bounds is the shared bucket ladder: bucket i counts observations v
+// with v <= Bounds[i] (and above the previous bound); the last bucket
+// counts everything larger.
+var Bounds = [...]int32{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+// Hist is one fixed-bucket histogram of non-negative integer
+// observations. The zero value is an empty histogram ready for use.
+type Hist struct {
+	Counts [NumBuckets]int64 `json:"counts"`
+	Sum    int64             `json:"sum"`
+}
+
+// Observe adds one observation. Negative values clamp into the first
+// bucket (they cannot occur from the engine; the clamp keeps a
+// corrupted input from indexing out of range).
+func (h *Hist) Observe(v int64) {
+	h.Counts[bucketOf(v)]++
+	h.Sum += v
+}
+
+// bucketOf returns the bucket index for observation v.
+func bucketOf(v int64) int {
+	for i, b := range Bounds {
+		if v <= int64(b) {
+			return i
+		}
+	}
+	return NumBuckets - 1
+}
+
+// Count returns the total number of observations.
+func (h *Hist) Count() int64 {
+	var n int64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Hist) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(n)
+}
+
+// Merge adds o's counts into h.
+func (h *Hist) Merge(o *Hist) {
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	h.Sum += o.Sum
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by locating the
+// bucket holding the target rank and interpolating linearly inside it,
+// the Prometheus histogram_quantile convention. A rank landing in the
+// overflow bucket clamps to the largest finite bound (there is no
+// upper edge to interpolate toward). Returns 0 on an empty histogram.
+func (h *Hist) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	var cum int64
+	for i, c := range h.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < target || c == 0 {
+			continue
+		}
+		if i >= len(Bounds) {
+			return float64(Bounds[len(Bounds)-1])
+		}
+		hi := float64(Bounds[i])
+		lo := 0.0
+		if i > 0 {
+			lo = float64(Bounds[i-1])
+		}
+		return lo + (hi-lo)*(target-float64(prev))/float64(c)
+	}
+	return float64(Bounds[len(Bounds)-1])
+}
+
+// Snapshot groups the three always-on lifecycle histograms the engine
+// maintains; it is the payload of obs trace-histogram events and the
+// source of the Prometheus histogram exposition. A flat value type —
+// safe to copy through event rings.
+type Snapshot struct {
+	// Sojourn is rounds-in-system, observed at each departure.
+	Sojourn Hist `json:"sojourn"`
+	// Hops is completed migration hops per task, observed at departure.
+	Hops Hist `json:"hops"`
+	// RetryLat is rounds from a message loss to its ledger resolution
+	// (retry success or timeout re-home), observed at resolution.
+	RetryLat Hist `json:"retry_latency"`
+}

@@ -1,0 +1,236 @@
+// Package trace implements deterministic per-task lifecycle tracing
+// for the open-system engine: a stateless sampling rule, a compact
+// fixed-size Record for every sampled lifecycle event, and the
+// always-on fixed-bucket histograms (sojourn rounds, migration hops
+// per task, ledger resolution latency) the engine maintains whether or
+// not anything is sampled.
+//
+// The design constraint is the engine's determinism contract: whether
+// a task is traced is a pure hash of (trace seed, task ID) — never the
+// shard split, never a stateful draw — so the sampled set, the record
+// stream and the histograms are bit-identical for every worker count,
+// and a run with tracing disabled is bit-identical to one that never
+// heard of this package. Records are fixed-size value types with no
+// pointers, so they ride the obs event ring without allocating.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Op identifies what happened to a task at one point of its lifecycle.
+type Op uint8
+
+const (
+	// OpArrive is the task's admission: round, weight, first resource.
+	OpArrive Op = iota + 1
+	// OpHop is a placement change attempt entering a delivery batch —
+	// protocol move, evacuation, re-home or late fault-layer delivery.
+	// Cause says why; From == To marks a bounced or re-homed attempt
+	// that left the task where it started.
+	OpHop
+	// OpDepart closes the timeline: Sojourn and Hops carry the task's
+	// totals.
+	OpDepart
+	// OpLoss marks a migration message entering the in-flight ledger
+	// (Cause CauseRetry) or the delay wheel (Cause CauseDelay).
+	OpLoss
+	// OpRetry is one ledger retry attempt (Attempt counts them); the
+	// attempt that lands also produces an OpHop with CauseRetry.
+	OpRetry
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpArrive: "arrive",
+	OpHop:    "hop",
+	OpDepart: "depart",
+	OpLoss:   "loss",
+	OpRetry:  "retry",
+}
+
+// String returns the wire name ("arrive", "hop", ...).
+func (o Op) String() string {
+	if o >= 1 && o < numOps {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// OpFromString parses a wire name back to its Op (false on unknown).
+func OpFromString(s string) (Op, bool) {
+	for o := Op(1); o < numOps; o++ {
+		if opNames[o] == s {
+			return o, true
+		}
+	}
+	return 0, false
+}
+
+// MarshalJSON writes the op as its wire name.
+func (o Op) MarshalJSON() ([]byte, error) {
+	if o < 1 || o >= numOps {
+		return nil, fmt.Errorf("trace: cannot marshal unknown op %d", uint8(o))
+	}
+	return []byte(`"` + opNames[o] + `"`), nil
+}
+
+// UnmarshalJSON parses a wire name, rejecting unknown ops.
+func (o *Op) UnmarshalJSON(data []byte) error {
+	if len(data) < 2 || data[0] != '"' || data[len(data)-1] != '"' {
+		return fmt.Errorf("trace: op must be a string, got %s", data)
+	}
+	v, ok := OpFromString(string(data[1 : len(data)-1]))
+	if !ok {
+		return fmt.Errorf("trace: unknown op %s", data)
+	}
+	*o = v
+	return nil
+}
+
+// Cause says why a hop (or loss) happened — the taxonomy the CLI
+// filters on.
+type Cause uint8
+
+const (
+	// CauseNone is the zero cause (arrive/depart records).
+	CauseNone Cause = iota
+	// CauseProtocol is a threshold-driven protocol migration.
+	CauseProtocol
+	// CauseEvac is a churn evacuation off a resource that went down.
+	CauseEvac
+	// CauseBounce re-homes a delivery that landed on a down resource.
+	CauseBounce
+	// CausePartition bounces a move at a partition cut (From == To).
+	CausePartition
+	// CauseDelay is a delay-wheel event: the park (OpLoss) or the late
+	// delivery (OpHop, Latency = rounds parked).
+	CauseDelay
+	// CauseRetry is an in-flight-ledger event: the loss (OpLoss), an
+	// attempt (OpRetry) or the successful redelivery (OpHop, Latency =
+	// rounds since the loss).
+	CauseRetry
+	// CauseTimeout re-homes a ledgered task at its source after its
+	// retry deadline passed (OpHop, Latency = the timeout).
+	CauseTimeout
+
+	numCauses
+)
+
+var causeNames = [numCauses]string{
+	CauseNone:      "",
+	CauseProtocol:  "protocol",
+	CauseEvac:      "evac",
+	CauseBounce:    "bounce",
+	CausePartition: "partition",
+	CauseDelay:     "delay",
+	CauseRetry:     "retry",
+	CauseTimeout:   "timeout",
+}
+
+// String returns the wire name ("" for CauseNone).
+func (c Cause) String() string {
+	if c < numCauses {
+		return causeNames[c]
+	}
+	return fmt.Sprintf("cause(%d)", uint8(c))
+}
+
+// CauseFromString parses a wire name back to its Cause (false on
+// unknown; "" parses to CauseNone).
+func CauseFromString(s string) (Cause, bool) {
+	for c := Cause(0); c < numCauses; c++ {
+		if causeNames[c] == s {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// MarshalJSON writes the cause as its wire name.
+func (c Cause) MarshalJSON() ([]byte, error) {
+	if c >= numCauses {
+		return nil, fmt.Errorf("trace: cannot marshal unknown cause %d", uint8(c))
+	}
+	return []byte(`"` + causeNames[c] + `"`), nil
+}
+
+// UnmarshalJSON parses a wire name, rejecting unknown causes.
+func (c *Cause) UnmarshalJSON(data []byte) error {
+	if len(data) < 2 || data[0] != '"' || data[len(data)-1] != '"' {
+		return fmt.Errorf("trace: cause must be a string, got %s", data)
+	}
+	v, ok := CauseFromString(string(data[1 : len(data)-1]))
+	if !ok {
+		return fmt.Errorf("trace: unknown cause %s", data)
+	}
+	*c = v
+	return nil
+}
+
+// Record is one sampled lifecycle event. It is a fixed-size value type
+// with no pointers or slices so it embeds in the obs event union and
+// copies through subscription rings without allocating. From/To are
+// resource indices; -1 marks "not applicable" (the From of an arrival,
+// the To of a departure).
+type Record struct {
+	Round int   `json:"round"`
+	Task  int   `json:"task"`
+	Op    Op    `json:"op"`
+	Cause Cause `json:"cause,omitempty"`
+	From  int32 `json:"from"`
+	To    int32 `json:"to"`
+	// Weight rides arrivals and departures.
+	Weight float64 `json:"weight,omitempty"`
+	// Hops is the task's cumulative completed-hop count after this
+	// event; Sojourn (departures) its rounds in system.
+	Hops    int32 `json:"hops,omitempty"`
+	Sojourn int32 `json:"sojourn,omitempty"`
+	// Attempt numbers ledger retry attempts; Latency is the rounds a
+	// late delivery spent lost, parked or retrying.
+	Attempt int32 `json:"attempt,omitempty"`
+	Latency int32 `json:"latency,omitempty"`
+}
+
+// Validate checks the record's structural invariants — the reader
+// applies it to every parsed line.
+func (r *Record) Validate() error {
+	if r.Op < 1 || r.Op >= numOps {
+		return fmt.Errorf("unknown op %d", uint8(r.Op))
+	}
+	if r.Cause >= numCauses {
+		return fmt.Errorf("unknown cause %d", uint8(r.Cause))
+	}
+	if r.Task < 0 {
+		return fmt.Errorf("negative task ID %d", r.Task)
+	}
+	if r.From < -1 || r.To < -1 {
+		return fmt.Errorf("resource below -1 (from %d, to %d)", r.From, r.To)
+	}
+	if r.Hops < 0 || r.Sojourn < 0 || r.Attempt < 0 || r.Latency < 0 {
+		return fmt.Errorf("negative counter (hops %d, sojourn %d, attempt %d, latency %d)",
+			r.Hops, r.Sojourn, r.Attempt, r.Latency)
+	}
+	return nil
+}
+
+// sampleSalt keys the sampling hash so it is decorrelated from every
+// other stateless draw of the run (fault draws, per-resource streams).
+const sampleSalt = 0x7e1e5c09
+
+// Sampled reports whether task id is traced at sampling probability p
+// under the given trace seed. It is a pure function of (seed, id, p):
+// no state, no dependence on round, shard or worker count — the whole
+// determinism story of the tracing layer rests on this.
+func Sampled(seed uint64, id int, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return rng.HashFloat3(seed, uint64(id), sampleSalt, 0) < p
+}
